@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table and figure has one module here.  Benches run the full
+multi-seed experiment once (``benchmark.pedantic`` with a single round
+— these are macro-benchmarks of the reproduction harness, not
+micro-benchmarks), print the same rows/series the paper reports, and
+attach the structured results to ``benchmark.extra_info``.
+
+Seed count per data point defaults to 5 here (10 in the library's
+default config); override with ``REPRO_SEEDS``.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    seeds = int(os.environ.get("REPRO_SEEDS", "5"))
+    return ExperimentConfig(n_seeds=max(1, seeds))

@@ -1,0 +1,55 @@
+"""Ablation: group formation for the local strategies (§3.5).
+
+The paper implements K-block fixed groups and names K-nearest-neighbor
+and random selection as alternatives.  Under iid per-processor load the
+formation barely matters on average; the bench also includes an
+adversarial *striped* load where interleaved groups pair loaded with
+unloaded processors and block groups do not.
+"""
+
+import numpy as np
+
+from repro.apps.mxm import MxmConfig, mxm_loop
+from repro.machine.cluster import ClusterSpec
+from repro.runtime.executor import run_loop
+from repro.runtime.options import RunOptions
+
+
+LOOP = mxm_loop(MxmConfig(240, 200, 200), op_seconds=4e-7)
+
+
+def test_bench_group_formation(benchmark, bench_config):
+    def compare():
+        out: dict[str, float] = {}
+        clusters = [ClusterSpec.homogeneous(
+            8, max_load=5, persistence=bench_config.persistence, seed=s)
+            for s in bench_config.seeds]
+        for formation in ("block", "interleaved", "random"):
+            opts = RunOptions(group_size=4, group_formation=formation,
+                              group_seed=1)
+            out[f"iid/{formation}"] = float(np.mean(
+                [run_loop(LOOP, c, "LDDLB", options=opts).duration
+                 for c in clusters]))
+        # Adversarial stripe: processors 0..3 loaded, 4..7 idle.
+        stripe = ClusterSpec(speeds=(1.0,) * 8, persistence=1000.0,
+                             load_traces=tuple(
+                                 (4,) if i < 4 else (0,)
+                                 for i in range(8)))
+        for formation in ("block", "interleaved"):
+            opts = RunOptions(group_size=4, group_formation=formation)
+            out[f"stripe/{formation}"] = run_loop(
+                LOOP, stripe, "LDDLB", options=opts).duration
+        return out
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print("\ngroup-formation ablation (LDDLB, K=4 on P=8, mean seconds):")
+    for label, t in results.items():
+        print(f"  {label:>20s}: {t:7.3f}s")
+
+    # Under iid load all formations are within a few percent.
+    iid = [t for k, t in results.items() if k.startswith("iid")]
+    assert max(iid) / min(iid) < 1.15
+    # Under the stripe, interleaving must win big: each group then
+    # contains idle processors that can absorb the loaded ones' work.
+    assert results["stripe/interleaved"] < 0.8 * results["stripe/block"]
+    benchmark.extra_info["results"] = results

@@ -1,0 +1,43 @@
+"""Ablation: duration of persistence t_l (§4.1).
+
+Small t_l is a rapidly changing load (measurements go stale before they
+can be exploited); large t_l is stable load (one good redistribution
+lasts).  DLB's advantage over static scheduling should grow with t_l.
+"""
+
+import numpy as np
+
+from repro.apps.mxm import MxmConfig, mxm_loop
+from repro.machine.cluster import ClusterSpec
+from repro.runtime.executor import run_loop
+
+
+LOOP = mxm_loop(MxmConfig(240, 200, 200), op_seconds=4e-7)
+
+
+def test_bench_persistence_sweep(benchmark, bench_config):
+    persistences = (0.5, 2.0, 5.0, 20.0)
+
+    def sweep():
+        out = {}
+        for tl in persistences:
+            ratios = []
+            for seed in bench_config.seeds:
+                cluster = ClusterSpec.homogeneous(4, max_load=5,
+                                                  persistence=tl, seed=seed)
+                static = run_loop(LOOP, cluster, "NONE").duration
+                dlb = run_loop(LOOP, cluster, "GDDLB").duration
+                ratios.append(dlb / static)
+            out[tl] = float(np.mean(ratios))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\npersistence sweep: GDDLB time / static time (lower = DLB wins):")
+    for tl, r in results.items():
+        print(f"  t_l={tl:5.1f}s: {r:6.3f}")
+
+    # Stable load must be clearly exploitable; rapidly changing load
+    # much less so.
+    assert results[20.0] < results[0.5]
+    assert results[20.0] < 0.9
+    benchmark.extra_info["sweep"] = {str(k): v for k, v in results.items()}

@@ -1,0 +1,68 @@
+"""Ablation: the profitability analysis thresholds (§3.3–§3.4).
+
+Sweeps the 10% improvement threshold and toggles whether the estimated
+work-movement cost is included in the predicted time.  The paper argues
+for 10% and for *excluding* the movement cost (inaccurate estimates
+cancel useful moves and idle the requesting processor).
+"""
+
+import numpy as np
+
+from repro.apps.mxm import MxmConfig, mxm_loop
+from repro.core.policy import DlbPolicy
+from repro.machine.cluster import ClusterSpec
+from repro.runtime.executor import run_loop
+from repro.runtime.options import RunOptions
+
+
+LOOP = mxm_loop(MxmConfig(200, 200, 200), op_seconds=4e-7)
+
+
+def _mean_time(policy: DlbPolicy, config, scheme="GDDLB") -> float:
+    times = []
+    for seed in config.seeds:
+        cluster = ClusterSpec.homogeneous(4, max_load=5,
+                                          persistence=config.persistence,
+                                          seed=seed)
+        stats = run_loop(LOOP, cluster, scheme,
+                         options=RunOptions(policy=policy))
+        times.append(stats.duration)
+    return float(np.mean(times))
+
+
+def test_bench_improvement_threshold_sweep(benchmark, bench_config):
+    thresholds = (0.0, 0.05, 0.10, 0.25, 0.5)
+
+    def sweep():
+        return {thr: _mean_time(DlbPolicy(improvement_threshold=thr),
+                                bench_config)
+                for thr in thresholds}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nimprovement threshold sweep (GDDLB, mean seconds):")
+    for thr, t in results.items():
+        print(f"  threshold={thr:4.2f}: {t:7.3f}s")
+
+    # An absurdly conservative threshold must hurt: it blocks nearly
+    # every redistribution, approaching static behaviour.
+    assert results[0.5] >= results[0.10] * 0.98
+    benchmark.extra_info["sweep"] = {str(k): v for k, v in results.items()}
+
+
+def test_bench_movement_cost_inclusion(benchmark, bench_config):
+    def compare():
+        return {
+            "excluded (paper)": _mean_time(
+                DlbPolicy(include_movement_cost=False), bench_config),
+            "included": _mean_time(
+                DlbPolicy(include_movement_cost=True), bench_config),
+        }
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print("\nmovement-cost-in-profitability ablation (GDDLB):")
+    for label, t in results.items():
+        print(f"  {label:>18s}: {t:7.3f}s")
+
+    # §3.4: excluding the movement cost should not be worse.
+    assert results["excluded (paper)"] <= results["included"] * 1.05
+    benchmark.extra_info["results"] = results

@@ -1,0 +1,75 @@
+"""The paper's central pitch: customization pays.
+
+For a grid of (application, processor count) settings, run the hybrid
+§4.3 customized strategy and every fixed strategy over the same load
+realizations.  The customized runs should track the per-setting best
+fixed strategy (low *regret*) while no single fixed strategy does.
+"""
+
+import numpy as np
+
+from repro.apps.mxm import MxmConfig, mxm_loop
+from repro.apps.trfd import TrfdConfig, trfd_loop1
+from repro.machine.cluster import ClusterSpec
+from repro.runtime.executor import run_loop
+from repro.runtime.options import RunOptions
+
+
+FIXED = ("GC", "GD", "LC", "LD")
+
+
+def test_bench_customization_regret(benchmark, bench_config):
+    settings = [
+        ("mxm/P4", mxm_loop(MxmConfig(400, 400, 400),
+                            op_seconds=bench_config.mxm_op_seconds), 4),
+        ("mxm/P8", mxm_loop(MxmConfig(800, 400, 400),
+                            op_seconds=bench_config.mxm_op_seconds), 8),
+        ("trfd-L1/P4", trfd_loop1(TrfdConfig(30),
+                                  op_seconds=bench_config.trfd_op_seconds),
+         4),
+        ("trfd-L1/P16", trfd_loop1(TrfdConfig(40),
+                                   op_seconds=bench_config.trfd_op_seconds),
+         16),
+    ]
+
+    def run_grid():
+        rows = {}
+        for label, loop, p in settings:
+            opts = RunOptions(group_size=bench_config.group_size(p))
+            means = {}
+            for scheme in FIXED + ("CUSTOM",):
+                times = []
+                for seed in bench_config.seeds:
+                    cluster = ClusterSpec.homogeneous(
+                        p, max_load=bench_config.max_load,
+                        persistence=bench_config.persistence, seed=seed)
+                    times.append(run_loop(loop, cluster, scheme,
+                                          options=opts).duration)
+                means[scheme] = float(np.mean(times))
+            best_fixed = min(means[s] for s in FIXED)
+            rows[label] = {
+                "means": means,
+                "best_fixed": best_fixed,
+                "regret": means["CUSTOM"] / best_fixed,
+                "worst_ratio": max(means[s] for s in FIXED) / best_fixed,
+            }
+        return rows
+
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    print("\ncustomization regret (CUSTOM time / best fixed time):")
+    for label, row in rows.items():
+        fixed_txt = ", ".join(f"{s}={row['means'][s]:.2f}" for s in FIXED)
+        print(f"  {label:>12s}: regret={row['regret']:.3f} "
+              f"(worst fixed {row['worst_ratio']:.3f}x) [{fixed_txt}, "
+              f"CUSTOM={row['means']['CUSTOM']:.2f}]")
+
+    regrets = [row["regret"] for row in rows.values()]
+    # Customization pays one selection sync but must stay close to the
+    # per-setting best — and never as bad as the worst fixed choice.
+    assert float(np.mean(regrets)) < 1.10
+    for label, row in rows.items():
+        assert row["regret"] < row["worst_ratio"] + 0.05, label
+
+    benchmark.extra_info["rows"] = {
+        label: {"regret": row["regret"], "worst": row["worst_ratio"]}
+        for label, row in rows.items()}

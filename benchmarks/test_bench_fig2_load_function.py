@@ -1,0 +1,70 @@
+"""Figure 2 (the load function) and substrate micro-benchmarks.
+
+These are true micro-benchmarks (pytest-benchmark statistics over many
+rounds): the discrete random load generator, the workstation time math
+and the event kernel — the inner loops every experiment above sits on.
+"""
+
+import numpy as np
+
+from repro.machine.load import DiscreteRandomLoad
+from repro.machine.workstation import Workstation
+from repro.simulation import Environment
+
+
+def test_bench_load_function_integral(benchmark):
+    load = DiscreteRandomLoad(max_load=5, persistence=2.0, seed=1)
+    load.integral(1e4)  # pre-generate windows
+
+    def f():
+        s = 0.0
+        for t in range(0, 10_000, 7):
+            s += load.integral(float(t))
+        return s
+
+    total = benchmark(f)
+    assert total > 0
+
+
+def test_bench_load_function_statistics(benchmark):
+    """Figure 2's generator: mean level must be ~m_l/2, levels iid."""
+    def build():
+        load = DiscreteRandomLoad(max_load=5, persistence=1.0, seed=42)
+        return np.array([load.window_level(k) for k in range(2000)])
+
+    levels = benchmark(build)
+    assert 2.2 < levels.mean() < 2.8
+    assert set(np.unique(levels)) <= set(range(6))
+
+
+def test_bench_workstation_time_math(benchmark):
+    ws = Workstation(0, speed=1.0,
+                     load=DiscreteRandomLoad(max_load=5, persistence=0.5,
+                                             seed=3))
+
+    def f():
+        t = 0.0
+        for _ in range(500):
+            t = ws.time_to_complete(t, 0.05)
+        return t
+
+    t = benchmark(f)
+    assert t > 0
+
+
+def test_bench_event_kernel_throughput(benchmark):
+    """Schedule and run 10k timeout events."""
+    def f():
+        env = Environment()
+        hits = []
+
+        def worker(i):
+            yield env.timeout(i * 1e-4)
+            hits.append(i)
+
+        for i in range(10_000):
+            env.process(worker(i))
+        env.run()
+        return len(hits)
+
+    assert benchmark(f) == 10_000

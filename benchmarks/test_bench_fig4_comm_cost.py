@@ -1,0 +1,24 @@
+"""Figure 4: communication cost characterization (measured + polyfit)."""
+
+from repro.experiments.figures import figure4
+from repro.experiments.report import render_figure
+
+
+def test_bench_figure4(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: figure4(bench_config), rounds=1, iterations=1)
+    print()
+    print(render_figure(result))
+
+    # Shape checks matching the paper: AA > AO > OA at every P, AA
+    # superlinear, OA/AO linear-ish.
+    for row in result.rows:
+        assert row.normalized["AA(exp)"] >= row.normalized["AO(exp)"] \
+            >= row.normalized["OA(exp)"]
+    first, last = result.rows[0], result.rows[-1]
+    assert last.normalized["AA(exp)"] / first.normalized["AA(exp)"] > 10
+
+    benchmark.extra_info["latency_us"] = result.meta["latency"] * 1e6
+    benchmark.extra_info["bandwidth_MBps"] = result.meta["bandwidth"] / 1e6
+    benchmark.extra_info["rows"] = {
+        row.label: row.normalized for row in result.rows}

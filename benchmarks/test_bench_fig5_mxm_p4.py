@@ -1,0 +1,24 @@
+"""Figure 5: MXM normalized execution time, P = 4."""
+
+from repro.experiments.figures import figure5
+from repro.experiments.report import render_figure
+
+
+def test_bench_figure5(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: figure5(bench_config), rounds=1, iterations=1)
+    print()
+    print(render_figure(result))
+
+    for row in result.rows:
+        n = row.normalized
+        # Every DLB scheme beats no-DLB...
+        assert max(n["GC"], n["GD"], n["LC"], n["LD"]) < 1.0
+        # ... the globals beat the locals on MXM/P=4 ...
+        assert max(n["GC"], n["GD"]) < min(n["LC"], n["LD"])
+        # ... and distributed edges out centralized.
+        assert n["GD"] <= n["GC"] * 1.02
+        assert n["LD"] <= n["LC"] * 1.02
+
+    benchmark.extra_info["rows"] = {
+        row.label: row.normalized for row in result.rows}

@@ -1,0 +1,25 @@
+"""Figure 6: MXM normalized execution time, P = 16."""
+
+from repro.experiments.figures import figure5, figure6
+from repro.experiments.report import render_figure
+
+
+def test_bench_figure6(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: figure6(bench_config), rounds=1, iterations=1)
+    print()
+    print(render_figure(result))
+
+    gaps = []
+    for row in result.rows:
+        n = row.normalized
+        assert max(n["GC"], n["GD"], n["LC"], n["LD"]) < 1.0
+        # The paper: on 16 processors the global/local gap narrows —
+        # globals may still win but only by a small margin.
+        gaps.append(min(n["LC"], n["LD"]) - min(n["GC"], n["GD"]))
+    # Gap small in absolute terms for every configuration.
+    assert all(abs(g) < 0.08 for g in gaps)
+
+    benchmark.extra_info["rows"] = {
+        row.label: row.normalized for row in result.rows}
+    benchmark.extra_info["global_local_gaps"] = gaps

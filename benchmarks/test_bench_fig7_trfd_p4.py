@@ -1,0 +1,22 @@
+"""Figure 7: TRFD normalized execution time, P = 4."""
+
+from repro.experiments.figures import figure7
+from repro.experiments.report import render_figure
+
+
+def test_bench_figure7(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: figure7(bench_config), rounds=1, iterations=1)
+    print()
+    print(render_figure(result))
+
+    for row in result.rows:
+        n = row.normalized
+        # DLB helps at P=4 for every data size.
+        assert max(n["GC"], n["GD"], n["LC"], n["LD"]) < 1.0
+        # Distributed beats centralized within each scope.
+        assert n["GD"] <= n["GC"] * 1.02
+        assert n["LD"] <= n["LC"] * 1.02
+
+    benchmark.extra_info["rows"] = {
+        row.label: row.normalized for row in result.rows}

@@ -1,0 +1,28 @@
+"""Figure 8: TRFD normalized execution time, P = 16."""
+
+from repro.experiments.figures import figure8
+from repro.experiments.report import render_figure
+
+
+def test_bench_figure8(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: figure8(bench_config), rounds=1, iterations=1)
+    print()
+    print(render_figure(result))
+
+    means = {s: sum(r.normalized[s] for r in result.rows)
+             / len(result.rows) for s in ("GC", "GD", "LC", "LD")}
+    for row in result.rows:
+        n = row.normalized
+        assert max(n["GC"], n["GD"], n["LC"], n["LD"]) < 1.0
+        # LD is the winner or within noise of it in every row...
+        assert n["LD"] <= min(n["GC"], n["GD"], n["LC"]) * 1.03
+    # ... and strictly the best on average — the paper's P=16 claim.
+    assert means["LD"] == min(means.values())
+    # Distributed beats centralized within each scope on average.
+    assert means["GD"] <= means["GC"] * 1.02
+    assert means["LD"] <= means["LC"] * 1.02
+
+    benchmark.extra_info["rows"] = {
+        row.label: row.normalized for row in result.rows}
+    benchmark.extra_info["means"] = means

@@ -1,0 +1,51 @@
+"""Extension bench: processor heterogeneity (paper §1 and refs [3,4,25]).
+
+The paper's motivation includes heterogeneous processors; its DLB
+schemes handle speed differences through the same measured-rate
+mechanism as external load.  This bench runs a 2:1:1:0.5 cluster and
+compares the static equal partition, the static speed-proportional
+partition, and dynamic balancing with and without the better start.
+"""
+
+import numpy as np
+
+from repro.apps.mxm import MxmConfig, mxm_loop
+from repro.machine.cluster import ClusterSpec
+from repro.runtime.executor import run_loop
+from repro.runtime.options import RunOptions
+
+
+LOOP = mxm_loop(MxmConfig(240, 200, 200), op_seconds=4e-7)
+SPEEDS = (2.0, 1.0, 1.0, 0.5)
+
+
+def test_bench_heterogeneous_cluster(benchmark, bench_config):
+    def compare():
+        out: dict[str, float] = {}
+        clusters = [ClusterSpec.heterogeneous(
+            SPEEDS, max_load=5, persistence=bench_config.persistence,
+            seed=s) for s in bench_config.seeds]
+        variants = {
+            "static/equal": ("NONE", "equal"),
+            "static/speed": ("NONE", "speed"),
+            "dlb/equal-start": ("GDDLB", "equal"),
+            "dlb/speed-start": ("GDDLB", "speed"),
+        }
+        for label, (scheme, partition) in variants.items():
+            opts = RunOptions(initial_partition=partition)
+            out[label] = float(np.mean(
+                [run_loop(LOOP, c, scheme, options=opts).duration
+                 for c in clusters]))
+        return out
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print("\nheterogeneous cluster (speeds 2:1:1:0.5, mean seconds):")
+    for label, t in results.items():
+        print(f"  {label:>18s}: {t:7.3f}s")
+
+    # Speed-aware static beats naive static; DLB beats both statics;
+    # a speed-aware start does not hurt DLB.
+    assert results["static/speed"] < results["static/equal"]
+    assert results["dlb/equal-start"] < results["static/equal"]
+    assert results["dlb/speed-start"] <= results["dlb/equal-start"] * 1.05
+    benchmark.extra_info["results"] = results

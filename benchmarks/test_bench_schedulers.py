@@ -1,0 +1,53 @@
+"""Cross-model comparison: §2.2 task-queue schedulers vs. interrupt DLB.
+
+On a network of workstations every central-queue grab costs a message
+round trip; the paper's receiver-initiated DLB synchronizes only when a
+processor actually runs dry.  This bench runs both families under the
+same external load.
+"""
+
+import numpy as np
+
+from repro.apps.mxm import MxmConfig, mxm_loop
+from repro.machine.cluster import ClusterSpec
+from repro.network.parameters import PAPER_LATENCY_S
+from repro.runtime.executor import run_loop
+from repro.schedulers import ALL_POLICIES, run_affinity, run_task_queue
+
+
+LOOP = mxm_loop(MxmConfig(240, 200, 200), op_seconds=4e-7)
+ROUND_TRIP = 2 * PAPER_LATENCY_S
+
+
+def test_bench_scheduler_families(benchmark, bench_config):
+    def compare():
+        out = {}
+        clusters = [ClusterSpec.homogeneous(
+            4, max_load=5, persistence=bench_config.persistence, seed=s)
+            for s in bench_config.seeds]
+        for policy in ALL_POLICIES():
+            times = [run_task_queue(LOOP, c, policy,
+                                    access_cost=ROUND_TRIP).finish_time
+                     for c in clusters]
+            out[f"queue/{policy.name}"] = float(np.mean(times))
+        times = [run_affinity(LOOP, c, access_cost=50e-6,
+                              steal_cost=ROUND_TRIP).finish_time
+                 for c in clusters]
+        out["queue/affinity"] = float(np.mean(times))
+        for scheme in ("NONE", "GCDLB", "GDDLB", "LCDLB", "LDDLB"):
+            times = [run_loop(LOOP, c, scheme).duration for c in clusters]
+            out[f"dlb/{scheme}"] = float(np.mean(times))
+        return out
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print("\nscheduler family comparison (mean seconds, lower better):")
+    for name, t in sorted(results.items(), key=lambda kv: kv[1]):
+        print(f"  {name:<28s} {t:7.3f}s")
+
+    # Both dynamic families beat their static counterparts.
+    assert results["dlb/GDDLB"] < results["dlb/NONE"]
+    assert results["queue/gss"] < results["queue/static"]
+    # Self-scheduling pays one round trip per iteration: on a NOW it
+    # must lose to the DLB schemes.
+    assert results["queue/self-scheduling"] > results["dlb/GDDLB"]
+    benchmark.extra_info["results"] = results

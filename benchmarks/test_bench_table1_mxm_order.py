@@ -1,0 +1,24 @@
+"""Table 1: MXM actual vs. model-predicted strategy order."""
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table1
+
+
+def test_bench_table1(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: table1(bench_config), rounds=1, iterations=1)
+    print()
+    print(render_table(result))
+
+    assert len(result.rows) == 8
+    # The paper: MXM predicted order "matches very closely".
+    assert result.mean_agreement >= 0.70
+    # At P=4 the match is essentially perfect.
+    p4 = [r for r in result.rows if r.label.startswith("P=4")]
+    assert sum(r.agreement for r in p4) / len(p4) >= 0.9
+
+    benchmark.extra_info["mean_agreement"] = result.mean_agreement
+    benchmark.extra_info["best_match_rate"] = result.best_match_rate
+    benchmark.extra_info["rows"] = {
+        r.label: {"actual": r.actual, "predicted": r.predicted}
+        for r in result.rows}

@@ -1,0 +1,43 @@
+"""Extension bench: Phish-style work stealing vs. the paper's schemes.
+
+Work stealing has no synchronization points: idle processors pull work
+from random victims.  It avoids the global sync cost but makes small,
+uninformed moves (half a random victim's queue) where the paper's
+schemes make one informed redistribution.
+"""
+
+import numpy as np
+
+from repro.apps.mxm import MxmConfig, mxm_loop
+from repro.machine.cluster import ClusterSpec
+from repro.runtime.executor import run_loop
+
+
+LOOP = mxm_loop(MxmConfig(240, 200, 200), op_seconds=4e-7)
+
+
+def test_bench_work_stealing(benchmark, bench_config):
+    def compare():
+        clusters = [ClusterSpec.homogeneous(
+            4, max_load=5, persistence=bench_config.persistence, seed=s)
+            for s in bench_config.seeds]
+        out = {}
+        for scheme in ("NONE", "WS", "GDDLB", "LDDLB"):
+            out[scheme] = float(np.mean(
+                [run_loop(LOOP, c, scheme).duration for c in clusters]))
+        steals = [sum(1 for r in run_loop(LOOP, c, "WS").syncs
+                      if r.reason == "steal") for c in clusters[:2]]
+        out["steals/run"] = float(np.mean(steals))
+        return out
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print("\nwork stealing vs DLB (mean seconds):")
+    for label, t in results.items():
+        print(f"  {label:>10s}: {t:7.3f}")
+
+    # Stealing clearly beats static and is in the same league as the
+    # synchronized schemes.
+    assert results["WS"] < results["NONE"]
+    assert results["WS"] < results["GDDLB"] * 1.3
+    assert results["steals/run"] >= 1
+    benchmark.extra_info["results"] = results

@@ -1,0 +1,52 @@
+"""Off-line network characterization (the paper's §6.1 / Figure 4).
+
+Measures the one-to-all, all-to-one and all-to-all communication
+patterns on the simulated shared Ethernet bus for 2..16 processors and
+fits polynomials with ``numpy.polyfit`` — then shows how the fitted
+cost functions feed the strategy model's synchronization terms.
+
+Run with::
+
+    python examples/network_characterization.py
+"""
+
+from repro.core.model.costs import strategy_sync_costs
+from repro.core.policy import DlbPolicy
+from repro.core.strategies import GCDLB, GDDLB
+from repro.network import characterize_network
+
+
+def main() -> None:
+    model = characterize_network(proc_counts=range(2, 17))
+    print(f"PVM-like transport: latency {model.latency * 1e6:.1f} us, "
+          f"bandwidth {model.bandwidth / 1e6:.2f} MB/s\n")
+
+    print(f"{'P':>3s} {'OA(exp)':>10s} {'OA(fit)':>10s} "
+          f"{'AO(exp)':>10s} {'AO(fit)':>10s} "
+          f"{'AA(exp)':>10s} {'AA(fit)':>10s}   [seconds]")
+    for p in range(2, 17):
+        cells = []
+        for pattern in ("OA", "AO", "AA"):
+            fit = model.fits[pattern]
+            measured = dict(fit.samples)[p]
+            cells += [f"{measured:10.4f}", f"{fit(p):10.4f}"]
+        print(f"{p:>3d} " + " ".join(cells))
+
+    print("\nfitted polynomials (numpy.polyval coefficient order):")
+    for pattern, fit in model.fits.items():
+        coeffs = ", ".join(f"{c:.3e}" for c in fit.coefficients)
+        print(f"  {pattern}: [{coeffs}]  rms residual "
+              f"{fit.residual_rms() * 1e6:.1f} us")
+
+    print("\nper-synchronization cost the model derives from the fits:")
+    policy = DlbPolicy()
+    for spec in (GCDLB, GDDLB):
+        costs = strategy_sync_costs(spec, model, policy)
+        for k in (4, 8, 16):
+            print(f"  {spec.name} with {k:2d} processors: "
+                  f"sigma = {costs.synchronization(k) * 1e3:7.2f} ms, "
+                  f"delta = {costs.calculation() * 1e3:5.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

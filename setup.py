@@ -1,0 +1,8 @@
+"""Setup shim for environments without PEP 517 build frontends.
+
+All metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works offline (no wheel package needed).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro — Customized Dynamic Load Balancing for a Network of Workstations.
+
+A full reproduction of Zaki, Li & Parthasarathy (HPDC 1996 / Rochester
+TR 602): four interrupt-based receiver-initiated dynamic load balancing
+strategies (GCDLB, GDDLB, LCDLB, LDDLB) on a simulated multi-user
+network of workstations, the analytical cost model that predicts their
+relative performance, the hybrid compile/run-time *customization* that
+commits to the best strategy at the first synchronization point, and a
+source-to-source compiler that turns annotated sequential loop nests
+into SPMD programs calling the DLB run-time library.
+
+Quickstart::
+
+    from repro import ClusterSpec, run_loop
+    from repro.apps import MxmConfig, mxm_loop
+
+    cluster = ClusterSpec.homogeneous(4, max_load=5, seed=7)
+    stats = run_loop(mxm_loop(MxmConfig(400, 400, 400)), cluster, "GDDLB")
+    print(stats.summary())
+"""
+
+from .apps import (
+    ApplicationSpec,
+    LoopSpec,
+    MxmConfig,
+    SequentialStage,
+    TrfdConfig,
+    WorkTable,
+    mxm_application,
+    mxm_loop,
+    trfd_application,
+)
+from .core import (
+    ALL_DLB_STRATEGIES,
+    CUSTOMIZED,
+    DlbPolicy,
+    GCDLB,
+    GDDLB,
+    LCDLB,
+    LDDLB,
+    NO_DLB,
+    STRATEGY_ORDER,
+    StrategySpec,
+    get_strategy,
+)
+from .core.model import predict_strategy, rank_strategies
+from .machine import ClusterSpec, DiscreteRandomLoad, Workstation
+from .network import NetworkParameters, characterize_network
+from .runtime import RunOptions, run_application, run_loop
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_DLB_STRATEGIES",
+    "ApplicationSpec",
+    "CUSTOMIZED",
+    "ClusterSpec",
+    "DiscreteRandomLoad",
+    "DlbPolicy",
+    "GCDLB",
+    "GDDLB",
+    "LCDLB",
+    "LDDLB",
+    "LoopSpec",
+    "MxmConfig",
+    "NO_DLB",
+    "NetworkParameters",
+    "RunOptions",
+    "STRATEGY_ORDER",
+    "SequentialStage",
+    "StrategySpec",
+    "TrfdConfig",
+    "WorkTable",
+    "Workstation",
+    "characterize_network",
+    "get_strategy",
+    "mxm_application",
+    "mxm_loop",
+    "predict_strategy",
+    "rank_strategies",
+    "run_application",
+    "run_loop",
+    "trfd_application",
+]

@@ -1,0 +1,44 @@
+"""Applications (S10): workload specs for MXM, TRFD, and generic loops."""
+
+from .mxm import (
+    BASE_OP_SECONDS,
+    ELEMENT_BYTES,
+    MxmConfig,
+    PAPER_MXM_P16,
+    PAPER_MXM_P4,
+    mxm_application,
+    mxm_loop,
+)
+from .trfd import (
+    PAPER_TRFD_N,
+    TrfdConfig,
+    bitonic_pair_costs,
+    loop2_iteration_ops,
+    transpose_stage,
+    trfd_application,
+    trfd_loop1,
+    trfd_loop2,
+)
+from .workload import ApplicationSpec, LoopSpec, SequentialStage, WorkTable
+
+__all__ = [
+    "ApplicationSpec",
+    "BASE_OP_SECONDS",
+    "ELEMENT_BYTES",
+    "LoopSpec",
+    "MxmConfig",
+    "PAPER_MXM_P16",
+    "PAPER_MXM_P4",
+    "PAPER_TRFD_N",
+    "SequentialStage",
+    "TrfdConfig",
+    "WorkTable",
+    "bitonic_pair_costs",
+    "loop2_iteration_ops",
+    "mxm_application",
+    "mxm_loop",
+    "transpose_stage",
+    "trfd_application",
+    "trfd_loop1",
+    "trfd_loop2",
+]

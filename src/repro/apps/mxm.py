@@ -1,0 +1,100 @@
+"""Matrix multiplication workload (paper §6.2).
+
+``Z = X * Y`` with ``Z = R x C``, ``X = R x R2``, ``Y = R2 x C``.  The
+outermost loop over the ``R`` rows is parallelized: rows of ``Z`` and
+``X`` are block-distributed, ``Y`` is replicated.  Per the paper:
+
+* work per iteration is uniform, ``W = C * R2`` basic operations;
+* only rows of ``X`` migrate on redistribution, and the paper gives the
+  per-iteration data communication as ``DC = N_X2 = C`` elements;
+* there is no intrinsic communication (``IC = 0``).
+
+``BASE_OP_SECONDS`` calibrates one basic operation (a multiply-add with
+its loads) on the base processor; the default models a mid-90s
+workstation executing ~10 M basic ops/s, giving total runtimes of the
+same order as the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .workload import ApplicationSpec, LoopSpec
+
+__all__ = ["MxmConfig", "mxm_loop", "mxm_application", "BASE_OP_SECONDS",
+           "ELEMENT_BYTES", "PAPER_MXM_P4", "PAPER_MXM_P16"]
+
+#: Seconds per basic operation on the base processor (calibration).
+BASE_OP_SECONDS = 1.0e-7
+#: Array element size in bytes (C doubles).
+ELEMENT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MxmConfig:
+    """Data-size parameters of one MXM experiment."""
+
+    r: int
+    c: int
+    r2: int
+
+    def __post_init__(self) -> None:
+        if min(self.r, self.c, self.r2) < 1:
+            raise ValueError("matrix dimensions must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"R={self.r},C={self.c},R2={self.r2}"
+
+    @property
+    def work_per_iteration_ops(self) -> int:
+        """Basic operations per outer iteration: ``C * R2`` (§6.2)."""
+        return self.c * self.r2
+
+    @property
+    def dc_bytes(self) -> int:
+        """Bytes migrating with one iteration: ``DC = C`` elements (§6.2)."""
+        return self.c * ELEMENT_BYTES
+
+
+def mxm_loop(config: MxmConfig,
+             op_seconds: float = BASE_OP_SECONDS) -> LoopSpec:
+    """The single MXM computation loop as a :class:`LoopSpec`."""
+    return LoopSpec(
+        name="mxm",
+        n_iterations=config.r,
+        iteration_time=config.work_per_iteration_ops * op_seconds,
+        dc_bytes=config.dc_bytes,
+        ic_bytes=0,
+        # A row of X (the migrating input) and a row of Z (the result).
+        input_bytes=config.r2 * ELEMENT_BYTES,
+        result_bytes=config.c * ELEMENT_BYTES,
+        replicated_bytes=config.r2 * config.c * ELEMENT_BYTES,
+    )
+
+
+def mxm_application(config: MxmConfig,
+                    op_seconds: float = BASE_OP_SECONDS) -> ApplicationSpec:
+    """MXM as a one-stage application."""
+    return ApplicationSpec(
+        name=f"MXM({config.label})",
+        stages=(mxm_loop(config, op_seconds),),
+        description="Dense matrix multiply, outer loop parallelized",
+    )
+
+
+#: The paper's P=4 data sizes (Figure 5): R/proc of 100 and 200.
+PAPER_MXM_P4 = (
+    MxmConfig(400, 400, 400),
+    MxmConfig(400, 800, 400),
+    MxmConfig(800, 400, 400),
+    MxmConfig(800, 800, 400),
+)
+
+#: The paper's P=16 data sizes (Figure 6).
+PAPER_MXM_P16 = (
+    MxmConfig(1600, 400, 400),
+    MxmConfig(1600, 800, 400),
+    MxmConfig(3200, 400, 400),
+    MxmConfig(3200, 800, 400),
+)

@@ -1,0 +1,204 @@
+"""Workload descriptions: the paper's *program parameters* (§4.1).
+
+A :class:`LoopSpec` captures everything the run-time system and the
+analytical model need to know about one parallel loop: the number of
+iterations ``I``, the time per iteration on the base processor ``T_j``
+(uniform scalar or per-iteration array), the per-iteration data
+communication ``DC`` in bytes, and the intrinsic communication ``IC``
+(zero for both of the paper's applications — they are doall loops).
+
+:class:`WorkTable` is the prefix-sum machinery that converts between
+iteration counts and work (base-processor seconds) for non-uniform
+loops; the uniform case has O(1) fast paths.  :class:`ApplicationSpec`
+groups the loops of a program with the sequential stages between them
+(TRFD's transpose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["WorkTable", "LoopSpec", "SequentialStage", "ApplicationSpec"]
+
+
+class WorkTable:
+    """Iteration-cost table with count/work conversions.
+
+    All costs are seconds on the base (speed 1, unloaded) processor.
+    """
+
+    def __init__(self, costs: Union[float, np.ndarray, Sequence[float]],
+                 n_iterations: Optional[int] = None) -> None:
+        if np.isscalar(costs):
+            if n_iterations is None:
+                raise ValueError("uniform cost needs n_iterations")
+            if float(costs) <= 0:
+                raise ValueError("iteration cost must be positive")
+            if n_iterations < 1:
+                raise ValueError("need at least one iteration")
+            self.n = int(n_iterations)
+            self.uniform_cost: Optional[float] = float(costs)
+            self._cum: Optional[np.ndarray] = None
+        else:
+            arr = np.asarray(costs, dtype=np.float64)
+            if arr.ndim != 1 or arr.size == 0:
+                raise ValueError("costs must be a non-empty 1-D array")
+            if (arr <= 0).any():
+                raise ValueError("iteration costs must be positive")
+            if n_iterations is not None and n_iterations != arr.size:
+                raise ValueError("n_iterations disagrees with costs array")
+            self.n = int(arr.size)
+            self.uniform_cost = None
+            self._cum = np.concatenate([[0.0], np.cumsum(arr)])
+
+    @property
+    def uniform(self) -> bool:
+        return self.uniform_cost is not None
+
+    @property
+    def total_work(self) -> float:
+        if self.uniform_cost is not None:
+            return self.n * self.uniform_cost
+        return float(self._cum[-1])
+
+    def cost(self, j: int) -> float:
+        """Cost of iteration ``j`` (0-based)."""
+        if not 0 <= j < self.n:
+            raise IndexError(f"iteration {j} out of range")
+        if self.uniform_cost is not None:
+            return self.uniform_cost
+        return float(self._cum[j + 1] - self._cum[j])
+
+    def range_work(self, start: int, end: int) -> float:
+        """Work of iterations ``[start, end)``."""
+        if not 0 <= start <= end <= self.n:
+            raise IndexError(f"range [{start}, {end}) out of bounds")
+        if self.uniform_cost is not None:
+            return (end - start) * self.uniform_cost
+        return float(self._cum[end] - self._cum[start])
+
+    def count_for_work(self, start: int, work: float, end: Optional[int] = None,
+                       round_up: bool = True) -> int:
+        """Iterations from ``start`` covering ``work`` seconds of cost.
+
+        With ``round_up`` (the default) the count is the smallest ``k``
+        whose cumulative cost reaches ``work`` — the "finish the current
+        iteration before responding to the interrupt" rule.  With
+        ``round_up=False`` it is the largest ``k`` fully covered.
+        The result is clipped to ``[0, (end or n) - start]``.
+        """
+        if end is None:
+            end = self.n
+        if not 0 <= start <= end <= self.n:
+            raise IndexError("bad range")
+        limit = end - start
+        if work <= 0:
+            return 0
+        if self.uniform_cost is not None:
+            if round_up:
+                k = int(np.ceil(work / self.uniform_cost - 1e-12))
+            else:
+                k = int(np.floor(work / self.uniform_cost + 1e-12))
+            return min(max(k, 0), limit)
+        target = self._cum[start] + work
+        eps = 1e-12 * max(1.0, abs(target))
+        if round_up:
+            idx = int(np.searchsorted(self._cum, target - eps, side="left"))
+            k = idx - start
+        else:
+            idx = int(np.searchsorted(self._cum, target + eps, side="right"))
+            k = idx - 1 - start
+        return min(max(k, 0), limit)
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One load-balanced parallel loop (the unit the DLB system schedules).
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports ("mxm", "trfd-L1", ...).
+    n_iterations:
+        ``I`` — iterations of the parallelized (outermost) loop.
+    iteration_time:
+        ``T_j`` in seconds on the base processor: a scalar for uniform
+        loops or an array of length ``n_iterations``.
+    dc_bytes:
+        ``DC`` — bytes of array data that migrate with one iteration.
+    ic_bytes:
+        ``IC`` — intrinsic communication per iteration (0 for doall).
+    input_bytes / result_bytes / replicated_bytes:
+        Scatter / gather sizing: per-iteration input rows, per-iteration
+        result rows, and per-processor replicated arrays.
+    """
+
+    name: str
+    n_iterations: int
+    iteration_time: Union[float, tuple[float, ...]]
+    dc_bytes: int
+    ic_bytes: int = 0
+    input_bytes: int = 0
+    result_bytes: int = 0
+    replicated_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_iterations < 1:
+            raise ValueError("loop must have at least one iteration")
+        if self.dc_bytes < 0 or self.ic_bytes < 0:
+            raise ValueError("communication sizes must be non-negative")
+
+    @property
+    def uniform(self) -> bool:
+        return np.isscalar(self.iteration_time)
+
+    def work_table(self) -> WorkTable:
+        if self.uniform:
+            return WorkTable(float(self.iteration_time), self.n_iterations)
+        return WorkTable(np.asarray(self.iteration_time, dtype=np.float64))
+
+    @property
+    def total_work(self) -> float:
+        if self.uniform:
+            return self.n_iterations * float(self.iteration_time)
+        return float(np.sum(self.iteration_time))
+
+    @property
+    def mean_iteration_time(self) -> float:
+        return self.total_work / self.n_iterations
+
+
+@dataclass(frozen=True)
+class SequentialStage:
+    """A sequential (master-only) stage between loops, e.g. a transpose.
+
+    ``compute_seconds`` is base-processor time on the master;
+    ``gather_bytes``/``scatter_bytes`` are the data motion the stage
+    implies when array staging is enabled.
+    """
+
+    name: str
+    compute_seconds: float = 0.0
+    gather_bytes: int = 0
+    scatter_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """A program: an alternating pipeline of loops and sequential stages."""
+
+    name: str
+    stages: tuple[Union[LoopSpec, SequentialStage], ...]
+    description: str = ""
+
+    def loops(self) -> list[LoopSpec]:
+        return [s for s in self.stages if isinstance(s, LoopSpec)]
+
+    def loop(self, name: str) -> LoopSpec:
+        for s in self.stages:
+            if isinstance(s, LoopSpec) and s.name == name:
+                return s
+        raise KeyError(f"no loop named {name!r} in {self.name}")

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure {4,5,6,7,8}``
+    Regenerate one of the paper's figures and print its data table.
+``table {1,2}``
+    Regenerate one of the paper's actual-vs-predicted order tables.
+``run``
+    Run one loop (MXM or TRFD) under one strategy and print statistics.
+``characterize``
+    Run the off-line network characterization (§6.1).
+``compile``
+    Compile an annotated source file and print the analysis and the
+    transformed listing.
+
+Examples
+--------
+::
+
+    python -m repro figure 5 --seeds 5
+    python -m repro table 1 --seeds 3
+    python -m repro run --app mxm --size 400x400x400 -P 4 --strategy CUSTOM
+    python -m repro run --app trfd --n 30 -P 16 --strategy LDDLB
+    python -m repro characterize --max-procs 16
+    python -m repro compile examples_src/mxm.dlb
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .apps.mxm import MxmConfig, mxm_loop
+from .apps.trfd import TrfdConfig, trfd_application
+from .experiments.config import ExperimentConfig
+from .machine.cluster import ClusterSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Customized dynamic load balancing for a network of "
+                    "workstations (HPDC'96 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", choices=["2", "4", "5", "6", "7", "8"])
+    fig.add_argument("--seeds", type=int, default=10,
+                     help="load realizations per data point")
+    fig.add_argument("--bars", action="store_true",
+                     help="render ASCII bars instead of a table")
+
+    tab = sub.add_parser("table", help="regenerate a paper table")
+    tab.add_argument("number", choices=["1", "2"])
+    tab.add_argument("--seeds", type=int, default=10)
+
+    run = sub.add_parser("run", help="run one loop under one strategy")
+    run.add_argument("--app", choices=["mxm", "trfd"], default="mxm")
+    run.add_argument("--size", default="400x400x400",
+                     help="MXM RxCxR2 dimensions")
+    run.add_argument("--n", type=int, default=30, help="TRFD parameter N")
+    run.add_argument("-P", "--processors", type=int, default=4)
+    run.add_argument("--strategy", default="CUSTOM",
+                     help="NONE, GCDLB, GDDLB, LCDLB, LDDLB, WS, CUSTOM")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--max-load", type=int, default=5)
+    run.add_argument("--persistence", type=float, default=5.0)
+    run.add_argument("--group-size", type=int, default=0)
+    run.add_argument("--sync-mode", choices=["interrupt", "periodic"],
+                     default="interrupt")
+    run.add_argument("--sync-period", type=float, default=1.0)
+
+    cha = sub.add_parser("characterize",
+                         help="off-line network characterization (Fig 4)")
+    cha.add_argument("--max-procs", type=int, default=16)
+    cha.add_argument("--probe-bytes", type=int, default=64)
+
+    com = sub.add_parser("compile",
+                         help="compile an annotated source file")
+    com.add_argument("path", help="file with annotated loop nests")
+    com.add_argument("--emit", choices=["analysis", "listing", "module"],
+                     default="analysis")
+
+    swp = sub.add_parser("sweep", help="sweep one knob over a value grid")
+    swp.add_argument("knob",
+                     choices=["persistence", "group_size",
+                              "improvement_threshold", "sync_period",
+                              "max_load"])
+    swp.add_argument("values", nargs="+", type=float)
+    swp.add_argument("-P", "--processors", type=int, default=4)
+    swp.add_argument("--size", default="240x200x200",
+                     help="MXM RxCxR2 dimensions for the swept loop")
+    swp.add_argument("--seeds", type=int, default=5)
+    swp.add_argument("--schemes", default="GC,GD,LC,LD")
+
+    val = sub.add_parser("validate",
+                         help="run the paper-claim checklist")
+    val.add_argument("--seeds", type=int, default=10)
+    return parser
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import figures as F
+    from .experiments.report import render_bars, render_figure
+    config = ExperimentConfig(n_seeds=args.seeds)
+    fn = {"2": F.figure2, "4": F.figure4, "5": F.figure5,
+          "6": F.figure6, "7": F.figure7, "8": F.figure8}[args.number]
+    result = fn(config)
+    print(render_bars(result) if args.bars else render_figure(result))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from .experiments.report import render_table
+    from .experiments.tables import table1, table2
+    config = ExperimentConfig(n_seeds=args.seeds)
+    result = (table1 if args.number == "1" else table2)(config)
+    print(render_table(result))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .runtime.executor import run_application, run_loop
+    from .runtime.options import RunOptions
+    cluster = ClusterSpec.homogeneous(
+        args.processors, max_load=args.max_load,
+        persistence=args.persistence, seed=args.seed)
+    options = RunOptions(group_size=args.group_size,
+                         sync_mode=args.sync_mode,
+                         sync_period=args.sync_period)
+    if args.app == "mxm":
+        try:
+            r, c, r2 = (int(x) for x in args.size.lower().split("x"))
+        except ValueError:
+            print(f"bad --size {args.size!r}; expected RxCxR2",
+                  file=sys.stderr)
+            return 2
+        loop = mxm_loop(MxmConfig(r, c, r2), op_seconds=4e-7)
+        stats = run_loop(loop, cluster, args.strategy, options=options)
+        print(stats.summary())
+        if stats.selected_scheme:
+            print(f"customized selection: {stats.selection_report.summary()}")
+    else:
+        app = trfd_application(TrfdConfig(args.n), op_seconds=3e-7)
+        stats = run_application(app, cluster, args.strategy,
+                                options=options)
+        print(stats.summary())
+        for ls in stats.loop_stats:
+            if ls.selected_scheme:
+                print(f"{ls.loop_name} selection: "
+                      f"{ls.selection_report.summary()}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from .network import characterize_network
+    model = characterize_network(
+        proc_counts=tuple(range(2, args.max_procs + 1)),
+        probe_bytes=args.probe_bytes)
+    print(f"latency {model.latency * 1e6:.1f} us, "
+          f"bandwidth {model.bandwidth / 1e6:.2f} MB/s")
+    for pattern in ("OA", "AO", "AA"):
+        fit = model.fits[pattern]
+        coeffs = ", ".join(f"{c:.4e}" for c in fit.coefficients)
+        print(f"{pattern}: fit [{coeffs}] over "
+              f"P=2..{args.max_procs} (rms {fit.residual_rms():.2e} s)")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .compiler import compile_source
+    try:
+        with open(args.path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    program = compile_source(source)
+    if args.emit == "analysis":
+        for analysis in program.analyses:
+            print(analysis.describe())
+    elif args.emit == "listing":
+        print(program.transformed_source)
+    else:
+        print(program.module_source)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.sweeps import sweep
+    try:
+        r, c, r2 = (int(x) for x in args.size.lower().split("x"))
+    except ValueError:
+        print(f"bad --size {args.size!r}; expected RxCxR2", file=sys.stderr)
+        return 2
+    loop = mxm_loop(MxmConfig(r, c, r2), op_seconds=4e-7)
+    config = ExperimentConfig(n_seeds=args.seeds)
+    result = sweep(loop, args.processors, args.knob, args.values,
+                   schemes=tuple(args.schemes.split(",")), config=config)
+    print(result.render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .experiments.validation import render_validation, validate
+    results = validate(ExperimentConfig(n_seeds=args.seeds))
+    print(render_validation(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"figure": _cmd_figure, "table": _cmd_table,
+               "run": _cmd_run, "characterize": _cmd_characterize,
+               "compile": _cmd_compile, "sweep": _cmd_sweep,
+               "validate": _cmd_validate}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

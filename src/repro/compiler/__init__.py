@@ -1,0 +1,74 @@
+"""Compiler substrate (S9, paper §5): annotated source → SPMD + DLB.
+
+Pipeline: :mod:`lexer` → :mod:`parser` (+ :mod:`annotations`) →
+:mod:`analysis` (symbolic costs via :mod:`symbolic`) → :mod:`codegen` →
+:mod:`driver` (executable compiled programs).
+"""
+
+from .analysis import (
+    AnalysisError,
+    ELEMENT_BYTES,
+    LoopAnalysis,
+    analyze_nest,
+    analyze_program,
+    expr_to_poly,
+)
+from .annotations import Annotation, AnnotationError, parse_annotation
+from .ast_nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    ForLoop,
+    LoopNest,
+    Num,
+    Program,
+    Var,
+)
+from .codegen import (
+    expr_to_python,
+    generate_module,
+    generate_transformed_listing,
+    poly_to_python,
+)
+from .driver import CompiledLoop, CompiledProgram, compile_source
+from .lexer import LexError, Token, TokenKind, tokenize
+from .parser import ParseError, parse_program
+from .symbolic import Poly, const, sym
+
+__all__ = [
+    "AnalysisError",
+    "Annotation",
+    "AnnotationError",
+    "ArrayDecl",
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "CompiledLoop",
+    "CompiledProgram",
+    "ELEMENT_BYTES",
+    "ForLoop",
+    "LexError",
+    "LoopAnalysis",
+    "LoopNest",
+    "Num",
+    "ParseError",
+    "Poly",
+    "Program",
+    "Token",
+    "TokenKind",
+    "Var",
+    "analyze_nest",
+    "analyze_program",
+    "compile_source",
+    "const",
+    "expr_to_poly",
+    "expr_to_python",
+    "generate_module",
+    "generate_transformed_listing",
+    "parse_annotation",
+    "parse_program",
+    "poly_to_python",
+    "sym",
+    "tokenize",
+]

@@ -1,0 +1,245 @@
+"""Compile-time analysis: symbolic work and communication costs (§5.1).
+
+For each load-balanced loop nest the analysis derives:
+
+* the **trip count** ``I(sizes)`` of the parallel loop,
+* the **work per iteration** ``W`` as a polynomial over the size
+  symbols *and possibly the loop variable itself* — a ``W`` that
+  depends on the loop variable is a non-uniform (e.g. triangular) loop,
+  which is what the bitonic transform targets;
+* the **data communication** ``DC``: bytes that must migrate with an
+  iteration — one "row" of every BLOCK/CYCLIC-distributed array that
+  the body *reads* through the parallel index;
+* result / replicated byte counts for gather and scatter sizing;
+* the **intrinsic communication** ``IC``: accesses to distributed
+  arrays through an index other than the parallel loop variable (zero
+  for doall loops like MXM and TRFD).
+
+Work is counted in *basic operations* (arithmetic nodes plus stores);
+the constant factor w.r.t. the paper's informal counts folds into the
+per-operation time calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast_nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Expr,
+    ForLoop,
+    LoopNest,
+    Num,
+    Program,
+    Var,
+    walk_expr,
+)
+from .symbolic import Poly, const, sym
+
+__all__ = ["LoopAnalysis", "analyze_nest", "analyze_program",
+           "expr_to_poly", "AnalysisError", "ELEMENT_BYTES"]
+
+ELEMENT_BYTES = 8  # C doubles
+
+
+class AnalysisError(ValueError):
+    """The program cannot be analyzed (unsupported construct)."""
+
+
+def expr_to_poly(expr: Expr) -> Poly:
+    """Convert a bound/index expression to a polynomial."""
+    if isinstance(expr, Num):
+        return const(expr.value)
+    if isinstance(expr, Var):
+        return sym(expr.name)
+    if isinstance(expr, ArrayRef):
+        raise AnalysisError(f"array reference {expr} in a bound expression")
+    if isinstance(expr, BinOp):
+        left = expr_to_poly(expr.left)
+        right = expr_to_poly(expr.right)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            if not right.is_constant:
+                raise AnalysisError(f"division by non-constant in {expr}")
+            return left / right.constant_value
+        raise AnalysisError(f"unsupported operator {expr.op!r}")
+    raise AnalysisError(f"unsupported expression {expr!r}")
+
+
+@dataclass
+class LoopAnalysis:
+    """Everything the run-time system needs to know about one loop."""
+
+    nest: LoopNest
+    var: str
+    lower: Poly
+    trip_count: Poly
+    work_per_iteration: Poly
+    uniform: bool
+    dc_bytes: Poly = field(default_factory=lambda: const(0))
+    ic_bytes: Poly = field(default_factory=lambda: const(0))
+    input_bytes: Poly = field(default_factory=lambda: const(0))
+    result_bytes: Poly = field(default_factory=lambda: const(0))
+    replicated_bytes: Poly = field(default_factory=lambda: const(0))
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+
+    @property
+    def name(self) -> str:
+        return self.nest.name
+
+    def size_symbols(self) -> set[str]:
+        out = (self.trip_count.variables()
+               | self.work_per_iteration.variables()
+               | self.dc_bytes.variables() | self.ic_bytes.variables()
+               | self.result_bytes.variables()
+               | self.replicated_bytes.variables())
+        out.discard(self.var)
+        return out
+
+    def describe(self) -> str:
+        kind = "uniform" if self.uniform else "non-uniform"
+        return (f"{self.name}: parallel over {self.var}, "
+                f"I = {self.trip_count}, W({self.var}) = "
+                f"{self.work_per_iteration} ops ({kind}), "
+                f"DC = {self.dc_bytes} bytes, IC = {self.ic_bytes} bytes")
+
+
+def _statement_ops(stmt: Assign) -> int:
+    """Basic operations of one assignment: arithmetic + the store."""
+    arith = sum(1 for node in walk_expr(stmt.expr) if isinstance(node, BinOp))
+    compound = 1 if stmt.op != "=" else 0
+    return arith + compound + 1
+
+
+def _body_work(stmts: tuple, inner_vars: set[str]) -> Poly:
+    work = const(0)
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            work = work + const(_statement_ops(stmt))
+        elif isinstance(stmt, ForLoop):
+            trip = expr_to_poly(stmt.upper) - expr_to_poly(stmt.lower)
+            inner = _body_work(stmt.body, inner_vars | {stmt.var})
+            work = work + trip * inner
+        else:  # pragma: no cover - parser produces only these
+            raise AnalysisError(f"unsupported statement {stmt!r}")
+    return work
+
+
+def _collect_refs(stmts: tuple, reads: list[ArrayRef],
+                  writes: list[ArrayRef]) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            if isinstance(stmt.target, ArrayRef):
+                writes.append(stmt.target)
+                if stmt.op != "=":
+                    reads.append(stmt.target)
+                for idx in stmt.target.indices:
+                    reads.extend(n for n in walk_expr(idx)
+                                 if isinstance(n, ArrayRef))
+            for node in walk_expr(stmt.expr):
+                if isinstance(node, ArrayRef):
+                    reads.append(node)
+        elif isinstance(stmt, ForLoop):
+            _collect_refs(stmt.body, reads, writes)
+
+
+def _row_bytes(decl: ArrayDecl, skip_dim: int) -> Poly:
+    """Bytes of one slice of ``decl`` along ``skip_dim``."""
+    out = const(ELEMENT_BYTES)
+    for d, size in enumerate(decl.shape):
+        if d == skip_dim:
+            continue
+        out = out * (const(int(size)) if size.isdigit() else sym(size))
+    return out
+
+
+def _total_bytes(decl: ArrayDecl) -> Poly:
+    return _row_bytes(decl, skip_dim=-1)
+
+
+def _is_parallel_index(expr: Expr, var: str) -> bool:
+    return isinstance(expr, Var) and expr.name == var
+
+
+def analyze_nest(program: Program, nest: LoopNest) -> LoopAnalysis:
+    """Analyze one load-balanced loop nest."""
+    loop = nest.loop
+    var = loop.var
+    lower = expr_to_poly(loop.lower)
+    trip = expr_to_poly(loop.upper) - lower
+    work = _body_work(loop.body, {var})
+    uniform = not work.depends_on(var)
+
+    analysis = LoopAnalysis(nest=nest, var=var, lower=lower, trip_count=trip,
+                            work_per_iteration=work, uniform=uniform)
+
+    reads: list[ArrayRef] = []
+    writes: list[ArrayRef] = []
+    _collect_refs(loop.body, reads, writes)
+    read_names = {r.name for r in reads}
+    write_names = {w.name for w in writes}
+    analysis.reads = read_names
+    analysis.writes = write_names
+
+    seen_dc: set[str] = set()
+    seen_result: set[str] = set()
+    seen_repl: set[str] = set()
+    for ref in reads + writes:
+        decl = program.arrays.get(ref.name)
+        if decl is None:
+            raise AnalysisError(
+                f"array {ref.name} used in {nest.name} but not declared "
+                f"(add a '/* dlb: array ... */' annotation)")
+        if len(ref.indices) != len(decl.shape):
+            raise AnalysisError(
+                f"array {ref.name}: {len(ref.indices)} indices for "
+                f"{len(decl.shape)} dimensions")
+        partitioned = [d for d, dist in enumerate(decl.distribution)
+                       if dist in ("BLOCK", "CYCLIC")]
+        if not partitioned:
+            # Fully replicated array: counts once toward scatter volume.
+            if ref.name in read_names and ref.name not in seen_repl:
+                seen_repl.add(ref.name)
+                analysis.replicated_bytes = (analysis.replicated_bytes
+                                             + _total_bytes(decl))
+            continue
+        for d in partitioned:
+            if _is_parallel_index(ref.indices[d], var):
+                row = _row_bytes(decl, d)
+                is_written = ref.name in write_names
+                # Only pure inputs migrate with an iteration: a written
+                # row is produced (or accumulated from zero) wherever
+                # the iteration executes and gathered at the end — the
+                # paper's "only the rows of array X need to be
+                # communicated" (§6.2).
+                is_input = ref.name in read_names and not is_written
+                if is_input and ref.name not in seen_dc:
+                    seen_dc.add(ref.name)
+                    analysis.dc_bytes = analysis.dc_bytes + row
+                    analysis.input_bytes = analysis.input_bytes + row
+                if is_written and ref.name not in seen_result:
+                    seen_result.add(ref.name)
+                    analysis.result_bytes = analysis.result_bytes + row
+            else:
+                # Distributed array accessed through a non-parallel
+                # index: every iteration may touch remote rows.
+                analysis.ic_bytes = (analysis.ic_bytes
+                                     + _row_bytes(decl, d))
+    return analysis
+
+
+def analyze_program(program: Program) -> list[LoopAnalysis]:
+    """Analyze every load-balanced nest (in program order)."""
+    balanced = program.balanced_nests()
+    if not balanced:
+        raise AnalysisError("no '/* dlb: loadbalance */' loop in the program")
+    return [analyze_nest(program, nest) for nest in balanced]

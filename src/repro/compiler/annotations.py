@@ -1,0 +1,107 @@
+"""DLB annotation directives (paper §5.2).
+
+"The input to the compiler consists of the sequential version of the
+code, with annotations to indicate the data decomposition for the
+shared arrays, and to indicate the loops which have to be load
+balanced."  Supported directives, written as ``/* dlb: ... */``:
+
+``processors <n>``
+    Fix the processor count at compile time (optional — the number is
+    normally a run-time parameter).
+``array <Name>(<dim>, ...) distribute(<BLOCK|CYCLIC|WHOLE>, ...)``
+    Declare a shared array's symbolic shape and per-dimension data
+    distribution (the paper supports BLOCK, CYCLIC and WHOLE).
+``loadbalance``
+    Mark the next loop as a target for dynamic load balancing.
+``bitonic``
+    Apply the bitonic scheduling transform (§6.3) to the next loop
+    (pairs iteration ``j`` with ``N - j + 1`` to even out triangular
+    work).
+``name <label>``
+    Human-readable name for the next loop (used in statistics).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from .ast_nodes import ArrayDecl, LoopNest, Program
+
+__all__ = ["Annotation", "parse_annotation", "apply_annotations",
+           "AnnotationError"]
+
+
+class AnnotationError(ValueError):
+    """A malformed ``dlb:`` directive."""
+
+
+@dataclass(frozen=True)
+class Annotation:
+    kind: str
+    payload: object = None
+
+
+_ARRAY_RE = re.compile(
+    r"^array\s+(?P<name>\w+)\s*\((?P<shape>[^)]*)\)\s*"
+    r"distribute\s*\((?P<dist>[^)]*)\)$", re.IGNORECASE)
+_PROCS_RE = re.compile(r"^processors\s+(?P<n>\d+)$", re.IGNORECASE)
+_NAME_RE = re.compile(r"^name\s+(?P<label>[\w.\-]+)$", re.IGNORECASE)
+
+
+def parse_annotation(text: str) -> Annotation:
+    """Parse the body of one ``/* dlb: ... */`` comment."""
+    body = text.strip()
+    lowered = body.lower()
+    if lowered == "loadbalance":
+        return Annotation(kind="loadbalance")
+    if lowered == "bitonic":
+        return Annotation(kind="bitonic")
+    m = _PROCS_RE.match(body)
+    if m:
+        return Annotation(kind="processors", payload=int(m.group("n")))
+    m = _NAME_RE.match(body)
+    if m:
+        return Annotation(kind="name", payload=m.group("label"))
+    m = _ARRAY_RE.match(body)
+    if m:
+        shape = tuple(s.strip() for s in m.group("shape").split(",") if s.strip())
+        dist = tuple(d.strip().upper()
+                     for d in m.group("dist").split(",") if d.strip())
+        if not shape:
+            raise AnnotationError(f"array {m.group('name')}: empty shape")
+        decl = ArrayDecl(name=m.group("name"), shape=shape, distribution=dist)
+        return Annotation(kind="array", payload=decl)
+    raise AnnotationError(f"unknown dlb directive: {body!r}")
+
+
+def apply_annotations(program: Program, nest: Optional[LoopNest],
+                      pending: Sequence[Annotation]) -> Optional[LoopNest]:
+    """Attach parsed annotations to the program / the next loop nest.
+
+    Program-level directives (``processors``, ``array``) update
+    ``program`` regardless of position; loop-level directives
+    (``loadbalance``, ``bitonic``, ``name``) require a following loop.
+    """
+    for ann in pending:
+        if ann.kind == "processors":
+            program.n_processors = int(ann.payload)  # type: ignore[arg-type]
+        elif ann.kind == "array":
+            decl: ArrayDecl = ann.payload  # type: ignore[assignment]
+            if decl.name in program.arrays:
+                raise AnnotationError(f"array {decl.name} declared twice")
+            program.arrays[decl.name] = decl
+        elif ann.kind in ("loadbalance", "bitonic", "name"):
+            if nest is None:
+                raise AnnotationError(
+                    f"directive {ann.kind!r} has no following loop")
+            if ann.kind == "loadbalance":
+                nest = replace(nest, load_balance=True)
+            elif ann.kind == "bitonic":
+                nest = replace(nest, bitonic=True)
+            else:
+                nest = replace(nest, name=str(ann.payload))
+        else:  # pragma: no cover - parse_annotation is exhaustive
+            raise AnnotationError(f"unhandled annotation {ann.kind!r}")
+    return nest

@@ -1,0 +1,134 @@
+"""Abstract syntax for the annotated loop-nest language (the mini-IR).
+
+The compiler's intermediate form is deliberately small: expressions
+over numbers, scalar variables and array references; assignment
+statements (``=``, ``+=``, ``-=``, ``*=``); counted ``for`` loops
+``for v = lo, hi`` iterating ``v`` over ``[lo, hi)``; and a program as
+a sequence of annotated top-level loop nests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = ["Num", "Var", "ArrayRef", "BinOp", "Assign", "ForLoop",
+           "LoopNest", "Program", "Expr", "Stmt", "walk_expr"]
+
+
+@dataclass(frozen=True)
+class Num:
+    value: float
+
+    def __str__(self) -> str:
+        return f"{self.value:g}"
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    name: str
+    indices: tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return self.name + "".join(f"[{i}]" for i in self.indices)
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # + - * /
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+Expr = Union[Num, Var, ArrayRef, BinOp]
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target op expr;`` — target is an array reference or scalar."""
+
+    target: Union[ArrayRef, Var]
+    op: str  # "=", "+=", "-=", "*="
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} {self.op} {self.expr};"
+
+
+@dataclass(frozen=True)
+class ForLoop:
+    """``for var = lower, upper { body }`` with ``var in [lower, upper)``."""
+
+    var: str
+    lower: Expr
+    upper: Expr
+    body: tuple["Stmt", ...]
+
+    def __str__(self) -> str:
+        inner = "\n".join("  " + line for stmt in self.body
+                          for line in str(stmt).splitlines())
+        return f"for {self.var} = {self.lower}, {self.upper} {{\n{inner}\n}}"
+
+
+Stmt = Union[Assign, ForLoop]
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """From ``/* dlb: array Z(R, C) distribute(BLOCK, WHOLE) */``."""
+
+    name: str
+    shape: tuple[str, ...]          # size symbols or integer literals
+    distribution: tuple[str, ...]   # BLOCK | CYCLIC | WHOLE per dim
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != len(self.distribution):
+            raise ValueError(f"array {self.name}: shape/distribution "
+                             "dimensionality mismatch")
+        for d in self.distribution:
+            if d not in ("BLOCK", "CYCLIC", "WHOLE"):
+                raise ValueError(f"array {self.name}: bad distribution {d!r}")
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A top-level loop with its annotations."""
+
+    loop: ForLoop
+    load_balance: bool = False
+    bitonic: bool = False
+    name: str = ""
+
+
+@dataclass
+class Program:
+    """A parsed compilation unit."""
+
+    arrays: dict[str, ArrayDecl] = field(default_factory=dict)
+    nests: list[LoopNest] = field(default_factory=list)
+    n_processors: int = 0  # 0 = decided at run time
+
+    def balanced_nests(self) -> list[LoopNest]:
+        return [n for n in self.nests if n.load_balance]
+
+
+def walk_expr(expr: Expr) -> Iterator[Expr]:
+    """Yield every node of an expression tree (pre-order)."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, ArrayRef):
+        for idx in expr.indices:
+            yield from walk_expr(idx)

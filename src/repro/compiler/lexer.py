@@ -1,0 +1,164 @@
+"""Tokenizer for the annotated loop-nest language.
+
+The source language is the C-like subset the paper's Figure 3 uses::
+
+    /* dlb: array Z(R, C) distribute(BLOCK, WHOLE) */
+    for i = 0, R {
+        for j = 0, C { ... }
+    }
+
+``/* dlb: ... */`` comments are *annotations* and become ANNOTATION
+tokens; other comments are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+__all__ = ["TokenKind", "Token", "tokenize", "LexError"]
+
+
+class LexError(ValueError):
+    """A character sequence that is not part of the language."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class TokenKind(Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    ANNOTATION = "annotation"
+    FOR = "for"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    SEMI = ";"
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    TIMES_ASSIGN = "*="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    EOF = "eof"
+
+
+_SINGLE = {
+    "(": TokenKind.LPAREN, ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET, "]": TokenKind.RBRACKET,
+    "{": TokenKind.LBRACE, "}": TokenKind.RBRACE,
+    ",": TokenKind.COMMA, ";": TokenKind.SEMI,
+    "+": TokenKind.PLUS, "-": TokenKind.MINUS,
+    "*": TokenKind.STAR, "/": TokenKind.SLASH,
+    "=": TokenKind.ASSIGN,
+}
+
+_COMPOUND = {"+=": TokenKind.PLUS_ASSIGN, "-=": TokenKind.MINUS_ASSIGN,
+             "*=": TokenKind.TIMES_ASSIGN}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize the whole source; always ends with an EOF token."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(text: str) -> None:
+        nonlocal line, col
+        for ch in text:
+            if ch == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+
+    while i < n:
+        ch = source[i]
+        # -- whitespace ----------------------------------------------------
+        if ch in " \t\r\n":
+            advance(ch)
+            i += 1
+            continue
+        # -- comments & annotations ------------------------------------------
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated comment", line, col)
+            body = source[i + 2:end].strip()
+            tok_line, tok_col = line, col
+            advance(source[i:end + 2])
+            i = end + 2
+            if body.lower().startswith("dlb:"):
+                yield Token(TokenKind.ANNOTATION, body[4:].strip(),
+                            tok_line, tok_col)
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            end = n if end < 0 else end
+            advance(source[i:end])
+            i = end
+            continue
+        # -- compound operators ------------------------------------------------
+        two = source[i:i + 2]
+        if two in _COMPOUND:
+            yield Token(_COMPOUND[two], two, line, col)
+            advance(two)
+            i += 2
+            continue
+        # -- numbers ------------------------------------------------------------
+        if ch.isdigit():
+            j = i
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                j += 1
+            text = source[i:j]
+            if text.count(".") > 1:
+                raise LexError(f"bad number {text!r}", line, col)
+            yield Token(TokenKind.NUMBER, text, line, col)
+            advance(text)
+            i = j
+            continue
+        # -- identifiers / keywords ---------------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.FOR if text == "for" else TokenKind.IDENT
+            yield Token(kind, text, line, col)
+            advance(text)
+            i = j
+            continue
+        # -- single-character tokens -----------------------------------------
+        if ch in _SINGLE:
+            yield Token(_SINGLE[ch], ch, line, col)
+            advance(ch)
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+    yield Token(TokenKind.EOF, "", line, col)

@@ -1,0 +1,173 @@
+"""Recursive-descent parser for the annotated loop-nest language.
+
+Grammar (EBNF)::
+
+    program    := (annotation* for_loop)* EOF
+    for_loop   := "for" IDENT "=" expr "," expr "{" stmt* "}"
+    stmt       := for_loop | assign
+    assign     := target ("=" | "+=" | "-=" | "*=") expr ";"
+    target     := IDENT ("[" expr "]")*
+    expr       := term (("+" | "-") term)*
+    term       := factor (("*" | "/") factor)*
+    factor     := NUMBER | IDENT ("[" expr "]")* | "(" expr ")" | "-" factor
+
+Annotations (``/* dlb: ... */``) are parsed by
+:mod:`repro.compiler.annotations` and attach to the next loop (or the
+whole program for ``processors`` / ``array`` directives).
+"""
+
+from __future__ import annotations
+
+from .annotations import apply_annotations, parse_annotation
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Expr,
+    ForLoop,
+    LoopNest,
+    Num,
+    Program,
+    Stmt,
+    Var,
+)
+from .lexer import Token, TokenKind, tokenize
+
+__all__ = ["parse_program", "ParseError"]
+
+
+class ParseError(SyntaxError):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(
+            f"{message} at line {token.line}, column {token.column} "
+            f"(got {token.kind.name} {token.text!r})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: TokenKind) -> Token:
+        if self.current.kind is not kind:
+            raise ParseError(f"expected {kind.name}", self.current)
+        return self.advance()
+
+    def accept(self, kind: TokenKind) -> Token | None:
+        if self.current.kind is kind:
+            return self.advance()
+        return None
+
+    # -- grammar ------------------------------------------------------------
+    def program(self) -> Program:
+        program = Program()
+        pending: list = []
+        loop_index = 0
+        while self.current.kind is not TokenKind.EOF:
+            if self.current.kind is TokenKind.ANNOTATION:
+                pending.append(parse_annotation(self.advance().text))
+                continue
+            if self.current.kind is TokenKind.FOR:
+                loop = self.for_loop()
+                nest = LoopNest(loop=loop, name=f"loop{loop_index}")
+                loop_index += 1
+                nest = apply_annotations(program, nest, pending)
+                pending = []
+                program.nests.append(nest)
+                continue
+            raise ParseError("expected a for loop or annotation", self.current)
+        if pending:
+            # Trailing program-level annotations are fine; loop-level
+            # ones have nothing to attach to.
+            apply_annotations(program, None, pending)
+        return program
+
+    def for_loop(self) -> ForLoop:
+        self.expect(TokenKind.FOR)
+        var = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.ASSIGN)
+        lower = self.expr()
+        self.expect(TokenKind.COMMA)
+        upper = self.expr()
+        self.expect(TokenKind.LBRACE)
+        body: list[Stmt] = []
+        while self.current.kind is not TokenKind.RBRACE:
+            body.append(self.statement())
+        self.expect(TokenKind.RBRACE)
+        return ForLoop(var=var, lower=lower, upper=upper, body=tuple(body))
+
+    def statement(self) -> Stmt:
+        if self.current.kind is TokenKind.FOR:
+            return self.for_loop()
+        return self.assign()
+
+    def assign(self) -> Assign:
+        target = self.reference()
+        tok = self.current
+        if tok.kind in (TokenKind.ASSIGN, TokenKind.PLUS_ASSIGN,
+                        TokenKind.MINUS_ASSIGN, TokenKind.TIMES_ASSIGN):
+            self.advance()
+        else:
+            raise ParseError("expected an assignment operator", tok)
+        expr = self.expr()
+        self.expect(TokenKind.SEMI)
+        return Assign(target=target, op=tok.text, expr=expr)
+
+    def reference(self) -> ArrayRef | Var:
+        name = self.expect(TokenKind.IDENT).text
+        indices: list[Expr] = []
+        while self.accept(TokenKind.LBRACKET):
+            indices.append(self.expr())
+            self.expect(TokenKind.RBRACKET)
+        if indices:
+            return ArrayRef(name=name, indices=tuple(indices))
+        return Var(name=name)
+
+    def expr(self) -> Expr:
+        node = self.term()
+        while self.current.kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self.advance().text
+            node = BinOp(op=op, left=node, right=self.term())
+        return node
+
+    def term(self) -> Expr:
+        node = self.factor()
+        while self.current.kind in (TokenKind.STAR, TokenKind.SLASH):
+            op = self.advance().text
+            node = BinOp(op=op, left=node, right=self.factor())
+        return node
+
+    def factor(self) -> Expr:
+        tok = self.current
+        if tok.kind is TokenKind.NUMBER:
+            self.advance()
+            value = float(tok.text)
+            return Num(value=value)
+        if tok.kind is TokenKind.IDENT:
+            return self.reference()
+        if tok.kind is TokenKind.LPAREN:
+            self.advance()
+            node = self.expr()
+            self.expect(TokenKind.RPAREN)
+            return node
+        if tok.kind is TokenKind.MINUS:
+            self.advance()
+            return BinOp(op="-", left=Num(0.0), right=self.factor())
+        raise ParseError("expected an expression", tok)
+
+
+def parse_program(source: str) -> Program:
+    """Parse annotated source into a :class:`Program`."""
+    return _Parser(tokenize(source)).program()

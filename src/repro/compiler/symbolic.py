@@ -1,0 +1,212 @@
+"""Symbolic polynomial arithmetic for compile-time cost functions.
+
+The compiler "helps to generate symbolic cost functions for the
+iteration cost and communication cost" (paper §5.1): trip counts, work
+per iteration and bytes per iteration are polynomials over size symbols
+(``R``, ``C``, ``N`` ...) and, for non-uniform loops, over the
+load-balanced loop variable itself.  This module implements the small
+multivariate polynomial algebra those functions need — construction
+from symbols and numbers, ``+ - *`` and integer powers, evaluation over
+scalar or NumPy-array environments, and human-readable printing.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Iterable, Mapping, Union
+
+import numpy as np
+
+__all__ = ["Poly", "sym", "const"]
+
+#: A monomial is a sorted tuple of (variable, exponent) pairs.
+Monomial = tuple[tuple[str, int], ...]
+Scalar = Union[int, float]
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    powers: dict[str, int] = {}
+    for var, exp in a + b:
+        powers[var] = powers.get(var, 0) + exp
+    return tuple(sorted((v, e) for v, e in powers.items() if e != 0))
+
+
+class Poly:
+    """An immutable multivariate polynomial with real coefficients."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Mapping[Monomial, Scalar] | None = None) -> None:
+        clean: dict[Monomial, Scalar] = {}
+        for mono, coeff in (terms or {}).items():
+            if coeff != 0:
+                clean[mono] = clean.get(mono, 0) + coeff
+        self.terms: dict[Monomial, Scalar] = {
+            m: c for m, c in clean.items() if c != 0}
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def number(value: Scalar) -> "Poly":
+        return Poly({(): value} if value != 0 else {})
+
+    @staticmethod
+    def symbol(name: str) -> "Poly":
+        if not name.isidentifier():
+            raise ValueError(f"{name!r} is not a valid symbol name")
+        return Poly({((name, 1),): 1})
+
+    @staticmethod
+    def coerce(value: "Poly | Scalar") -> "Poly":
+        if isinstance(value, Poly):
+            return value
+        if isinstance(value, Real):
+            return Poly.number(value)
+        raise TypeError(f"cannot coerce {value!r} to Poly")
+
+    # -- algebra ------------------------------------------------------------
+    def __add__(self, other: "Poly | Scalar") -> "Poly":
+        other = Poly.coerce(other)
+        out = dict(self.terms)
+        for mono, coeff in other.terms.items():
+            out[mono] = out.get(mono, 0) + coeff
+        return Poly(out)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Poly":
+        return Poly({m: -c for m, c in self.terms.items()})
+
+    def __sub__(self, other: "Poly | Scalar") -> "Poly":
+        return self + (-Poly.coerce(other))
+
+    def __rsub__(self, other: "Poly | Scalar") -> "Poly":
+        return Poly.coerce(other) - self
+
+    def __mul__(self, other: "Poly | Scalar") -> "Poly":
+        other = Poly.coerce(other)
+        out: dict[Monomial, Scalar] = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                mono = _mono_mul(m1, m2)
+                out[mono] = out.get(mono, 0) + c1 * c2
+        return Poly(out)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Scalar) -> "Poly":
+        if isinstance(other, Poly):
+            if other.is_constant:
+                other = other.constant_value
+            else:
+                raise TypeError("can only divide a Poly by a constant")
+        if other == 0:
+            raise ZeroDivisionError("division of Poly by zero")
+        return Poly({m: c / other for m, c in self.terms.items()})
+
+    def __pow__(self, exponent: int) -> "Poly":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise ValueError("only non-negative integer powers")
+        out = Poly.number(1)
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                out = out * base
+            base = base * base
+            e >>= 1
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Real):
+            other = Poly.number(other)
+        if not isinstance(other, Poly):
+            return NotImplemented
+        return self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.terms.items()))
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        return all(m == () for m in self.terms)
+
+    @property
+    def constant_value(self) -> Scalar:
+        if not self.is_constant:
+            raise ValueError(f"{self} is not constant")
+        return self.terms.get((), 0)
+
+    def variables(self) -> set[str]:
+        return {var for mono in self.terms for var, _ in mono}
+
+    def degree(self, var: str | None = None) -> int:
+        if not self.terms:
+            return 0
+        if var is None:
+            return max(sum(e for _, e in mono) for mono in self.terms)
+        return max((e for mono in self.terms for v, e in mono if v == var),
+                   default=0)
+
+    def depends_on(self, var: str) -> bool:
+        return var in self.variables()
+
+    # -- evaluation ------------------------------------------------------------
+    def eval(self, env: Mapping[str, Union[Scalar, np.ndarray]]
+             ) -> Union[Scalar, np.ndarray]:
+        """Evaluate over scalars or NumPy arrays (vectorized)."""
+        missing = self.variables() - set(env)
+        if missing:
+            raise KeyError(f"unbound symbols: {sorted(missing)}")
+        total: Union[Scalar, np.ndarray] = 0
+        for mono, coeff in self.terms.items():
+            term: Union[Scalar, np.ndarray] = coeff
+            for var, exp in mono:
+                term = term * env[var] ** exp
+            total = total + term
+        return total
+
+    def substitute(self, env: Mapping[str, "Poly | Scalar"]) -> "Poly":
+        """Replace symbols with polynomials (partial substitution ok)."""
+        out = Poly.number(0)
+        for mono, coeff in self.terms.items():
+            term = Poly.number(coeff)
+            for var, exp in mono:
+                repl = Poly.coerce(env[var]) if var in env else Poly.symbol(var)
+                term = term * repl ** exp
+            out = out + term
+        return out
+
+    # -- printing ------------------------------------------------------------
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        def mono_key(item):
+            mono, _ = item
+            return (-sum(e for _, e in mono), mono)
+        parts = []
+        for mono, coeff in sorted(self.terms.items(), key=mono_key):
+            factors = [f"{v}^{e}" if e > 1 else v for v, e in mono]
+            if not factors:
+                parts.append(f"{coeff:g}")
+            elif coeff == 1:
+                parts.append("*".join(factors))
+            elif coeff == -1:
+                parts.append("-" + "*".join(factors))
+            else:
+                parts.append(f"{coeff:g}*" + "*".join(factors))
+        text = " + ".join(parts)
+        return text.replace("+ -", "- ")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Poly({self})"
+
+
+def sym(name: str) -> Poly:
+    """Shorthand for :meth:`Poly.symbol`."""
+    return Poly.symbol(name)
+
+
+def const(value: Scalar) -> Poly:
+    """Shorthand for :meth:`Poly.number`."""
+    return Poly.number(value)

@@ -1,0 +1,29 @@
+"""DLB strategy taxonomy and registry (S6, paper §3.5)."""
+
+from .base import StrategySpec
+from .registry import (
+    ALL_DLB_STRATEGIES,
+    CUSTOMIZED,
+    GCDLB,
+    GDDLB,
+    LCDLB,
+    LDDLB,
+    NO_DLB,
+    STRATEGY_ORDER,
+    WORK_STEALING,
+    get_strategy,
+)
+
+__all__ = [
+    "ALL_DLB_STRATEGIES",
+    "CUSTOMIZED",
+    "GCDLB",
+    "GDDLB",
+    "LCDLB",
+    "LDDLB",
+    "NO_DLB",
+    "STRATEGY_ORDER",
+    "StrategySpec",
+    "WORK_STEALING",
+    "get_strategy",
+]

@@ -1,0 +1,81 @@
+"""Experiment harness (S12): every table and figure of the paper."""
+
+from .config import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    FIGURE_SCHEMES,
+    MXM_SIZES,
+    TABLE_SCHEMES,
+    TRFD_SIZES,
+    default_seed_count,
+)
+from .export import figure_to_csv, result_to_json, table_to_csv, write_result
+from .figures import (
+    FigureResult,
+    FigureRow,
+    figure2,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    mxm_figure,
+    trfd_figure,
+)
+from .report import render_bars, render_figure, render_table
+from .sweeps import KNOBS, SweepPoint, SweepResult, sweep
+from .runner import (
+    Measurement,
+    measure_loop,
+    measured_order,
+    order_agreement,
+    predict_loop,
+    predicted_order,
+)
+from .tables import OrderRow, TableResult, table1, table2
+from .validation import ALL_CLAIMS, Claim, ClaimResult, render_validation, validate
+
+__all__ = [
+    "ALL_CLAIMS",
+    "Claim",
+    "ClaimResult",
+    "DEFAULT_CONFIG",
+    "ExperimentConfig",
+    "FIGURE_SCHEMES",
+    "FigureResult",
+    "FigureRow",
+    "MXM_SIZES",
+    "Measurement",
+    "OrderRow",
+    "TABLE_SCHEMES",
+    "TRFD_SIZES",
+    "TableResult",
+    "default_seed_count",
+    "figure2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "measure_loop",
+    "measured_order",
+    "mxm_figure",
+    "order_agreement",
+    "predict_loop",
+    "predicted_order",
+    "render_bars",
+    "render_figure",
+    "KNOBS",
+    "SweepPoint",
+    "SweepResult",
+    "figure_to_csv",
+    "render_table",
+    "result_to_json",
+    "table1",
+    "table2",
+    "sweep",
+    "table_to_csv",
+    "trfd_figure",
+    "validate",
+    "write_result",
+]

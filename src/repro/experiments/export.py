@@ -1,0 +1,118 @@
+"""Export figure/table results to CSV and JSON.
+
+Downstream plotting (matplotlib, gnuplot, a spreadsheet) should not
+have to parse our ASCII reports; these writers emit the structured
+data.  Everything is plain-stdlib (csv, json) so the library's numpy-
+only dependency footprint stays intact.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Union
+
+from .figures import FigureResult
+from .tables import TableResult
+
+__all__ = ["figure_to_csv", "table_to_csv", "result_to_json",
+           "write_result"]
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """One row per configuration, one column per scheme/series."""
+    schemes = list(result.rows[0].normalized)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["config"] + schemes)
+    for row in result.rows:
+        writer.writerow([row.label] + [f"{row.normalized[s]:.6g}"
+                                       for s in schemes])
+    return buf.getvalue()
+
+
+def table_to_csv(result: TableResult) -> str:
+    """One row per parameter set with both orders and the agreement."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["parameters", "actual_order", "predicted_order",
+                     "agreement", "best_match"])
+    for row in result.rows:
+        writer.writerow([row.label, " ".join(row.actual),
+                         " ".join(row.predicted),
+                         f"{row.agreement:.4f}", row.best_match])
+    return buf.getvalue()
+
+
+def result_to_json(result: Union[FigureResult, TableResult]) -> str:
+    """A JSON document with full per-seed raw data where available."""
+    if isinstance(result, FigureResult):
+        doc = {
+            "kind": "figure",
+            "id": result.figure_id,
+            "title": result.title,
+            "meta": _jsonable(result.meta),
+            "rows": [
+                {
+                    "label": row.label,
+                    "normalized": {k: float(v)
+                                   for k, v in row.normalized.items()},
+                    "raw_times": {k: [float(t) for t in m.times]
+                                  for k, m in row.raw.items()},
+                }
+                for row in result.rows
+            ],
+        }
+    elif isinstance(result, TableResult):
+        doc = {
+            "kind": "table",
+            "id": result.table_id,
+            "title": result.title,
+            "mean_agreement": result.mean_agreement,
+            "best_match_rate": result.best_match_rate,
+            "rows": [
+                {
+                    "label": row.label,
+                    "actual": list(row.actual),
+                    "predicted": list(row.predicted),
+                    "agreement": row.agreement,
+                    "actual_means": {k: float(v) for k, v
+                                     in row.actual_means.items()},
+                    "predicted_means": {k: float(v) for k, v
+                                        in row.predicted_means.items()},
+                }
+                for row in result.rows
+            ],
+        }
+    else:
+        raise TypeError(f"cannot export {type(result)!r}")
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _jsonable(obj):
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def write_result(result: Union[FigureResult, TableResult], path: str
+                 ) -> None:
+    """Write ``result`` to ``path``; format chosen by extension
+    (.csv or .json)."""
+    if path.endswith(".json"):
+        text = result_to_json(result)
+    elif path.endswith(".csv"):
+        text = (figure_to_csv(result) if isinstance(result, FigureResult)
+                else table_to_csv(result))
+    else:
+        raise ValueError(f"unsupported extension on {path!r} "
+                         "(use .csv or .json)")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

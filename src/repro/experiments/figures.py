@@ -1,0 +1,190 @@
+"""Regeneration of the paper's figures (data series, not pixels).
+
+* :func:`figure4` — communication cost characterization: measured points
+  and polynomial fits for OA / AO / AA over 2..16 processors.
+* :func:`figure5` / :func:`figure6` — MXM normalized execution time on
+  4 / 16 processors over the paper's data sizes.
+* :func:`figure7` / :func:`figure8` — TRFD normalized execution time on
+  4 / 16 processors for N = 30, 40, 50.
+
+Bars are normalized to the *no-DLB* run of the same configuration
+(no-DLB ≡ 1.0); the paper's claims — which scheme wins, by roughly what
+factor, and where the order flips — are invariant to the normalization
+reference (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..apps.mxm import MxmConfig, mxm_loop
+from ..apps.trfd import TrfdConfig, trfd_loop1, trfd_loop2
+from ..apps.workload import LoopSpec
+from ..network.characterization import characterize_network
+from .config import DEFAULT_CONFIG, ExperimentConfig, FIGURE_SCHEMES, \
+    MXM_SIZES, TRFD_SIZES
+from .runner import Measurement, measure_loop
+
+__all__ = ["FigureRow", "FigureResult", "figure2", "figure4", "figure5",
+           "figure6", "figure7", "figure8", "mxm_figure", "trfd_figure"]
+
+
+@dataclass
+class FigureRow:
+    """One group of bars: a configuration and its per-scheme values."""
+
+    label: str
+    normalized: dict[str, float]
+    raw: dict[str, Measurement] = field(default_factory=dict)
+
+    def best(self) -> str:
+        dlb = {k: v for k, v in self.normalized.items() if k != "NONE"}
+        return min(dlb, key=dlb.get)
+
+
+@dataclass
+class FigureResult:
+    """All the data needed to redraw one figure."""
+
+    figure_id: str
+    title: str
+    rows: list[FigureRow]
+    meta: dict = field(default_factory=dict)
+
+    def scheme_means(self, scheme: str) -> list[float]:
+        return [row.normalized[scheme] for row in self.rows]
+
+
+def _figure_rows(loops: list[tuple[str, LoopSpec]], n_processors: int,
+                 config: ExperimentConfig) -> list[FigureRow]:
+    rows = []
+    for label, loop in loops:
+        cells = {s: measure_loop(loop, n_processors, s, config)
+                 for s in FIGURE_SCHEMES}
+        base = cells["NONE"].mean
+        rows.append(FigureRow(
+            label=label,
+            normalized={s: cells[s].mean / base for s in FIGURE_SCHEMES},
+            raw=cells))
+    return rows
+
+
+def mxm_figure(n_processors: int,
+               config: Optional[ExperimentConfig] = None,
+               sizes: Optional[tuple[MxmConfig, ...]] = None) -> FigureResult:
+    """MXM normalized execution time for one processor count."""
+    config = config or DEFAULT_CONFIG
+    sizes = sizes or MXM_SIZES[n_processors]
+    loops = [(cfg.label, mxm_loop(cfg, op_seconds=config.mxm_op_seconds))
+             for cfg in sizes]
+    fig_id = "5" if n_processors == 4 else "6"
+    return FigureResult(
+        figure_id=f"figure{fig_id}",
+        title=f"Matrix multiplication (P={n_processors})",
+        rows=_figure_rows(loops, n_processors, config),
+        meta=dict(n_processors=n_processors, seeds=config.seeds))
+
+
+def trfd_figure(n_processors: int,
+                config: Optional[ExperimentConfig] = None,
+                n_values: tuple[int, ...] = TRFD_SIZES) -> FigureResult:
+    """TRFD normalized *total loop* execution time (L1 + L2).
+
+    The intervening transpose is sequential and identical across
+    schemes; the paper's bars compare the load-balanced portions.
+    """
+    config = config or DEFAULT_CONFIG
+    rows = []
+    for n in n_values:
+        cfg = TrfdConfig(n)
+        l1 = trfd_loop1(cfg, op_seconds=config.trfd_op_seconds)
+        l2 = trfd_loop2(cfg, op_seconds=config.trfd_op_seconds)
+        cells: dict[str, Measurement] = {}
+        for scheme in FIGURE_SCHEMES:
+            m1 = measure_loop(l1, n_processors, scheme, config)
+            m2 = measure_loop(l2, n_processors, scheme, config)
+            combined = Measurement(scheme=scheme,
+                                   times=[a + b for a, b in
+                                          zip(m1.times, m2.times)],
+                                   syncs=[a + b for a, b in
+                                          zip(m1.syncs, m2.syncs)])
+            cells[scheme] = combined
+        base = cells["NONE"].mean
+        rows.append(FigureRow(
+            label=cfg.label,
+            normalized={s: cells[s].mean / base for s in FIGURE_SCHEMES},
+            raw=cells))
+    fig_id = "7" if n_processors == 4 else "8"
+    return FigureResult(
+        figure_id=f"figure{fig_id}",
+        title=f"TRFD (P={n_processors})",
+        rows=rows,
+        meta=dict(n_processors=n_processors, seeds=config.seeds))
+
+
+def figure2(config: Optional[ExperimentConfig] = None,
+            seed: int = 0, n_windows: int = 24) -> FigureResult:
+    """The paper's Figure 2: one realization of the discrete random
+    load function (levels per persistence window)."""
+    from ..machine.load import DiscreteRandomLoad
+    config = config or DEFAULT_CONFIG
+    load = DiscreteRandomLoad(max_load=config.max_load,
+                              persistence=config.persistence, seed=seed)
+    rows = [FigureRow(label=f"t={k * config.persistence:g}s",
+                      normalized={"level": float(load.window_level(k))})
+            for k in range(n_windows)]
+    return FigureResult(
+        figure_id="figure2",
+        title=f"Load function (m_l={config.max_load}, "
+              f"t_l={config.persistence}s, seed={seed})",
+        rows=rows,
+        meta=dict(max_load=config.max_load,
+                  persistence=config.persistence, seed=seed))
+
+
+def figure4(config: Optional[ExperimentConfig] = None,
+            proc_counts: tuple[int, ...] = tuple(range(2, 17)),
+            probe_bytes: int = 64) -> FigureResult:
+    """Communication cost: measured + polyfit for AA, AO, OA (§6.1)."""
+    config = config or DEFAULT_CONFIG
+    model = characterize_network(config.network, proc_counts=proc_counts,
+                                 probe_bytes=probe_bytes)
+    rows = []
+    for p in proc_counts:
+        normalized = {}
+        raw = {}
+        for pattern in ("AA", "AO", "OA"):
+            fit = model.fits[pattern]
+            measured = dict(fit.samples)[p]
+            normalized[f"{pattern}(exp)"] = measured
+            normalized[f"{pattern}(polyfit)"] = fit(p)
+        rows.append(FigureRow(label=f"P={p}", normalized=normalized, raw=raw))
+    return FigureResult(
+        figure_id="figure4",
+        title="Communication cost (measured vs polynomial fit)",
+        rows=rows,
+        meta=dict(latency=model.latency, bandwidth=model.bandwidth,
+                  probe_bytes=probe_bytes,
+                  coefficients={k: f.coefficients
+                                for k, f in model.fits.items()}))
+
+
+def figure5(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """MXM, P=4 (paper Figure 5)."""
+    return mxm_figure(4, config)
+
+
+def figure6(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """MXM, P=16 (paper Figure 6)."""
+    return mxm_figure(16, config)
+
+
+def figure7(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """TRFD, P=4 (paper Figure 7)."""
+    return trfd_figure(4, config)
+
+
+def figure8(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """TRFD, P=16 (paper Figure 8)."""
+    return trfd_figure(16, config)

@@ -1,0 +1,61 @@
+"""ASCII rendering of figure and table results.
+
+The benches print these so a terminal run of the harness shows the same
+rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from .figures import FigureResult
+from .tables import TableResult
+
+__all__ = ["render_figure", "render_table", "render_bars"]
+
+_BAR_WIDTH = 40
+
+
+def render_bars(result: FigureResult) -> str:
+    """Horizontal bar chart of normalized execution times."""
+    lines = [f"== {result.title} ({result.figure_id}) =="]
+    scale = max(max(row.normalized.values()) for row in result.rows)
+    for row in result.rows:
+        lines.append(f"-- {row.label}")
+        for scheme, value in row.normalized.items():
+            bar = "#" * max(1, int(round(value / scale * _BAR_WIDTH)))
+            lines.append(f"  {scheme:>10s} {value:7.3f} |{bar}")
+    return "\n".join(lines)
+
+
+def render_figure(result: FigureResult) -> str:
+    """Table of normalized values, one row per configuration."""
+    schemes = list(result.rows[0].normalized)
+    head = f"{'config':<28s}" + "".join(f"{s:>14s}" for s in schemes)
+    lines = [f"== {result.title} ({result.figure_id}) ==", head,
+             "-" * len(head)]
+    for row in result.rows:
+        line = f"{row.label:<28s}" + "".join(
+            f"{row.normalized[s]:>14.4f}" for s in schemes)
+        lines.append(line)
+    if "coefficients" in result.meta:
+        lines.append("")
+        for pattern, coeffs in result.meta["coefficients"].items():
+            poly = " + ".join(f"{c:.3e}*P^{len(coeffs) - 1 - i}"
+                              for i, c in enumerate(coeffs))
+            lines.append(f"  fit {pattern}: {poly}")
+    return "\n".join(lines)
+
+
+def render_table(result: TableResult) -> str:
+    """The paper's actual-vs-predicted order table."""
+    head = (f"{'parameters':<28s} {'actual order':<22s} "
+            f"{'predicted order':<22s} {'agree':>6s}")
+    lines = [f"== {result.title} ({result.table_id}) ==", head,
+             "-" * len(head)]
+    for row in result.rows:
+        lines.append(
+            f"{row.label:<28s} {' '.join(row.actual):<22s} "
+            f"{' '.join(row.predicted):<22s} {row.agreement:>6.2f}")
+    lines.append("-" * len(head))
+    lines.append(f"mean pairwise agreement: {result.mean_agreement:.2f}; "
+                 f"best-scheme match rate: {result.best_match_rate:.2f}")
+    return "\n".join(lines)

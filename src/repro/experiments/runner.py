@@ -1,0 +1,137 @@
+"""Multi-seed experiment execution: measured and predicted times.
+
+One *measurement* is the mean loop execution time over the configured
+load-realization seeds; one *prediction* evaluates the §4.2 model on
+the same seeds.  Orders derived from both feed the paper's Tables 1–2;
+normalized means feed Figures 5–8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..apps.workload import LoopSpec
+from ..core.model.costs import default_comm_model
+from ..core.model.predictor import predict_strategy
+from ..core.strategies.registry import get_strategy
+from ..machine.cluster import ClusterSpec
+from ..runtime.executor import run_loop
+from ..runtime.options import RunOptions
+from .config import ExperimentConfig, TABLE_SCHEMES
+
+__all__ = ["Measurement", "measure_loop", "predict_loop",
+            "measured_order", "predicted_order", "order_agreement"]
+
+
+@dataclass
+class Measurement:
+    """Mean and per-seed samples of one (loop, P, scheme) cell."""
+
+    scheme: str
+    times: list[float] = field(default_factory=list)
+    syncs: list[int] = field(default_factory=list)
+    moves: list[int] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.times))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.times))
+
+    @property
+    def mean_syncs(self) -> float:
+        return float(np.mean(self.syncs)) if self.syncs else 0.0
+
+
+def _cluster(n_processors: int, seed: int,
+             config: ExperimentConfig) -> ClusterSpec:
+    return ClusterSpec.homogeneous(
+        n_processors, max_load=config.max_load,
+        persistence=config.persistence, seed=seed)
+
+
+def measure_loop(loop: LoopSpec, n_processors: int, scheme: str,
+                 config: ExperimentConfig,
+                 seeds: Optional[Sequence[int]] = None) -> Measurement:
+    """Run the event simulation over all seeds for one scheme."""
+    seeds = tuple(seeds) if seeds is not None else config.seeds
+    options = RunOptions(policy=config.policy, network=config.network,
+                         group_size=config.group_size(n_processors))
+    out = Measurement(scheme=scheme)
+    for seed in seeds:
+        stats = run_loop(loop, _cluster(n_processors, seed, config),
+                         scheme, options=options)
+        out.times.append(stats.duration)
+        out.syncs.append(stats.n_syncs)
+        out.moves.append(stats.n_redistributions)
+    return out
+
+
+def predict_loop(loop: LoopSpec, n_processors: int, scheme: str,
+                 config: ExperimentConfig,
+                 seeds: Optional[Sequence[int]] = None,
+                 movement_model: str = "overlap") -> Measurement:
+    """Evaluate the §4.2 model over the same seeds for one scheme."""
+    seeds = tuple(seeds) if seeds is not None else config.seeds
+    comm = default_comm_model(config.network)
+    spec = get_strategy(scheme)
+    out = Measurement(scheme=scheme)
+    for seed in seeds:
+        pred = predict_strategy(
+            loop, _cluster(n_processors, seed, config), spec,
+            policy=config.policy, comm=comm,
+            group_size=config.group_size(n_processors),
+            movement_model=movement_model)
+        out.times.append(pred.total_time)
+        out.syncs.append(pred.n_syncs)
+        out.moves.append(pred.n_moves)
+    return out
+
+
+def measured_order(loop: LoopSpec, n_processors: int,
+                   config: ExperimentConfig,
+                   schemes: Sequence[str] = TABLE_SCHEMES
+                   ) -> tuple[tuple[str, ...], dict[str, Measurement]]:
+    """Rank schemes by mean simulated time (best first)."""
+    cells = {s: measure_loop(loop, n_processors, s, config) for s in schemes}
+    order = tuple(sorted(schemes, key=lambda s: cells[s].mean))
+    return order, cells
+
+
+def predicted_order(loop: LoopSpec, n_processors: int,
+                    config: ExperimentConfig,
+                    schemes: Sequence[str] = TABLE_SCHEMES,
+                    movement_model: str = "overlap"
+                    ) -> tuple[tuple[str, ...], dict[str, Measurement]]:
+    """Rank schemes by mean model-predicted time (best first)."""
+    cells = {s: predict_loop(loop, n_processors, s, config,
+                             movement_model=movement_model)
+             for s in schemes}
+    order = tuple(sorted(schemes, key=lambda s: cells[s].mean))
+    return order, cells
+
+
+def order_agreement(actual: Sequence[str], predicted: Sequence[str]) -> float:
+    """Fraction of scheme pairs ranked identically (Kendall-style).
+
+    1.0 = identical orders; 0.0 = fully reversed.  The paper claims the
+    predicted orders match "very closely" (MXM) / "reasonably" (TRFD).
+    """
+    if set(actual) != set(predicted):
+        raise ValueError("orders rank different scheme sets")
+    rank_a = {s: i for i, s in enumerate(actual)}
+    rank_p = {s: i for i, s in enumerate(predicted)}
+    schemes = list(actual)
+    agree = total = 0
+    for i in range(len(schemes)):
+        for j in range(i + 1, len(schemes)):
+            a, b = schemes[i], schemes[j]
+            same = ((rank_a[a] - rank_a[b]) * (rank_p[a] - rank_p[b])) > 0
+            agree += 1 if same else 0
+            total += 1
+    return agree / total if total else 1.0

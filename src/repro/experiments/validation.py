@@ -1,0 +1,187 @@
+"""Programmatic validation of the paper's claims.
+
+Each :class:`Claim` states one falsifiable sentence from the paper,
+runs the experiment behind it, and reports PASS/FAIL with the measured
+evidence.  ``python -m repro validate`` runs the whole checklist — the
+executable version of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .config import ExperimentConfig
+from .figures import figure4, mxm_figure, trfd_figure
+from .tables import table1, table2
+
+__all__ = ["Claim", "ClaimResult", "ALL_CLAIMS", "validate",
+           "render_validation"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    claim_id: str
+    source: str      # paper section
+    statement: str
+    check: Callable[[ExperimentConfig], tuple[bool, str]]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: Claim
+    passed: bool
+    evidence: str
+
+
+# -- individual checks -----------------------------------------------------
+
+def _check_fig4_shape(config: ExperimentConfig) -> tuple[bool, str]:
+    result = figure4(config)
+    ordered = all(row.normalized["AA(exp)"] >= row.normalized["AO(exp)"]
+                  >= row.normalized["OA(exp)"] for row in result.rows)
+    first, last = result.rows[0], result.rows[-1]
+    p_ratio = 16 / 2
+    aa_growth = last.normalized["AA(exp)"] / first.normalized["AA(exp)"]
+    oa_growth = last.normalized["OA(exp)"] / first.normalized["OA(exp)"]
+    superlinear = aa_growth > 1.5 * oa_growth and aa_growth > p_ratio
+    return (ordered and superlinear,
+            f"AA>=AO>=OA at every P: {ordered}; AA grows {aa_growth:.1f}x "
+            f"from P=2 to 16 vs OA {oa_growth:.1f}x")
+
+
+def _check_mxm_p4_order(config: ExperimentConfig) -> tuple[bool, str]:
+    result = mxm_figure(4, config)
+    ok_rows = 0
+    for row in result.rows:
+        n = row.normalized
+        if (max(n["GC"], n["GD"]) < min(n["LC"], n["LD"])
+                and max(n.values()) <= 1.0 + 1e-9):
+            ok_rows += 1
+    return (ok_rows == len(result.rows),
+            f"globals beat locals and DLB beats static in "
+            f"{ok_rows}/{len(result.rows)} configurations")
+
+
+def _check_mxm_p16_gap_narrows(config: ExperimentConfig) -> tuple[bool, str]:
+    p4 = mxm_figure(4, config)
+    p16 = mxm_figure(16, config)
+
+    def gap(result):
+        gaps = []
+        for row in result.rows:
+            n = row.normalized
+            gaps.append(min(n["LC"], n["LD"]) - min(n["GC"], n["GD"]))
+        return sum(gaps) / len(gaps)
+
+    g4, g16 = gap(p4), gap(p16)
+    return (g16 < g4,
+            f"mean local-global gap: {g4:.3f} at P=4 vs {g16:.3f} at P=16")
+
+
+def _check_trfd_p16_ld_best(config: ExperimentConfig) -> tuple[bool, str]:
+    result = trfd_figure(16, config)
+    means = {s: sum(r.normalized[s] for r in result.rows)
+             / len(result.rows) for s in ("GC", "GD", "LC", "LD")}
+    best = min(means, key=means.get)
+    return (best == "LD",
+            "mean normalized times: "
+            + ", ".join(f"{s}={v:.3f}" for s, v in sorted(means.items())))
+
+
+def _check_distributed_beats_centralized(config: ExperimentConfig
+                                         ) -> tuple[bool, str]:
+    wins = total = 0
+    for builder, p in ((mxm_figure, 4), (mxm_figure, 16),
+                       (trfd_figure, 4), (trfd_figure, 16)):
+        result = builder(p, config)
+        for row in result.rows:
+            n = row.normalized
+            total += 2
+            wins += 1 if n["GD"] <= n["GC"] * 1.01 else 0
+            wins += 1 if n["LD"] <= n["LC"] * 1.01 else 0
+    return (wins >= 0.85 * total,
+            f"distributed <= centralized (1% tolerance) in "
+            f"{wins}/{total} scheme pairs")
+
+
+def _check_different_winners(config: ExperimentConfig) -> tuple[bool, str]:
+    """The headline: no single strategy is best everywhere."""
+    winners = set()
+    for builder, p in ((mxm_figure, 4), (trfd_figure, 16)):
+        result = builder(p, config)
+        for row in result.rows:
+            winners.add(row.best())
+    return (len(winners) >= 2,
+            f"winning schemes across MXM-P4 and TRFD-P16: "
+            f"{sorted(winners)}")
+
+
+def _check_table1_agreement(config: ExperimentConfig) -> tuple[bool, str]:
+    result = table1(config)
+    return (result.mean_agreement >= 0.70,
+            f"mean pairwise agreement {result.mean_agreement:.2f} "
+            f"(best-scheme match {result.best_match_rate:.2f})")
+
+
+def _check_table2_agreement(config: ExperimentConfig) -> tuple[bool, str]:
+    result = table2(config)
+    return (result.mean_agreement >= 0.55,
+            f"mean pairwise agreement {result.mean_agreement:.2f} "
+            f"(best-scheme match {result.best_match_rate:.2f})")
+
+
+ALL_CLAIMS: tuple[Claim, ...] = (
+    Claim("fig4-shape", "§6.1",
+          "Communication cost: AA > AO > OA, with AA super-linear in P",
+          _check_fig4_shape),
+    Claim("mxm-p4-globals", "§6.2 / Fig 5",
+          "MXM on 4 processors: every DLB scheme beats no-DLB and the "
+          "global schemes beat the local schemes",
+          _check_mxm_p4_order),
+    Claim("mxm-p16-gap", "§6.2 / Fig 6",
+          "On 16 processors the gap between globals and locals narrows",
+          _check_mxm_p16_gap_narrows),
+    Claim("trfd-p16-ld", "§6.3 / Fig 8",
+          "TRFD on 16 processors: the local distributed strategy is best",
+          _check_trfd_p16_ld_best),
+    Claim("dist-beats-central", "§6.2–6.3",
+          "Distributed schemes beat their centralized counterparts",
+          _check_distributed_beats_centralized),
+    Claim("different-winners", "§1 / §6",
+          "Different strategies are best for different applications "
+          "under varying parameters",
+          _check_different_winners),
+    Claim("table1-match", "§6.2 / Table 1",
+          "The model's predicted MXM strategy order matches the actual "
+          "order very closely",
+          _check_table1_agreement),
+    Claim("table2-match", "§6.3 / Table 2",
+          "The model's predicted TRFD strategy order is reasonably "
+          "accurate",
+          _check_table2_agreement),
+)
+
+
+def validate(config: Optional[ExperimentConfig] = None,
+             claims: tuple[Claim, ...] = ALL_CLAIMS) -> list[ClaimResult]:
+    """Run every claim check; returns results in claim order."""
+    config = config or ExperimentConfig()
+    out = []
+    for claim in claims:
+        passed, evidence = claim.check(config)
+        out.append(ClaimResult(claim=claim, passed=passed,
+                               evidence=evidence))
+    return out
+
+
+def render_validation(results: list[ClaimResult]) -> str:
+    lines = ["== paper claim validation =="]
+    for r in results:
+        flag = "PASS" if r.passed else "FAIL"
+        lines.append(f"[{flag}] {r.claim.claim_id} ({r.claim.source})")
+        lines.append(f"       {r.claim.statement}")
+        lines.append(f"       evidence: {r.evidence}")
+    n_pass = sum(1 for r in results if r.passed)
+    lines.append(f"-- {n_pass}/{len(results)} claims reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Workstation and external-load model (substrate S2, paper §4.1)."""
+
+from .analytics import (
+    expected_capacity_rate,
+    expected_inverse_factor,
+    expected_static_slowdown,
+    ideal_balanced_time,
+)
+from .cluster import ClusterSpec, build_groups
+from .load import ConstantLoad, DiscreteRandomLoad, LoadFunction, TraceLoad
+from .workstation import Workstation
+
+__all__ = [
+    "ClusterSpec",
+    "ConstantLoad",
+    "DiscreteRandomLoad",
+    "LoadFunction",
+    "TraceLoad",
+    "Workstation",
+    "build_groups",
+    "expected_capacity_rate",
+    "expected_inverse_factor",
+    "expected_static_slowdown",
+    "ideal_balanced_time",
+]

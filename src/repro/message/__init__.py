@@ -1,0 +1,27 @@
+"""PVM-like message layer (substrate S4)."""
+
+from .messages import (
+    ControlMsg,
+    DataMsg,
+    InstructionMsg,
+    InterruptMsg,
+    Message,
+    ProfileMsg,
+    Tag,
+    TransferOrder,
+    WorkMsg,
+)
+from .pvm import VirtualMachine
+
+__all__ = [
+    "ControlMsg",
+    "DataMsg",
+    "InstructionMsg",
+    "InterruptMsg",
+    "Message",
+    "ProfileMsg",
+    "Tag",
+    "TransferOrder",
+    "VirtualMachine",
+    "WorkMsg",
+]

@@ -1,0 +1,28 @@
+"""Network substrate (S3): shared-bus transport and Figure-4 costs."""
+
+from .bus import NetworkStats, SharedBusNetwork
+from .characterization import (
+    CommCostModel,
+    DEFAULT_PROBE_BYTES,
+    PatternFit,
+    characterize_network,
+)
+from .parameters import NetworkParameters, PAPER_BANDWIDTH_BPS, PAPER_LATENCY_S
+from .patterns import PATTERNS, all_to_all, all_to_one, measure_pattern, one_to_all
+
+__all__ = [
+    "CommCostModel",
+    "DEFAULT_PROBE_BYTES",
+    "NetworkParameters",
+    "NetworkStats",
+    "PATTERNS",
+    "PAPER_BANDWIDTH_BPS",
+    "PAPER_LATENCY_S",
+    "PatternFit",
+    "SharedBusNetwork",
+    "all_to_all",
+    "all_to_one",
+    "characterize_network",
+    "measure_pattern",
+    "one_to_all",
+]

@@ -1,0 +1,131 @@
+"""Shared-bus (Ethernet-like) network transport (substrate S3).
+
+Every message crosses three serialization points, mirroring PVM over a
+10 Mbit Ethernet segment:
+
+1. the **sender's NIC/protocol stack** (one outgoing message at a time,
+   ``send_overhead`` each — a one-to-all broadcast therefore serializes
+   at the sender);
+2. the **shared bus** (one frame on the wire at a time,
+   ``wire_latency + nbytes/bandwidth`` each — all-to-all traffic becomes
+   quadratic here);
+3. the **receiver's NIC/protocol stack** (``recv_overhead`` each — an
+   all-to-one gather serializes at the receiver).
+
+Same-host transfers (the co-located central load balancer) skip the bus
+and cost only ``local_overhead``.
+
+The caller-facing entry point is :meth:`SharedBusNetwork.transmit`: a
+generator the sending process ``yield from``-s.  It returns — after the
+*sender-side* cost only, modelling PVM's asynchronous sends — an event
+that fires when the message is delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from ..simulation import Environment, Event, Resource
+from .parameters import NetworkParameters
+
+__all__ = ["SharedBusNetwork", "NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transport statistics for a run."""
+
+    messages: int = 0
+    bytes: int = 0
+    local_messages: int = 0
+    per_host_sent: dict[int, int] = field(default_factory=dict)
+    per_host_received: dict[int, int] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, nbytes: int, local: bool) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+        if local:
+            self.local_messages += 1
+        self.per_host_sent[src] = self.per_host_sent.get(src, 0) + 1
+        self.per_host_received[dst] = self.per_host_received.get(dst, 0) + 1
+
+
+class SharedBusNetwork:
+    """A fully connected set of hosts sharing one Ethernet-like bus."""
+
+    def __init__(self, env: Environment, n_hosts: int,
+                 params: Optional[NetworkParameters] = None) -> None:
+        if n_hosts < 1:
+            raise ValueError("need at least one host")
+        self.env = env
+        self.n_hosts = n_hosts
+        self.params = params or NetworkParameters()
+        self.bus = Resource(env, capacity=1, name="ethernet-bus")
+        self.send_nic = [Resource(env, name=f"send-nic{i}")
+                         for i in range(n_hosts)]
+        self.recv_nic = [Resource(env, name=f"recv-nic{i}")
+                         for i in range(n_hosts)]
+        self.stats = NetworkStats()
+        #: Optional hook called as ``on_deliver(dst, item)`` at delivery time.
+        self.on_deliver: Optional[Callable[[int, Any], None]] = None
+
+    def _check_host(self, host: int) -> None:
+        if not 0 <= host < self.n_hosts:
+            raise ValueError(f"host {host} out of range 0..{self.n_hosts - 1}")
+
+    def transmit(self, src: int, dst: int, nbytes: int,
+                 item: Any = None) -> Generator[Event, None, Event]:
+        """Send ``nbytes`` (+ payload ``item``) from ``src`` to ``dst``.
+
+        A generator to ``yield from`` inside a simulated process.  It
+        completes once the sender-side overhead has been paid and returns
+        a *delivery event* that fires (with ``item`` as its value) when
+        the message reaches ``dst``.
+        """
+        self._check_host(src)
+        self._check_host(dst)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        delivered = self.env.event()
+        if src == dst:
+            yield from self.send_nic[src].use(self.params.local_overhead)
+            self.stats.record(src, dst, nbytes, local=True)
+            self._deliver(dst, item, delivered)
+            return delivered
+        yield from self.send_nic[src].use(self.params.send_overhead)
+        self.env.process(self._carry(src, dst, nbytes, item, delivered),
+                         name=f"net:{src}->{dst}")
+        return delivered
+
+    def _carry(self, src: int, dst: int, nbytes: int, item: Any,
+               delivered: Event) -> Generator[Event, None, None]:
+        wire = self.params.wire_latency + nbytes / self.params.bandwidth
+        yield from self.bus.use(wire)
+        yield from self.recv_nic[dst].use(self.params.recv_overhead)
+        self.stats.record(src, dst, nbytes, local=False)
+        self._deliver(dst, item, delivered)
+
+    def _deliver(self, dst: int, item: Any, delivered: Event) -> None:
+        if self.on_deliver is not None:
+            self.on_deliver(dst, item)
+        delivered.succeed(item)
+
+    # -- convenience: fire-and-forget send -------------------------------
+    def post(self, src: int, dst: int, nbytes: int, item: Any = None) -> Event:
+        """Spawn a detached process performing :meth:`transmit`.
+
+        Returns the delivery event.  Used when the sender should not be
+        charged in-line (e.g. test harnesses); protocol code should
+        prefer ``yield from transmit(...)`` so sender cost is modeled.
+        """
+        delivered = self.env.event()
+
+        def runner() -> Generator[Event, None, None]:
+            inner = yield from self.transmit(src, dst, nbytes, item)
+            value = yield inner
+            if not delivered.triggered:
+                delivered.succeed(value)
+
+        self.env.process(runner(), name=f"post:{src}->{dst}")
+        return delivered

@@ -1,0 +1,159 @@
+"""Off-line network characterization with polynomial fits (Figure 4).
+
+``characterize_network`` measures each communication pattern for a range
+of processor counts on the simulated bus and fits a low-degree polynomial
+with ``numpy.polyfit`` — exactly the paper's "poly fit" curves.  The
+resulting :class:`CommCostModel` is what the analytical strategy model
+(§4.2) queries for its synchronization-cost terms
+``one-to-all(P)``, ``all-to-one(P)`` and ``all-to-all(P)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .parameters import NetworkParameters
+from .patterns import PATTERNS, measure_pattern
+
+__all__ = ["PatternFit", "CommCostModel", "characterize_network",
+           "DEFAULT_PROBE_BYTES"]
+
+#: Default probe message size: a DLB profile message (§3.2) is a handful
+#: of doubles; 64 bytes matches the run-time system's profile payload.
+DEFAULT_PROBE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class PatternFit:
+    """A fitted polynomial cost curve for one pattern.
+
+    ``coefficients`` are in :func:`numpy.polyval` order (highest degree
+    first); ``samples`` holds the measured ``(P, seconds)`` points the
+    fit was derived from, so Figure 4 can plot both.
+    """
+
+    pattern: str
+    coefficients: tuple[float, ...]
+    samples: tuple[tuple[int, float], ...]
+    probe_bytes: int
+
+    def __call__(self, n_procs: float) -> float:
+        value = float(np.polyval(self.coefficients, n_procs))
+        return max(value, 0.0)
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    def residual_rms(self) -> float:
+        """RMS error of the fit over its own samples."""
+        ps = np.array([p for p, _ in self.samples], dtype=float)
+        ts = np.array([t for _, t in self.samples])
+        return float(np.sqrt(np.mean((np.polyval(self.coefficients, ps)
+                                      - ts) ** 2)))
+
+
+@dataclass
+class CommCostModel:
+    """Fitted cost functions for the three collective patterns.
+
+    This is the off-line product the compile-time model consumes; it also
+    carries the raw latency/bandwidth for the point-to-point terms of
+    eq. (5).
+    """
+
+    params: NetworkParameters
+    fits: dict[str, PatternFit] = field(default_factory=dict)
+
+    def one_to_all(self, n_procs: int) -> float:
+        return self._eval("OA", n_procs)
+
+    def all_to_one(self, n_procs: int) -> float:
+        return self._eval("AO", n_procs)
+
+    def all_to_all(self, n_procs: int) -> float:
+        return self._eval("AA", n_procs)
+
+    def _eval(self, pattern: str, n_procs: int) -> float:
+        if n_procs <= 1:
+            return 0.0
+        fit = self.fits.get(pattern)
+        if fit is None:
+            raise KeyError(f"pattern {pattern!r} not characterized")
+        return fit(n_procs)
+
+    @property
+    def latency(self) -> float:
+        """Point-to-point latency ``L`` (paper eq. 5)."""
+        return self.params.latency
+
+    @property
+    def bandwidth(self) -> float:
+        """Bandwidth ``B`` in bytes/second (paper eq. 5)."""
+        return self.params.bandwidth
+
+    def point_to_point(self, nbytes: int) -> float:
+        """One message of ``nbytes``: ``L + nbytes / B``."""
+        return self.params.transfer_time(nbytes)
+
+    @staticmethod
+    def analytic(params: Optional[NetworkParameters] = None) -> "CommCostModel":
+        """Closed-form fallback (no measurement): linear/quadratic shapes.
+
+        Useful when a quick model evaluation is needed without paying for
+        the off-line characterization; the fitted version is preferred.
+        """
+        p = params or NetworkParameters()
+        msg = p.transfer_time(DEFAULT_PROBE_BYTES)
+        model = CommCostModel(params=p)
+        # One-to-all serializes at the sender; all-to-one at the receiver
+        # (receive overhead dominates); all-to-all is quadratic on the bus.
+        wire = p.wire_latency + DEFAULT_PROBE_BYTES / p.bandwidth
+        model.fits["OA"] = PatternFit(
+            "OA", (p.send_overhead + wire, p.recv_overhead - wire), (),
+            DEFAULT_PROBE_BYTES)
+        model.fits["AO"] = PatternFit(
+            "AO", (max(p.recv_overhead, wire), msg), (), DEFAULT_PROBE_BYTES)
+        model.fits["AA"] = PatternFit(
+            "AA", (wire, max(p.recv_overhead, wire), msg), (),
+            DEFAULT_PROBE_BYTES)
+        return model
+
+
+def characterize_network(params: Optional[NetworkParameters] = None,
+                         proc_counts: Sequence[int] = tuple(range(2, 17)),
+                         probe_bytes: int = DEFAULT_PROBE_BYTES,
+                         degree: int = 2) -> CommCostModel:
+    """Measure OA/AO/AA on the simulated bus and polyfit each (Figure 4).
+
+    Parameters
+    ----------
+    params:
+        Transport parameters; defaults to the paper's measured values.
+    proc_counts:
+        Processor counts to measure; the paper sweeps 2..16.
+    probe_bytes:
+        Per-message payload used for the probes.
+    degree:
+        Polynomial degree for the fit (2, matching the visible curvature
+        of the paper's AA curve).
+    """
+    params = params or NetworkParameters()
+    if len(proc_counts) < degree + 1:
+        raise ValueError("need more sample points than the fit degree")
+    model = CommCostModel(params=params)
+    for pattern in PATTERNS:
+        samples = [(p, measure_pattern(pattern, p, probe_bytes, params))
+                   for p in proc_counts]
+        ps = np.array([p for p, _ in samples], dtype=float)
+        ts = np.array([t for _, t in samples])
+        coeffs = np.polyfit(ps, ts, deg=degree)
+        model.fits[pattern] = PatternFit(
+            pattern=pattern,
+            coefficients=tuple(float(c) for c in coeffs),
+            samples=tuple(samples),
+            probe_bytes=probe_bytes)
+    return model

@@ -1,0 +1,95 @@
+"""Collective communication patterns and their measured cost (§6.1).
+
+The paper characterizes three patterns off-line — one-to-all (OA),
+all-to-one (AO) and all-to-all (AA) — and fits polynomials to the
+measured times (Figure 4).  :func:`measure_pattern` reproduces the
+measurement side on the simulated shared bus: it builds a fresh network,
+runs the pattern with ``P`` hosts and a given message size, and reports
+the completion time (all messages delivered).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..simulation import Environment, Event
+from .bus import SharedBusNetwork
+from .parameters import NetworkParameters
+
+__all__ = ["PATTERNS", "measure_pattern", "one_to_all", "all_to_one",
+           "all_to_all"]
+
+PATTERNS = ("OA", "AO", "AA")
+
+
+def one_to_all(net: SharedBusNetwork, root: int, nbytes: int
+               ) -> Generator[Event, None, None]:
+    """Root sends one message to every other host; waits for deliveries."""
+    deliveries = []
+    for dst in range(net.n_hosts):
+        if dst == root:
+            continue
+        ev = yield from net.transmit(root, dst, nbytes)
+        deliveries.append(ev)
+    if deliveries:
+        yield net.env.all_of(deliveries)
+
+
+def all_to_one(net: SharedBusNetwork, root: int, nbytes: int
+               ) -> Generator[Event, None, None]:
+    """Every other host sends to root concurrently; waits for deliveries."""
+    env = net.env
+    deliveries: list[Event] = []
+
+    def sender(src: int) -> Generator[Event, None, None]:
+        ev = yield from net.transmit(src, root, nbytes)
+        yield ev
+
+    procs = [env.process(sender(src), name=f"ao:{src}")
+             for src in range(net.n_hosts) if src != root]
+    if procs:
+        yield env.all_of(procs)
+
+
+def all_to_all(net: SharedBusNetwork, nbytes: int
+               ) -> Generator[Event, None, None]:
+    """Every host sends to every other host; waits for all deliveries."""
+    env = net.env
+
+    def sender(src: int) -> Generator[Event, None, None]:
+        deliveries = []
+        for dst in range(net.n_hosts):
+            if dst == src:
+                continue
+            ev = yield from net.transmit(src, dst, nbytes)
+            deliveries.append(ev)
+        if deliveries:
+            yield env.all_of(deliveries)
+
+    procs = [env.process(sender(src), name=f"aa:{src}")
+             for src in range(net.n_hosts)]
+    yield env.all_of(procs)
+
+
+def measure_pattern(pattern: str, n_hosts: int, nbytes: int,
+                    params: Optional[NetworkParameters] = None) -> float:
+    """Completion time (seconds) of ``pattern`` on a fresh simulated bus.
+
+    Parameters mirror the paper's off-line characterization: ``pattern``
+    is one of ``"OA"``, ``"AO"``, ``"AA"``; ``n_hosts`` is the processor
+    count; ``nbytes`` the per-message payload.
+    """
+    if pattern not in PATTERNS:
+        raise ValueError(f"unknown pattern {pattern!r}; expected {PATTERNS}")
+    if n_hosts < 2:
+        raise ValueError("patterns need at least two hosts")
+    env = Environment()
+    net = SharedBusNetwork(env, n_hosts, params)
+    if pattern == "OA":
+        proc = env.process(one_to_all(net, 0, nbytes), name="OA")
+    elif pattern == "AO":
+        proc = env.process(all_to_one(net, 0, nbytes), name="AO")
+    else:
+        proc = env.process(all_to_all(net, nbytes), name="AA")
+    env.run(proc)
+    return env.now

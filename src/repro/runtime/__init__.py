@@ -1,0 +1,47 @@
+"""DLB run-time system (S5): executor, node protocol, central balancer."""
+
+from .assignment import (
+    Assignment,
+    equal_block_partition,
+    merge_ranges,
+    proportional_block_partition,
+)
+from .arrays import DlbArray
+from .balancer import CentralBalancer
+from .executor import CoverageError, run_application, run_loop, run_loop_stage
+from .node import NodeRuntime
+from .options import RunOptions
+from .session import LoopSession
+from .stealing import StealingNodeRuntime
+from .tracing import (
+    UtilizationReport,
+    render_gantt,
+    render_sync_timeline,
+    utilization_report,
+)
+from .stats import AppRunStats, LoopRunStats, StageRunStats, SyncRecord
+
+__all__ = [
+    "AppRunStats",
+    "Assignment",
+    "CentralBalancer",
+    "CoverageError",
+    "DlbArray",
+    "LoopRunStats",
+    "LoopSession",
+    "NodeRuntime",
+    "RunOptions",
+    "StageRunStats",
+    "StealingNodeRuntime",
+    "SyncRecord",
+    "UtilizationReport",
+    "equal_block_partition",
+    "merge_ranges",
+    "proportional_block_partition",
+    "run_application",
+    "run_loop",
+    "run_loop_stage",
+    "render_gantt",
+    "render_sync_timeline",
+    "utilization_report",
+]

@@ -1,0 +1,157 @@
+"""DLB array descriptors (the paper's ``DLB_array`` structure, §5.2).
+
+"For each shared array we also have an DLB_array structure, which holds
+information about the arrays, like the number of dimensions, array
+size, element type, and distribution type ... used by the run-time
+library to scatter, gather, and redistribute data."
+
+:class:`DlbArray` is that structure: per-dimension BLOCK / CYCLIC /
+WHOLE distribution with the owner and local-index arithmetic the
+scatter/gather/redistribution paths need, and byte accounting for the
+message-size model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["DlbArray", "Distribution"]
+
+VALID = ("BLOCK", "CYCLIC", "WHOLE")
+Distribution = str
+
+
+@dataclass(frozen=True)
+class DlbArray:
+    """Shared-array metadata for the DLB run-time library.
+
+    Attributes
+    ----------
+    name:
+        Array identifier (matches the compiler's declaration).
+    shape:
+        Concrete extent per dimension.
+    distribution:
+        ``"BLOCK"``, ``"CYCLIC"`` or ``"WHOLE"`` per dimension.  At
+        most one dimension may be partitioned (the paper distributes
+        along a single dimension; the parallel loop indexes it).
+    element_bytes:
+        Bytes per element (8 for C doubles).
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    distribution: tuple[Distribution, ...]
+    element_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError(f"array {self.name}: empty shape")
+        if any(s < 1 for s in self.shape):
+            raise ValueError(f"array {self.name}: non-positive extent")
+        if len(self.shape) != len(self.distribution):
+            raise ValueError(f"array {self.name}: shape/distribution "
+                             "rank mismatch")
+        if any(d not in VALID for d in self.distribution):
+            raise ValueError(f"array {self.name}: bad distribution")
+        if self.element_bytes < 1:
+            raise ValueError("element_bytes must be positive")
+        if len(self.partitioned_dims) > 1:
+            raise ValueError(f"array {self.name}: at most one "
+                             "partitioned dimension is supported")
+
+    # -- shape/byte accounting ------------------------------------------
+    @property
+    def partitioned_dims(self) -> tuple[int, ...]:
+        return tuple(d for d, dist in enumerate(self.distribution)
+                     if dist != "WHOLE")
+
+    @property
+    def partitioned_dim(self) -> int | None:
+        dims = self.partitioned_dims
+        return dims[0] if dims else None
+
+    @property
+    def replicated(self) -> bool:
+        return self.partitioned_dim is None
+
+    @property
+    def total_bytes(self) -> int:
+        total = self.element_bytes
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    @property
+    def section_bytes(self) -> int:
+        """Bytes of one slice along the partitioned dimension (a "row"
+        for dim 0, a "column" for dim 1) — what moves per index."""
+        dim = self.partitioned_dim
+        if dim is None:
+            return self.total_bytes
+        return self.total_bytes // self.shape[dim]
+
+    # -- ownership -------------------------------------------------------
+    def owner(self, index: int, n_processors: int) -> int:
+        """Which processor initially owns global ``index`` along the
+        partitioned dimension."""
+        dim = self.partitioned_dim
+        if dim is None:
+            raise ValueError(f"array {self.name} is replicated")
+        extent = self.shape[dim]
+        if not 0 <= index < extent:
+            raise IndexError(f"index {index} out of range 0..{extent - 1}")
+        if self.distribution[dim] == "CYCLIC":
+            return index % n_processors
+        base, extra = divmod(extent, n_processors)
+        # BLOCK: the first ``extra`` owners hold (base + 1) indices.
+        boundary = extra * (base + 1)
+        if index < boundary:
+            return index // (base + 1)
+        if base == 0:
+            return extra - 1 if extra else 0
+        return extra + (index - boundary) // base
+
+    def owned_indices(self, rank: int, n_processors: int) -> list[int]:
+        """All global indices processor ``rank`` initially owns."""
+        dim = self.partitioned_dim
+        if dim is None:
+            raise ValueError(f"array {self.name} is replicated")
+        extent = self.shape[dim]
+        if not 0 <= rank < n_processors:
+            raise IndexError("bad rank")
+        if self.distribution[dim] == "CYCLIC":
+            return list(range(rank, extent, n_processors))
+        base, extra = divmod(extent, n_processors)
+        start = rank * base + min(rank, extra)
+        size = base + (1 if rank < extra else 0)
+        return list(range(start, start + size))
+
+    def local_index(self, index: int, n_processors: int) -> int:
+        """Position of global ``index`` within its owner's local block."""
+        dim = self.partitioned_dim
+        if dim is None:
+            raise ValueError(f"array {self.name} is replicated")
+        if self.distribution[dim] == "CYCLIC":
+            return index // n_processors
+        rank = self.owner(index, n_processors)
+        base, extra = divmod(self.shape[dim], n_processors)
+        start = rank * base + min(rank, extra)
+        return index - start
+
+    # -- staging sizes -----------------------------------------------------
+    def scatter_bytes(self, rank: int, n_processors: int) -> int:
+        """Bytes the master ships to ``rank`` at the initial scatter."""
+        if self.replicated:
+            return self.total_bytes if rank != 0 else 0
+        return len(self.owned_indices(rank, n_processors)) \
+            * self.section_bytes
+
+    def move_bytes(self, n_indices: int) -> int:
+        """Bytes to migrate ``n_indices`` sections (redistribution)."""
+        if n_indices < 0:
+            raise ValueError("n_indices must be non-negative")
+        if self.replicated:
+            return 0
+        return n_indices * self.section_bytes

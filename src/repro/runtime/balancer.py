@@ -1,0 +1,155 @@
+"""The central load balancer process (GCDLB and LCDLB, §3.5).
+
+One balancer lives on the master processor (which also computes).  It
+collects profile messages, and once a group's set is complete it
+computes the new distribution and sends instructions — *serially*, one
+group after another, which is precisely what produces the paper's LCDLB
+delay factor (§4.2): groups whose profiles complete while the balancer
+is busy wait in its mailbox queue.
+
+Because the balancer shares its processor with a computation slave, each
+service steals CPU from the co-located node (context switch + the
+distribution calculation), modeled through :meth:`NodeRuntime.steal`.
+
+The same process implements the §4.3 customized selection: when the
+session has a ``selector``, the first (global) synchronization runs the
+model over the measured load and commits to the winning scheme before
+normal service resumes under that scheme.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from ..core.redistribution import SyncProfile, plan_redistribution
+from ..message.messages import InstructionMsg, ProfileMsg, Tag
+from ..simulation import Event
+from .session import LoopSession
+
+__all__ = ["CentralBalancer"]
+
+
+class CentralBalancer:
+    """Asynchronous central balancer serving one or more groups."""
+
+    def __init__(self, session: LoopSession) -> None:
+        self.session = session
+        self.host = session.lb_host
+        self.pending: dict[int, dict[int, SyncProfile]] = {}
+        self.ready: deque[int] = deque()
+        self.group_active: dict[int, set[int]] = {
+            g: set(members) for g, members in enumerate(session.groups)}
+        self.group_epoch: dict[int, int] = {
+            g: 0 for g in range(len(session.groups))}
+        self.groups_done: set[int] = set()
+
+    # -- helpers ------------------------------------------------------------
+    def _absorb(self, msg: ProfileMsg) -> None:
+        group = self.session.group_of.get(msg.src, msg.group)
+        box = self.pending.setdefault(group, {})
+        box[msg.src] = SyncProfile(
+            node=msg.src, remaining_work=msg.remaining_work,
+            remaining_count=msg.remaining_count, rate=msg.rate)
+        if (group not in self.groups_done
+                and set(box) >= self.group_active.get(group, set())
+                and group not in self.ready):
+            self.ready.append(group)
+
+    def _service_wall_time(self, work_seconds: float) -> float:
+        """Wall time of balancer computation on the (loaded) master."""
+        ws = self.session.stations[self.host]
+        return ws.time_to_complete(self.session.env.now, work_seconds) \
+            - self.session.env.now
+
+    def _steal_and_work(self, work_seconds: float
+                        ) -> Generator[Event, None, None]:
+        """Charge balancer computation, pausing a co-located compute."""
+        wall = self._service_wall_time(work_seconds)
+        node = self.session.nodes.get(self.host)
+        if node is not None:
+            node.steal(wall)
+        yield self.session.env.timeout(wall)
+
+    # -- main loop ----------------------------------------------------------
+    def run(self) -> Generator[Event, None, None]:
+        session = self.session
+        vm = session.vm
+        while len(self.groups_done) < len(session.groups):
+            msg = yield vm.recv(self.host, Tag.PROFILE)
+            assert isinstance(msg, ProfileMsg)
+            self._absorb(msg)
+            while self.ready:
+                gid = self.ready.popleft()
+                yield from self._serve(gid)
+
+    def _serve(self, gid: int) -> Generator[Event, None, None]:
+        session = self.session
+        policy = session.policy
+        vm = session.vm
+        epoch = self.group_epoch[gid]
+        profiles = sorted(self.pending.pop(gid, {}).values(),
+                          key=lambda p: p.node)
+
+        selection: Optional[tuple[str, int]] = None
+        if session.selector is not None and not session._selected:
+            # §4.3: evaluate the model at the first synchronization point
+            # and commit to the best scheme for the rest of the loop.
+            scheme_code, group_size, report = session.selector(
+                session, profiles)
+            session.stats.selection_report = report
+            yield from self._steal_and_work(policy.selection_seconds)
+            selection = (scheme_code, group_size)
+
+        # Distribution calculation plus the context switches in and out
+        # of the balancer on the shared master processor.
+        yield from self._steal_and_work(
+            policy.delta_seconds + 2.0 * policy.context_switch_seconds)
+
+        plan = plan_redistribution(
+            profiles, policy, session.mean_iteration_time,
+            session.movement_cost_fn)
+        session.record_plan(gid, epoch, plan)
+
+        members = sorted(self.group_active[gid])
+        instructions = []
+        for node in members:
+            instructions.append(InstructionMsg(
+                src=self.host, dst=node, epoch=epoch, group=gid,
+                outgoing=plan.outgoing(node),
+                incoming=len(plan.incoming(node)),
+                retire=node in plan.retire,
+                done=plan.done,
+                active=plan.active,
+                select_scheme=selection[0] if selection else "",
+                select_group_size=selection[1] if selection else 0))
+        yield from vm.multicast(instructions)
+
+        if selection is not None:
+            session.apply_selection(*selection)
+            self._reconfigure_after_selection(plan.active)
+            if plan.done or not session.strategy.centralized:
+                # Work already finished, or a distributed scheme was
+                # chosen: the central balancer retires either way.
+                self.groups_done = set(range(len(session.groups)))
+            return
+
+        if plan.done or not plan.active:
+            self.groups_done.add(gid)
+        else:
+            self.group_active[gid] = set(plan.active)
+            self.group_epoch[gid] = epoch + 1
+
+    def _reconfigure_after_selection(self, globally_active: tuple[int, ...]
+                                     ) -> None:
+        """Rebuild group bookkeeping under the newly selected scheme."""
+        session = self.session
+        self.pending.clear()
+        self.ready.clear()
+        active = set(globally_active)
+        self.group_active = {
+            g: set(members) & active
+            for g, members in enumerate(session.groups)}
+        self.group_epoch = {g: 1 for g in range(len(session.groups))}
+        self.groups_done = {g for g, mem in self.group_active.items()
+                            if not mem}

@@ -1,0 +1,286 @@
+"""The run-time executor: DLB_init / scatter / run / gather in one call.
+
+``run_loop`` executes one load-balanced loop on a simulated network of
+workstations under a chosen strategy; ``run_application`` executes a
+whole application (loops plus sequential stages such as TRFD's
+transpose) on a single simulation environment, so external load evolves
+continuously across stages.
+
+After every loop the executor verifies the fundamental DLB invariant:
+**every iteration executed exactly once** — redistribution must neither
+lose nor duplicate work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from ..apps.workload import ApplicationSpec, LoopSpec, SequentialStage
+from ..core.strategies.base import StrategySpec
+from ..core.strategies.registry import get_strategy
+from ..machine.cluster import ClusterSpec
+from ..machine.workstation import Workstation
+from ..message.messages import DataMsg, Tag
+from ..message.pvm import VirtualMachine
+from ..simulation import Environment, SimulationError
+from .assignment import (
+    equal_block_partition,
+    merge_ranges,
+    proportional_block_partition,
+)
+from .balancer import CentralBalancer
+from .node import NodeRuntime
+from .options import RunOptions
+from .session import LoopSession
+from .stats import AppRunStats, LoopRunStats, StageRunStats
+
+__all__ = ["run_loop", "run_application", "CoverageError"]
+
+StrategyLike = Union[str, StrategySpec]
+
+
+class CoverageError(AssertionError):
+    """Iterations were lost or duplicated during redistribution."""
+
+
+def _resolve(strategy: StrategyLike) -> StrategySpec:
+    if isinstance(strategy, StrategySpec):
+        return strategy
+    return get_strategy(strategy)
+
+
+def _verify_coverage(session: LoopSession) -> None:
+    all_ranges = [r for ranges in session.stats.executed_by_node.values()
+                  for r in ranges]
+    try:
+        merged = merge_ranges(all_ranges)
+    except ValueError as exc:
+        raise CoverageError(f"duplicated iterations: {exc}") from exc
+    expected = [(0, session.loop.n_iterations)]
+    if merged != expected:
+        raise CoverageError(
+            f"lost iterations: executed {merged}, expected {expected}")
+
+
+def _scatter(session: LoopSession):
+    """Initial distribution of array blocks from the master (optional)."""
+    vm = session.vm
+    loop = session.loop
+    deliveries = []
+    for node in range(1, session.n):
+        count = session.nodes[node].assignment.count
+        nbytes = count * loop.input_bytes + loop.replicated_bytes
+        ev = yield from vm.send(DataMsg(src=0, dst=node, label="scatter",
+                                        data_bytes=nbytes))
+        deliveries.append(ev)
+    if deliveries:
+        yield session.env.all_of(deliveries)
+
+
+def _gather(session: LoopSession):
+    """Final collection of results at the master (optional)."""
+    vm = session.vm
+    loop = session.loop
+    env = session.env
+
+    def sender(node: int):
+        count = session.stats.executed_count(node)
+        ev = yield from vm.send(DataMsg(src=node, dst=0, label="gather",
+                                        data_bytes=count * loop.result_bytes))
+        yield ev
+
+    procs = [env.process(sender(node), name=f"gather{node}")
+             for node in range(1, session.n)]
+    if procs:
+        yield env.all_of(procs)
+
+
+def run_loop_stage(env: Environment, vm: VirtualMachine,
+                   stations: list[Workstation], loop: LoopSpec,
+                   strategy: StrategyLike,
+                   options: Optional[RunOptions] = None,
+                   selector: Optional[Callable] = None) -> LoopRunStats:
+    """Run one loop on an existing environment (advanced entry point)."""
+    options = options or RunOptions()
+    spec = _resolve(strategy)
+    if spec.is_dlb and spec.code != "NONE" and len(stations) < 2:
+        raise ValueError("dynamic load balancing needs at least 2 processors")
+    session = LoopSession(env, vm, stations, loop, spec, options,
+                          selector=selector)
+    msg_before = dict(vm.sent_by_tag)
+    net_before = (vm.network.stats.messages, vm.network.stats.bytes)
+    session.stats.start_time = env.now
+
+    if options.include_staging:
+        staging = env.process(_scatter_then_run(session), name="master-stage")
+    else:
+        staging = None
+        _spawn_nodes(session)
+
+    if session.centralized and spec.is_dlb:
+        lb = env.process(CentralBalancer(session).run(), name="balancer")
+    else:
+        lb = None
+
+    # Run until every node process has finished.
+    procs = [session.nodes[i].proc for i in range(session.n)] if staging is None \
+        else []
+    if staging is not None:
+        env.run(staging)
+        procs = [session.nodes[i].proc for i in range(session.n)]
+    for proc in procs:
+        if proc.is_alive:
+            env.run(proc)
+    if lb is not None and lb.is_alive:
+        env.run(lb)
+
+    if options.include_staging:
+        gather = env.process(_gather(session), name="master-gather")
+        env.run(gather)
+
+    session.stats.end_time = env.now
+    session.stats.node_finish_times = {
+        i: session.nodes[i].finish_time for i in range(session.n)}
+    session.stats.messages_by_tag = {
+        t.value: vm.sent_by_tag.get(t, 0) - msg_before.get(t, 0) for t in Tag}
+    session.stats.network_messages = vm.network.stats.messages - net_before[0]
+    session.stats.network_bytes = vm.network.stats.bytes - net_before[1]
+
+    # Detach mailbox hooks so a later stage can re-register.
+    for i in range(session.n):
+        vm.inbox[i].notify = None
+    _verify_coverage(session)
+    return session.stats
+
+
+def _initial_partition(session: LoopSession):
+    """The compiler's initial distribution (equal or speed-weighted)."""
+    if session.options.initial_partition == "speed":
+        return proportional_block_partition(
+            session.loop.n_iterations,
+            [ws.speed for ws in session.stations])
+    return equal_block_partition(session.loop.n_iterations, session.n)
+
+
+def _node_class(session: LoopSession):
+    if session.strategy.code == "WS":
+        from .stealing import StealingNodeRuntime
+        return StealingNodeRuntime
+    return NodeRuntime
+
+
+def _spawn_nodes(session: LoopSession) -> None:
+    parts = _initial_partition(session)
+    cls = _node_class(session)
+    for i in range(session.n):
+        node = cls(session, i, parts[i])
+        node.proc = session.env.process(node.run(), name=f"node{i}")
+
+
+def _scatter_then_run(session: LoopSession):
+    """With staging on, nodes start only after their block arrives."""
+    # Create node runtimes first so assignments are known for sizing.
+    parts = _initial_partition(session)
+    cls = _node_class(session)
+    nodes = [cls(session, i, parts[i]) for i in range(session.n)]
+    yield from _scatter(session)
+    for node in nodes:
+        node.proc = session.env.process(node.run(), name=f"node{node.me}")
+
+
+def run_loop(loop: LoopSpec, cluster: ClusterSpec, strategy: StrategyLike,
+             options: Optional[RunOptions] = None,
+             selector: Optional[Callable] = None) -> LoopRunStats:
+    """Run a single loop on a fresh simulated cluster.
+
+    Parameters
+    ----------
+    loop:
+        The workload (e.g. from :func:`repro.apps.mxm.mxm_loop`).
+    cluster:
+        The cluster description; its seed fixes the load realization.
+    strategy:
+        A :class:`StrategySpec` or a name/code ("GDDLB", "LD", "NONE",
+        "CUSTOM", ...).
+    options:
+        Run options (policy thresholds, network parameters, K, ...).
+    selector:
+        Strategy selector for the customized scheme; defaults to the
+        model-based selector when strategy is "CUSTOM" and none given.
+    """
+    options = options or RunOptions()
+    spec = _resolve(strategy)
+    if spec.code == "CUSTOM" and selector is None:
+        from ..core.decision import model_based_selector
+        selector = model_based_selector
+    env = Environment()
+    stations = cluster.build()
+    vm = VirtualMachine(env, cluster.n_processors, options.network)
+    return run_loop_stage(env, vm, stations, loop, spec, options, selector)
+
+
+def run_application(app: ApplicationSpec, cluster: ClusterSpec,
+                    strategy: StrategyLike,
+                    options: Optional[RunOptions] = None,
+                    selector: Optional[Callable] = None) -> AppRunStats:
+    """Run a full application (loops + sequential stages) end to end."""
+    options = options or RunOptions()
+    spec = _resolve(strategy)
+    if spec.code == "CUSTOM" and selector is None:
+        from ..core.decision import model_based_selector
+        selector = model_based_selector
+    env = Environment()
+    stations = cluster.build()
+    vm = VirtualMachine(env, cluster.n_processors, options.network)
+    stats = AppRunStats(app_name=app.name, strategy=spec.name,
+                        n_processors=cluster.n_processors)
+    for stage in app.stages:
+        if isinstance(stage, LoopSpec):
+            stats.stages.append(run_loop_stage(
+                env, vm, stations, stage, spec, options, selector))
+        elif isinstance(stage, SequentialStage):
+            stats.stages.append(_run_sequential(env, vm, stations, stage,
+                                                options))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown stage type {type(stage)!r}")
+    return stats
+
+
+def _run_sequential(env: Environment, vm: VirtualMachine,
+                    stations: list[Workstation], stage: SequentialStage,
+                    options: RunOptions) -> StageRunStats:
+    """A master-only stage: optional gather, compute, optional scatter."""
+    start = env.now
+    master = stations[0]
+    n = len(stations)
+
+    def runner():
+        if options.include_staging and stage.gather_bytes and n > 1:
+            share = stage.gather_bytes // max(n - 1, 1)
+
+            def sender(node: int):
+                ev = yield from vm.send(DataMsg(src=node, dst=0,
+                                                label=f"{stage.name}-gather",
+                                                data_bytes=share))
+                yield ev
+
+            procs = [env.process(sender(i), name=f"stage-g{i}")
+                     for i in range(1, n)]
+            yield env.all_of(procs)
+        if stage.compute_seconds > 0:
+            t_end = master.time_to_complete(env.now, stage.compute_seconds)
+            yield env.timeout(t_end - env.now)
+        if options.include_staging and stage.scatter_bytes and n > 1:
+            share = stage.scatter_bytes // max(n - 1, 1)
+            deliveries = []
+            for node in range(1, n):
+                ev = yield from vm.send(DataMsg(src=0, dst=node,
+                                                label=f"{stage.name}-scatter",
+                                                data_bytes=share))
+                deliveries.append(ev)
+            yield env.all_of(deliveries)
+
+    proc = env.process(runner(), name=f"stage:{stage.name}")
+    env.run(proc)
+    return StageRunStats(stage_name=stage.name, start_time=start,
+                         end_time=env.now)

@@ -1,0 +1,350 @@
+"""The SPMD slave protocol: compute, interrupt, profile, redistribute.
+
+This is the run-time counterpart of the paper's Figure 3 slave loop::
+
+    while (dlb.more_work) {
+        for (i = dlb.start; i < dlb.end && dlb.more_work; i++) {
+            ... loop body ...
+            if (DLB_slave_sync(&dlb) && dlb.interrupt)
+                DLB_profile_send_move_work(&dlb);
+        }
+        if (dlb.more_work) {
+            DLB_send_interrupt(&dlb);
+            DLB_profile_send_move_work(&dlb);
+        }
+    }
+
+Each node is a simulated process.  It computes its assigned iterations
+(with external load slowing it down), polls for interrupts at iteration
+boundaries, initiates a synchronization when it runs out of work
+(receiver-initiated, §3.1), exchanges profiles, and moves work
+according to the redistribution plan — through the central balancer in
+the centralized schemes, or via replicated deterministic planning in
+the distributed ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Generator, Optional
+
+from ..core.redistribution import SyncProfile, plan_redistribution
+from ..message.messages import (
+    InstructionMsg,
+    InterruptMsg,
+    Message,
+    ProfileMsg,
+    Tag,
+    TransferOrder,
+    WorkMsg,
+)
+from ..simulation import Event, Interrupt, Process
+from .assignment import Assignment
+from .session import LoopSession
+
+__all__ = ["NodeRuntime"]
+
+_EPS = 1e-15
+
+
+class NodeRuntime:
+    """Per-processor run-time state and protocol implementation."""
+
+    def __init__(self, session: LoopSession, node_id: int,
+                 assignment: Assignment) -> None:
+        self.session = session
+        self.me = node_id
+        self.ws = session.stations[node_id]
+        self.assignment = assignment
+        self.epoch = 0
+        self.gid = session.group_of[node_id]
+        self.active: set[int] = set(session.groups[self.gid])
+        self.more_work = True
+        self.computing = False
+        self.finish_time: Optional[float] = None
+        # Performance window (§3.2): work completed and busy seconds
+        # since the last synchronization point.
+        self.win_work = 0.0
+        self.win_busy = 0.0
+        self.rate = self.ws.speed  # optimistic prior before measurements
+        self.proc: Optional[Process] = None
+        # Periodic synchronization (Dome/Siegell model, §2.2 ablation):
+        # the lowest-numbered active group member is the clock.
+        self.periodic = session.options.sync_mode == "periodic"
+        self.next_deadline = session.env.now + session.options.sync_period
+
+        session.nodes[node_id] = self
+        session.vm.inbox[node_id].notify = self._on_message
+
+    # -- interrupt wiring ---------------------------------------------------
+    def _on_message(self, msg: Message) -> None:
+        """Mailbox hook: break out of compute when a sync interrupt lands."""
+        if (msg.tag is Tag.INTERRUPT and msg.epoch == self.epoch
+                and self.computing and self.proc is not None
+                and self.proc.is_alive):
+            self.computing = False
+            self.proc.interrupt("sync")
+
+    def steal(self, duration: float) -> bool:
+        """Pause this node's computation for ``duration`` seconds.
+
+        Called by a co-located central balancer to model the context
+        switch between the balancer and the computation slave (§6.2's
+        LCDLB overhead).  Returns False when the node is not computing.
+        """
+        if self.computing and self.proc is not None and self.proc.is_alive:
+            self.computing = False
+            self.proc.interrupt(("steal", duration))
+            return True
+        return False
+
+    def _pending_interrupt(self) -> Optional[Message]:
+        return self.session.vm.inbox[self.me].peek(
+            lambda m: m.tag is Tag.INTERRUPT and m.epoch == self.epoch)
+
+    # -- main loop ----------------------------------------------------------
+    def run(self) -> Generator[Event, None, None]:
+        """The node's top-level simulated process."""
+        session = self.session
+        env = session.env
+        if not session.strategy.is_dlb:
+            # Static baseline: compute the initial block, then stop.
+            yield from self._compute()
+            self.finish_time = env.now
+            return
+        while self.more_work:
+            status = yield from self._compute()
+            others = sorted(self.active - {self.me})
+            if status == "finished" and not others \
+                    and not session.centralized:
+                # Lone distributed node: nothing to exchange with.
+                self.more_work = False
+                break
+            if self.periodic:
+                proceed = yield from self._periodic_trigger(status, others)
+                if not proceed:
+                    continue
+            elif status == "finished":
+                if others and self._pending_interrupt() is None:
+                    # Receiver-initiated sync: interrupt the group (§3.1).
+                    yield from session.vm.multicast(
+                        InterruptMsg(src=self.me, dst=o, epoch=self.epoch,
+                                     group=self.gid)
+                        for o in others)
+            outcome = yield from self._synchronize()
+            self.next_deadline = env.now + session.options.sync_period
+            if outcome in ("done", "retired"):
+                break
+        self.finish_time = env.now
+
+    def _is_clock(self) -> bool:
+        """The periodic-mode initiator: lowest-numbered active member."""
+        return self.me == min(self.active)
+
+    def _periodic_trigger(self, status: str, others: list[int]):
+        """Timer-based synchronization entry (sync_mode="periodic").
+
+        Returns True when the node should proceed into the sync, False
+        when it should resume computing (spurious wakeup).
+        """
+        session = self.session
+        env = session.env
+        if status == "deadline" or (status == "finished"
+                                    and self._is_clock()):
+            # The clock waits out the rest of the period (it may have
+            # finished early), then interrupts the group.
+            if env.now < self.next_deadline \
+                    and self._pending_interrupt() is None:
+                yield env.timeout(self.next_deadline - env.now)
+            if others and self._pending_interrupt() is None:
+                yield from session.vm.multicast(
+                    InterruptMsg(src=self.me, dst=o, epoch=self.epoch,
+                                 group=self.gid)
+                    for o in others)
+        elif status == "finished":
+            # A non-clock finisher idles until the next periodic sync —
+            # precisely the utilization loss the paper's interrupt-based
+            # scheme avoids.
+            if self._pending_interrupt() is None:
+                yield session.vm.recv(self.me, Tag.INTERRUPT,
+                                      epoch=self.epoch)
+        return True
+
+    # -- computing ------------------------------------------------------------
+    def _compute(self) -> Generator[Event, None, str]:
+        """Execute assigned iterations until done or interrupted.
+
+        Returns ``"finished"`` when the whole assignment completed, or
+        ``"interrupted"`` after stopping at the next iteration boundary
+        following a synchronization interrupt.
+        """
+        session = self.session
+        env = session.env
+        table = session.table
+        if self.assignment.empty:
+            return "finished"
+        total = self.assignment.work(table)
+        consumed = 0.0
+        clock_duty = (self.periodic and session.strategy.is_dlb
+                      and self._is_clock())
+        while True:
+            if self._pending_interrupt() is not None:
+                # The flag was raised while we were not interruptible
+                # (e.g. during a steal pause): honor it at this boundary.
+                return (yield from self._stop_at_boundary(consumed))
+            if clock_duty and env.now >= self.next_deadline:
+                result = yield from self._stop_at_boundary(consumed)
+                return "deadline" if result == "interrupted" else result
+            sub_start = env.now
+            remaining = max(total - consumed, 0.0)
+            finish_at = self.ws.time_to_complete(env.now, remaining)
+            deadline_first = clock_duty and self.next_deadline < finish_at
+            target = self.next_deadline if deadline_first else finish_at
+            self.computing = True
+            try:
+                yield env.timeout(max(target - env.now, 0.0))
+            except Interrupt as it:
+                # ``computing`` was cleared by whoever interrupted us.
+                self.win_busy += env.now - sub_start
+                consumed += self.ws.capacity(sub_start, env.now)
+                cause = it.cause
+                if isinstance(cause, tuple) and cause[0] == "steal":
+                    yield env.timeout(cause[1])
+                    continue
+                return (yield from self._stop_at_boundary(consumed))
+            self.computing = False
+            self.win_busy += env.now - sub_start
+            if deadline_first:
+                consumed += self.ws.capacity(sub_start, env.now)
+                result = yield from self._stop_at_boundary(consumed)
+                return "deadline" if result == "interrupted" else result
+            self.win_work += total
+            executed = self.assignment.take_head(self.assignment.count)
+            session.record_executed(self.me, executed)
+            return "finished"
+
+    def _stop_at_boundary(self, consumed: float
+                          ) -> Generator[Event, None, str]:
+        """Finish the iteration in flight, book completed work, stop."""
+        session = self.session
+        env = session.env
+        table = session.table
+        k = self.assignment.head_count_for_work(table, consumed, round_up=True)
+        boundary_work = self.assignment.head_work(table, k)
+        extra = boundary_work - consumed
+        if extra > _EPS:
+            t_end = self.ws.time_to_complete(env.now, extra)
+            self.win_busy += t_end - env.now
+            yield env.timeout(t_end - env.now)
+        if k > 0:
+            self.win_work += boundary_work
+            executed = self.assignment.take_head(k)
+            session.record_executed(self.me, executed)
+        return "interrupted"
+
+    # -- synchronizing ------------------------------------------------------
+    def _measured_rate(self) -> float:
+        """The §3.2 performance metric over the current window."""
+        if self.win_busy > 0 and self.win_work > 0:
+            self.rate = self.win_work / self.win_busy
+        return self.rate
+
+    def _reset_window(self) -> None:
+        if self.session.options.profile_window_reset:
+            self.win_work = 0.0
+            self.win_busy = 0.0
+
+    def _synchronize(self) -> Generator[Event, None, str]:
+        """One synchronization point: profile, plan, move work."""
+        session = self.session
+        vm = session.vm
+        env = session.env
+        epoch = self.epoch
+        # Consume this epoch's interrupt(s) and any stale ones.
+        vm.inbox[self.me].drain(
+            lambda m: m.tag is Tag.INTERRUPT and m.epoch <= epoch)
+
+        remaining_work = self.assignment.work(session.table)
+        profile = ProfileMsg(
+            src=self.me, dst=self.me, epoch=epoch, group=self.gid,
+            remaining_work=remaining_work,
+            remaining_count=self.assignment.count,
+            rate=self._measured_rate())
+
+        if session.centralized:
+            yield from vm.send(replace(profile, dst=session.lb_host))
+            instr = yield vm.recv(self.me, Tag.INSTRUCTION, epoch=epoch)
+            assert isinstance(instr, InstructionMsg)
+            if instr.select_scheme:
+                session.apply_selection(instr.select_scheme,
+                                        instr.select_group_size)
+                self.gid = session.group_of[self.me]
+            if instr.done:
+                self.more_work = False
+                return "done"
+            yield from self._apply(instr.outgoing, instr.incoming,
+                                   instr.active, instr.retire, epoch)
+            if instr.retire:
+                self.more_work = False
+                return "retired"
+        else:
+            others = sorted(self.active - {self.me})
+            yield from vm.multicast(replace(profile, dst=o) for o in others)
+            profiles = {self.me: SyncProfile(
+                node=self.me, remaining_work=remaining_work,
+                remaining_count=self.assignment.count, rate=self.rate)}
+            while len(profiles) < len(others) + 1:
+                msg = yield vm.recv(self.me, Tag.PROFILE, epoch=epoch)
+                profiles[msg.src] = SyncProfile(
+                    node=msg.src, remaining_work=msg.remaining_work,
+                    remaining_count=msg.remaining_count, rate=msg.rate)
+            # Replicated new-distribution calculation (delta), slowed by
+            # this node's current external load.
+            t_end = self.ws.time_to_complete(
+                env.now, session.policy.delta_seconds)
+            yield env.timeout(t_end - env.now)
+            plan = plan_redistribution(
+                sorted(profiles.values(), key=lambda p: p.node),
+                session.policy, session.mean_iteration_time,
+                session.movement_cost_fn)
+            session.record_plan(self.gid, epoch, plan)
+            if plan.done:
+                self.more_work = False
+                return "done"
+            retire_me = self.me in plan.retire
+            yield from self._apply(plan.outgoing(self.me),
+                                   len(plan.incoming(self.me)),
+                                   plan.active, retire_me, epoch)
+            if retire_me:
+                self.more_work = False
+                return "retired"
+        self.epoch += 1
+        self._reset_window()
+        return "continue"
+
+    def _apply(self, outgoing: tuple[TransferOrder, ...], incoming: int,
+               new_active: tuple[int, ...], retire: bool, epoch: int
+               ) -> Generator[Event, None, None]:
+        """Execute a plan's work movement from this node's viewpoint."""
+        session = self.session
+        vm = session.vm
+        table = session.table
+        orders = list(outgoing)
+        for idx, order in enumerate(orders):
+            if retire and idx == len(orders) - 1:
+                # A retiring node ships everything that is left.
+                ranges = self.assignment.take_all()
+                count = sum(e - s for s, e in ranges)
+            else:
+                ranges, count = self.assignment.take_tail_work(
+                    table, order.work, keep_one=not retire)
+            yield from vm.send(WorkMsg(
+                src=self.me, dst=order.dst, epoch=epoch,
+                ranges=tuple(ranges), count=count,
+                data_bytes=count * session.loop.dc_bytes))
+        for _ in range(incoming):
+            msg = yield vm.recv(self.me, Tag.WORK, epoch=epoch)
+            assert isinstance(msg, WorkMsg)
+            if msg.ranges:
+                self.assignment.add(msg.ranges)
+        self.active = set(new_active) & set(session.groups[self.gid])

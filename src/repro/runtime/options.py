@@ -1,0 +1,95 @@
+"""Execution options for the DLB run-time executor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from ..core.policy import DlbPolicy
+from ..network.parameters import NetworkParameters
+
+__all__ = ["RunOptions"]
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Knobs of one executor run.
+
+    Attributes
+    ----------
+    policy:
+        The DLB thresholds and costs (§3.3–§3.4).
+    network:
+        Transport parameters; defaults to the paper's measured values.
+    group_size:
+        ``K`` for the local strategies.  ``0`` means the paper's
+        two-group setting, ``K = ceil(P / 2)``.
+    include_staging:
+        Model the initial scatter and final gather of the distributed
+        arrays (and sequential-stage gather/scatter).  Off by default:
+        staging cost is identical across strategies and the paper's
+        claims concern the loop execution; see EXPERIMENTS.md.
+    profile_window_reset:
+        Reset the performance window at every synchronization (the
+        paper's "since the last synchronization point" metric).  When
+        False the whole history is used (the §3.2 alternative).
+    on_execute:
+        Optional callback ``(node, ranges)`` fired when a node completes
+        iterations — used by the compiled-code integration to actually
+        run kernels and check exactly-once execution.
+    trace:
+        Collect per-sync records in the stats (cheap; on by default).
+    group_formation:
+        How the local strategies form their fixed groups (§3.5):
+        ``"block"`` (the paper's choice), ``"interleaved"``, or
+        ``"random"`` (seeded by ``group_seed``).
+    initial_partition:
+        ``"equal"`` — the paper's equal-block compiler default; or
+        ``"speed"`` — blocks proportional to nominal processor speeds
+        (static heterogeneity handling; the extension the paper cites
+        from Cierniak/Li/Zaki).
+    sync_mode:
+        ``"interrupt"`` — the paper's receiver-initiated scheme; or
+        ``"periodic"`` — timer-based synchronization every
+        ``sync_period`` seconds (the Dome/Siegell model of §2.2), in
+        which the lowest-numbered active group member initiates the
+        sync at the first iteration boundary past the deadline.
+    sync_period:
+        Period for ``sync_mode="periodic"``, in seconds.
+    """
+
+    policy: DlbPolicy = field(default_factory=DlbPolicy)
+    network: NetworkParameters = field(default_factory=NetworkParameters)
+    group_size: int = 0
+    include_staging: bool = False
+    profile_window_reset: bool = True
+    on_execute: Optional[Callable[[int, list[tuple[int, int]]], None]] = None
+    trace: bool = True
+    group_formation: str = "block"
+    group_seed: int = 0
+    initial_partition: str = "equal"
+    sync_mode: str = "interrupt"
+    sync_period: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.group_formation not in ("block", "interleaved", "random"):
+            raise ValueError(f"bad group_formation {self.group_formation!r}")
+        if self.initial_partition not in ("equal", "speed"):
+            raise ValueError(
+                f"bad initial_partition {self.initial_partition!r}")
+        if self.sync_mode not in ("interrupt", "periodic"):
+            raise ValueError(f"bad sync_mode {self.sync_mode!r}")
+        if self.sync_period <= 0:
+            raise ValueError("sync_period must be positive")
+
+    def effective_group_size(self, n_processors: int,
+                             strategy_group_size: Optional[int]) -> int:
+        """Resolve ``K``: strategy override > option > paper default."""
+        if strategy_group_size:
+            return min(strategy_group_size, n_processors)
+        if self.group_size:
+            return min(self.group_size, n_processors)
+        return max(1, (n_processors + 1) // 2)
+
+    def but(self, **changes) -> "RunOptions":
+        return replace(self, **changes)

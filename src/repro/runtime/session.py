@@ -1,0 +1,135 @@
+"""Shared state of one load-balanced loop execution (a *session*).
+
+A :class:`LoopSession` bundles everything the node processes and the
+central balancer need to coordinate: the simulation environment, the
+virtual machine, the workstations, the loop's work table, the strategy
+configuration (which may be *re*configured mid-run by the customized
+selection of §4.3), group membership, and the statistics sink.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from ..apps.workload import LoopSpec, WorkTable
+from ..core.policy import DlbPolicy
+from ..core.redistribution import (
+    MovementCostFn,
+    RedistributionPlan,
+    make_movement_cost_estimator,
+)
+from ..core.strategies.base import StrategySpec
+from ..core.strategies.registry import get_strategy
+from ..machine.cluster import build_groups
+from ..machine.workstation import Workstation
+from ..message.pvm import VirtualMachine
+from ..simulation import Environment
+from .options import RunOptions
+from .stats import LoopRunStats, SyncRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import NodeRuntime
+
+__all__ = ["LoopSession"]
+
+#: Host index of the master processor / central load balancer.
+MASTER = 0
+
+
+class LoopSession:
+    """Coordination state shared by all processes of one loop run."""
+
+    def __init__(self, env: Environment, vm: VirtualMachine,
+                 stations: list[Workstation], loop: LoopSpec,
+                 strategy: StrategySpec, options: RunOptions,
+                 selector: Optional[Callable] = None) -> None:
+        self.env = env
+        self.vm = vm
+        self.stations = stations
+        self.loop = loop
+        self.table: WorkTable = loop.work_table()
+        self.options = options
+        self.policy: DlbPolicy = options.policy
+        self.strategy = strategy
+        self.selector = selector
+        self.lb_host = MASTER
+        self.n = len(stations)
+        self.mean_iteration_time = self.table.total_work / self.table.n
+
+        k = options.effective_group_size(self.n, strategy.group_size)
+        self.group_size = k
+        if strategy.global_scope or not strategy.is_dlb:
+            self.groups: list[list[int]] = [list(range(self.n))]
+        else:
+            self.groups = build_groups(self.n, k,
+                                       formation=options.group_formation,
+                                       seed=options.group_seed)
+        self.group_of = {node: g for g, members in enumerate(self.groups)
+                         for node in members}
+
+        self.movement_cost_fn: Optional[MovementCostFn] = None
+        if self.policy.include_movement_cost:
+            self.movement_cost_fn = make_movement_cost_estimator(
+                latency=options.network.latency,
+                bandwidth=options.network.bandwidth,
+                dc_bytes=loop.dc_bytes,
+                mean_iteration_time=self.mean_iteration_time)
+
+        self.stats = LoopRunStats(
+            loop_name=loop.name, strategy=strategy.name,
+            n_processors=self.n, group_size=self.group_size)
+        self.nodes: dict[int, "NodeRuntime"] = {}
+        self._recorded_plans: set[tuple[int, int]] = set()
+        self._selected = False
+
+    # -- strategy view ------------------------------------------------------
+    @property
+    def centralized(self) -> bool:
+        """Whether sync traffic currently flows through the central LB.
+
+        The customized strategy starts centralized (the pseudo-master
+        handles the first synchronization, §5.2) and may hand over to a
+        distributed scheme after selection.
+        """
+        if self.strategy.code == "CUSTOM":
+            return True  # until apply_selection replaces the strategy
+        return self.strategy.centralized
+
+    def apply_selection(self, scheme_code: str, group_size: int) -> None:
+        """Commit to the selected scheme (idempotent, §4.3)."""
+        if self._selected:
+            return
+        self._selected = True
+        chosen = get_strategy(scheme_code)
+        self.stats.selected_scheme = chosen.name
+        self.strategy = chosen
+        if group_size:
+            self.group_size = min(group_size, self.n)
+        if chosen.global_scope:
+            self.groups = [list(range(self.n))]
+        else:
+            self.groups = build_groups(self.n, self.group_size,
+                                       formation=self.options.group_formation,
+                                       seed=self.options.group_seed)
+        self.group_of = {node: g for g, members in enumerate(self.groups)
+                         for node in members}
+
+    # -- bookkeeping ----------------------------------------------------------
+    def record_plan(self, group: int, epoch: int,
+                    plan: RedistributionPlan) -> None:
+        """Record a sync outcome once (replicated balancers call this P times)."""
+        key = (group, epoch)
+        if key in self._recorded_plans or not self.options.trace:
+            return
+        self._recorded_plans.add(key)
+        self.stats.record_sync(SyncRecord(
+            time=self.env.now, group=group, epoch=epoch, reason=plan.reason,
+            moved_work=plan.work_to_move if plan.move else 0.0,
+            n_transfers=len(plan.transfers), retired=plan.retire,
+            predicted_current=plan.predicted_current,
+            predicted_balanced=plan.predicted_balanced))
+
+    def record_executed(self, node: int, ranges: list[tuple[int, int]]) -> None:
+        self.stats.executed_by_node.setdefault(node, []).extend(ranges)
+        if self.options.on_execute is not None and ranges:
+            self.options.on_execute(node, ranges)

@@ -1,0 +1,123 @@
+"""Run statistics: what DLB_gather_data reports at the end of a run.
+
+The paper's run-time system collects "DLB statistics (such as number of
+redistributions, number of synchronizations, amount of work moved,
+etc.)"; these dataclasses are that report, extended with per-sync
+records and message counts for the analysis in the experiments package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["SyncRecord", "LoopRunStats", "StageRunStats", "AppRunStats"]
+
+
+@dataclass
+class SyncRecord:
+    """One synchronization point as observed by the balancer."""
+
+    time: float
+    group: int
+    epoch: int
+    reason: str           # "moved" | "below-move-threshold" | "unprofitable" | "done"
+    moved_work: float
+    n_transfers: int
+    retired: tuple[int, ...]
+    predicted_current: float = 0.0
+    predicted_balanced: float = 0.0
+
+
+@dataclass
+class LoopRunStats:
+    """Statistics for one load-balanced loop execution."""
+
+    loop_name: str
+    strategy: str
+    n_processors: int
+    group_size: int
+    start_time: float = 0.0
+    end_time: float = 0.0
+    syncs: list[SyncRecord] = field(default_factory=list)
+    executed_by_node: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+    node_finish_times: dict[int, float] = field(default_factory=dict)
+    messages_by_tag: dict[str, int] = field(default_factory=dict)
+    network_messages: int = 0
+    network_bytes: int = 0
+    selected_scheme: Optional[str] = None
+    selection_report: Optional[object] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def n_syncs(self) -> int:
+        return len(self.syncs)
+
+    @property
+    def n_redistributions(self) -> int:
+        return sum(1 for s in self.syncs if s.reason == "moved")
+
+    @property
+    def total_work_moved(self) -> float:
+        return sum(s.moved_work for s in self.syncs if s.reason == "moved")
+
+    def executed_count(self, node: int) -> int:
+        return sum(e - s for s, e in self.executed_by_node.get(node, []))
+
+    def record_sync(self, record: SyncRecord) -> None:
+        self.syncs.append(record)
+
+    def summary(self) -> str:
+        return (f"{self.loop_name} [{self.strategy}] P={self.n_processors} "
+                f"K={self.group_size}: time={self.duration:.3f}s "
+                f"syncs={self.n_syncs} moves={self.n_redistributions} "
+                f"moved={self.total_work_moved:.3f}s-of-work "
+                f"msgs={self.network_messages}")
+
+
+@dataclass
+class StageRunStats:
+    """A sequential (master-only) stage: transpose, staging, ..."""
+
+    stage_name: str
+    start_time: float
+    end_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+@dataclass
+class AppRunStats:
+    """Statistics for a full application run (all stages, one env)."""
+
+    app_name: str
+    strategy: str
+    n_processors: int
+    stages: list[object] = field(default_factory=list)  # Loop/Stage stats
+
+    @property
+    def total_duration(self) -> float:
+        return sum(s.duration for s in self.stages)
+
+    @property
+    def loop_stats(self) -> list[LoopRunStats]:
+        return [s for s in self.stages if isinstance(s, LoopRunStats)]
+
+    def loop(self, name: str) -> LoopRunStats:
+        for s in self.loop_stats:
+            if s.loop_name == name:
+                return s
+        raise KeyError(f"no loop stats named {name!r}")
+
+    def summary(self) -> str:
+        lines = [f"{self.app_name} [{self.strategy}] "
+                 f"total={self.total_duration:.3f}s"]
+        lines += ["  " + (s.summary() if isinstance(s, LoopRunStats)
+                          else f"{s.stage_name}: {s.duration:.3f}s")
+                  for s in self.stages]
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Execution tracing: per-node activity timelines and utilization.
+
+The statistics of :mod:`repro.runtime.stats` summarize a run; this
+module reconstructs *what each processor was doing when* from the sync
+records and executed ranges, and renders an ASCII Gantt chart — the
+quickest way to see a retirement cascade, an LCDLB balancer queue, or
+periodic-sync idling.
+
+Tracing is derived (no extra instrumentation cost): compute intervals
+are reconstructed from the workstation time math and the per-node
+executed counts, sync points from the trace records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..apps.workload import LoopSpec
+from ..machine.workstation import Workstation
+from .stats import LoopRunStats
+
+__all__ = ["UtilizationReport", "utilization_report", "render_gantt",
+           "render_sync_timeline"]
+
+
+@dataclass
+class UtilizationReport:
+    """Aggregate utilization of one loop run.
+
+    ``busy_fraction`` is work-weighted: the fraction of each node's
+    wall time it spent executing iterations, given its (load-modulated)
+    effective speed; the remainder is synchronization, waiting and
+    post-retirement idleness.
+    """
+
+    duration: float
+    per_node_busy: dict[int, float]
+    per_node_finish: dict[int, float]
+    executed: dict[int, int]
+
+    @property
+    def busy_fraction(self) -> float:
+        if not self.per_node_busy or self.duration <= 0:
+            return 0.0
+        total = sum(min(b / self.duration, 1.0)
+                    for b in self.per_node_busy.values())
+        return total / len(self.per_node_busy)
+
+    def summary(self) -> str:
+        lines = [f"utilization over {self.duration:.3f}s "
+                 f"(mean busy fraction {self.busy_fraction:.2f})"]
+        for node in sorted(self.per_node_busy):
+            busy = self.per_node_busy[node]
+            frac = min(busy / self.duration, 1.0) if self.duration else 0.0
+            lines.append(
+                f"  node {node}: {self.executed.get(node, 0):5d} iters, "
+                f"busy {busy:7.3f}s ({frac:5.1%}), finished at "
+                f"{self.per_node_finish.get(node, 0.0):7.3f}s")
+        return "\n".join(lines)
+
+
+def _node_busy_seconds(stats: LoopRunStats, loop: LoopSpec,
+                       stations: list[Workstation], node: int) -> float:
+    """Wall seconds node spent computing its executed iterations.
+
+    Approximation: the executed work divided by the node's *average*
+    effective speed over its active window — exact for constant load,
+    tight otherwise.
+    """
+    table = loop.work_table()
+    work = sum(table.range_work(s, e)
+               for s, e in stats.executed_by_node.get(node, []))
+    if work <= 0:
+        return 0.0
+    ws = stations[node]
+    end = stats.node_finish_times.get(node) or stats.end_time
+    window = max(end - stats.start_time, 1e-12)
+    speed = ws.average_effective_speed(stats.start_time, end)
+    return min(work / max(speed, 1e-12), window)
+
+
+def utilization_report(stats: LoopRunStats, loop: LoopSpec,
+                       stations: list[Workstation]) -> UtilizationReport:
+    """Reconstruct per-node utilization from run statistics."""
+    busy = {i: _node_busy_seconds(stats, loop, stations, i)
+            for i in range(stats.n_processors)}
+    return UtilizationReport(
+        duration=stats.duration,
+        per_node_busy=busy,
+        per_node_finish={i: (stats.node_finish_times.get(i) or
+                             stats.end_time) - stats.start_time
+                         for i in range(stats.n_processors)},
+        executed={i: stats.executed_count(i)
+                  for i in range(stats.n_processors)})
+
+
+def render_gantt(stats: LoopRunStats, loop: LoopSpec,
+                 stations: list[Workstation], width: int = 60) -> str:
+    """ASCII Gantt chart: one row per node, '#' busy, '.' idle/overhead,
+    '|' sync points, ' ' after the node finished."""
+    if stats.duration <= 0:
+        return "(empty run)"
+    report = utilization_report(stats, loop, stations)
+    scale = stats.duration / width
+    sync_cols = sorted({min(int((s.time - stats.start_time) / scale),
+                            width - 1) for s in stats.syncs})
+    lines = [f"== {stats.loop_name} [{stats.strategy}] "
+             f"{stats.duration:.3f}s, {stats.n_syncs} syncs =="]
+    for node in range(stats.n_processors):
+        finish = report.per_node_finish[node]
+        finish_col = min(int(finish / scale), width)
+        busy_cols = int(min(report.per_node_busy[node] / scale, finish_col))
+        row = ["#"] * busy_cols + ["."] * (finish_col - busy_cols)
+        row += [" "] * (width - len(row))
+        for col in sync_cols:
+            if col < finish_col:
+                row[col] = "|"
+        lines.append(f"P{node:<2d} |{''.join(row)}|")
+    axis = f"    0{'':{width - 8}}{stats.duration:7.2f}s"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_sync_timeline(stats: LoopRunStats,
+                         limit: Optional[int] = None) -> str:
+    """One line per synchronization point, in time order."""
+    lines = [f"== sync timeline: {stats.loop_name} [{stats.strategy}] =="]
+    records = stats.syncs[:limit] if limit else stats.syncs
+    for s in records:
+        retired = f" retired={list(s.retired)}" if s.retired else ""
+        lines.append(
+            f"  t={s.time:9.3f}s g{s.group} e{s.epoch:<3d} "
+            f"{s.reason:<22s} moved={s.moved_work:8.3f} "
+            f"xfers={s.n_transfers}{retired}")
+    if limit and len(stats.syncs) > limit:
+        lines.append(f"  ... {len(stats.syncs) - limit} more")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Related-work loop schedulers (S11): the task-queue model of §2.2."""
+
+from .affinity import run_affinity
+from .policies import (
+    ALL_POLICIES,
+    Factoring,
+    FixedSizeChunking,
+    GuidedSelfScheduling,
+    SafeSelfScheduling,
+    SelfScheduling,
+    StaticChunking,
+    TrapezoidSelfScheduling,
+)
+from .taskqueue import ChunkPolicy, TaskQueueResult, run_task_queue
+
+__all__ = [
+    "ALL_POLICIES",
+    "ChunkPolicy",
+    "Factoring",
+    "FixedSizeChunking",
+    "GuidedSelfScheduling",
+    "SafeSelfScheduling",
+    "SelfScheduling",
+    "StaticChunking",
+    "TaskQueueResult",
+    "TrapezoidSelfScheduling",
+    "run_affinity",
+    "run_task_queue",
+]

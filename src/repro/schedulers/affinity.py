@@ -1,0 +1,121 @@
+"""Affinity scheduling [Markatos & LeBlanc '94] (paper §2.2).
+
+Unlike the central-queue rules, affinity scheduling keeps a per-
+processor queue: everyone starts with an equal block (locality), and an
+idle processor removes ``1/P`` of the iterations from the *most loaded*
+processor's queue.  Grabs from the own queue are cheap; steals pay the
+(remote) access cost.  Chronological simulation on the shared
+workstation time math, like :func:`repro.schedulers.taskqueue.run_task_queue`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Optional, Sequence
+
+from ..apps.workload import LoopSpec, WorkTable
+from ..machine.cluster import ClusterSpec
+from ..machine.workstation import Workstation
+from .taskqueue import TaskQueueResult
+
+__all__ = ["run_affinity"]
+
+
+def run_affinity(loop: LoopSpec, cluster: ClusterSpec,
+                 local_fraction: float = 0.25,
+                 access_cost: float = 0.0,
+                 steal_cost: float = 0.0,
+                 stations: Optional[Sequence[Workstation]] = None
+                 ) -> TaskQueueResult:
+    """Simulate affinity scheduling.
+
+    ``local_fraction`` controls how much of the local queue a processor
+    takes per grab (Markatos–LeBlanc take ``1/k`` pieces; 1.0 grabs the
+    whole block at once and degenerates to a static schedule — exposed
+    for the ablation).
+    """
+    if not 0 < local_fraction <= 1:
+        raise ValueError("local_fraction must be in (0, 1]")
+    if stations is None:
+        stations = cluster.build()
+    n = len(stations)
+    table: WorkTable = loop.work_table()
+
+    # Per-processor deques of (start, end) ranges.
+    base, extra = divmod(loop.n_iterations, n)
+    queues: list[list[tuple[int, int]]] = []
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        queues.append([(start, start + size)] if size else [])
+        start += size
+
+    def queue_count(i: int) -> int:
+        return sum(e - s for s, e in queues[i])
+
+    def take(i: int, k: int, from_front: bool) -> int:
+        """Remove up to ``k`` iterations from queue ``i``; return count."""
+        out: list[tuple[int, int]] = []
+        left = k
+        while left > 0 and queues[i]:
+            s, e = queues[i][0] if from_front else queues[i][-1]
+            size = e - s
+            if size <= left:
+                out.append((s, e))
+                queues[i].pop(0 if from_front else -1)
+                left -= size
+            else:
+                if from_front:
+                    out.append((s, s + left))
+                    queues[i][0] = (s + left, e)
+                else:
+                    out.append((e - left, e))
+                    queues[i][-1] = (s, e - left)
+                left = 0
+        return sum(e - s for s, e in out)
+
+    result = TaskQueueResult(scheduler="affinity", finish_time=0.0,
+                             n_chunks=0, queue_accesses=0)
+    result.chunks_by_processor = {i: 0 for i in range(n)}
+    result.iterations_by_processor = {i: 0 for i in range(n)}
+    result.finish_by_processor = {i: 0.0 for i in range(n)}
+
+    ready = [(0.0, i) for i in range(n)]
+    heapq.heapify(ready)
+    queue_free = 0.0
+    while ready:
+        t, proc = heapq.heappop(ready)
+        if queue_count(proc) > 0:
+            # Local grab.
+            k = max(1, math.ceil(queue_count(proc) * local_fraction))
+            grab_end = t + access_cost
+            ranges_before = list(queues[proc])
+            count = take(proc, k, from_front=True)
+            work = (sum(table.range_work(s, e) for s, e in ranges_before)
+                    - sum(table.range_work(s, e) for s, e in queues[proc]))
+        else:
+            # Steal 1/P of the most loaded processor's queue.
+            victim = max(range(n), key=lambda j: (queue_count(j), -j))
+            if queue_count(victim) == 0:
+                result.finish_by_processor[proc] = max(
+                    result.finish_by_processor[proc], t)
+                continue
+            grab_start = max(t, queue_free)
+            grab_end = grab_start + access_cost + steal_cost
+            queue_free = grab_end
+            k = max(1, queue_count(victim) // n)
+            ranges_before = list(queues[victim])
+            count = take(victim, k, from_front=False)
+            work = (sum(table.range_work(s, e) for s, e in ranges_before)
+                    - sum(table.range_work(s, e) for s, e in queues[victim]))
+        result.queue_accesses += 1
+        done_at = stations[proc].time_to_complete(grab_end, work)
+        result.n_chunks += 1
+        result.chunks_by_processor[proc] += 1
+        result.iterations_by_processor[proc] += count
+        result.finish_by_processor[proc] = done_at
+        heapq.heappush(ready, (done_at, proc))
+
+    result.finish_time = max(result.finish_by_processor.values())
+    return result

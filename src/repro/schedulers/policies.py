@@ -1,0 +1,168 @@
+"""Chunk-size rules from the loop-scheduling literature (paper §2.2).
+
+Each class implements one published rule.  References follow the
+paper's related-work section: self-scheduling [Tang & Yew '86],
+fixed-size chunking [Kruskal & Weiss '85], guided self-scheduling
+[Polychronopoulos & Kuck '87], factoring [Hummel, Schonberg & Flynn
+'92], trapezoid self-scheduling [Tzen & Ni '93], and safe
+self-scheduling [Liu et al. '92].
+"""
+
+from __future__ import annotations
+
+import math
+
+from .taskqueue import ChunkPolicy
+
+__all__ = [
+    "SelfScheduling",
+    "FixedSizeChunking",
+    "GuidedSelfScheduling",
+    "Factoring",
+    "TrapezoidSelfScheduling",
+    "SafeSelfScheduling",
+    "StaticChunking",
+    "ALL_POLICIES",
+]
+
+
+class SelfScheduling(ChunkPolicy):
+    """One iteration per grab: perfect balance, maximal synchronization."""
+
+    name = "self-scheduling"
+
+    def chunk(self, remaining: int, n_processors: int, step: int) -> int:
+        return 1
+
+    def reset(self, n_iterations: int, n_processors: int) -> None:
+        pass
+
+
+class FixedSizeChunking(ChunkPolicy):
+    """``K`` iterations per grab.
+
+    With ``k=0`` the Kruskal–Weiss near-optimal size is used:
+    ``K = ceil(N / (P * sqrt(P)))`` — a practical middle ground between
+    the (environment-dependent) optimal formula and usability.
+    """
+
+    def __init__(self, k: int = 0) -> None:
+        self.k = k
+        self._k_eff = max(k, 1)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"chunking(K={self.k or 'auto'})"
+
+    def reset(self, n_iterations: int, n_processors: int) -> None:
+        if self.k > 0:
+            self._k_eff = self.k
+        else:
+            self._k_eff = max(1, math.ceil(
+                n_iterations / (n_processors * math.sqrt(n_processors))))
+
+    def chunk(self, remaining: int, n_processors: int, step: int) -> int:
+        return self._k_eff
+
+
+class GuidedSelfScheduling(ChunkPolicy):
+    """``ceil(remaining / P)`` per grab — large chunks first, then tiny."""
+
+    name = "gss"
+
+    def chunk(self, remaining: int, n_processors: int, step: int) -> int:
+        return max(1, math.ceil(remaining / n_processors))
+
+    def reset(self, n_iterations: int, n_processors: int) -> None:
+        pass
+
+
+class Factoring(ChunkPolicy):
+    """Batched halving: each batch splits half the remaining work into
+    ``P`` equal chunks."""
+
+    name = "factoring"
+
+    def __init__(self) -> None:
+        self._in_batch = 0
+        self._chunk = 1
+
+    def reset(self, n_iterations: int, n_processors: int) -> None:
+        self._in_batch = 0
+        self._chunk = 1
+
+    def chunk(self, remaining: int, n_processors: int, step: int) -> int:
+        if self._in_batch == 0:
+            self._chunk = max(1, math.ceil(remaining / (2 * n_processors)))
+            self._in_batch = n_processors
+        self._in_batch -= 1
+        return self._chunk
+
+
+class TrapezoidSelfScheduling(ChunkPolicy):
+    """Linearly decreasing chunks from ``f = N / (2P)`` down to ``l = 1``."""
+
+    name = "tss"
+
+    def __init__(self) -> None:
+        self._first = 1.0
+        self._decrement = 0.0
+        self._current = 1.0
+
+    def reset(self, n_iterations: int, n_processors: int) -> None:
+        self._first = max(1.0, n_iterations / (2.0 * n_processors))
+        last = 1.0
+        n_steps = max(1, math.ceil(2.0 * n_iterations / (self._first + last)))
+        self._decrement = (self._first - last) / max(n_steps - 1, 1)
+        self._current = self._first
+
+    def chunk(self, remaining: int, n_processors: int, step: int) -> int:
+        size = max(1, int(round(self._current)))
+        self._current = max(1.0, self._current - self._decrement)
+        return size
+
+
+class SafeSelfScheduling(ChunkPolicy):
+    """Static phase then dynamic: the first ``P`` grabs hand out a fixed
+    ``alpha``-fraction block each; the rest self-schedule in halves."""
+
+    name = "safe-ss"
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0 < alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        self.alpha = alpha
+        self._static = 1
+        self._static_left = 0
+
+    def reset(self, n_iterations: int, n_processors: int) -> None:
+        self._static = max(1, int(self.alpha * n_iterations / n_processors))
+        self._static_left = n_processors
+
+    def chunk(self, remaining: int, n_processors: int, step: int) -> int:
+        if self._static_left > 0:
+            self._static_left -= 1
+            return self._static
+        return max(1, math.ceil(remaining / (2 * n_processors)))
+
+
+class StaticChunking(ChunkPolicy):
+    """Equal blocks handed out once — the no-DLB baseline in queue form."""
+
+    name = "static"
+
+    def __init__(self) -> None:
+        self._block = 1
+
+    def reset(self, n_iterations: int, n_processors: int) -> None:
+        self._block = max(1, math.ceil(n_iterations / n_processors))
+
+    def chunk(self, remaining: int, n_processors: int, step: int) -> int:
+        return self._block
+
+
+def ALL_POLICIES() -> list[ChunkPolicy]:
+    """Fresh instances of every rule (policies are stateful)."""
+    return [SelfScheduling(), FixedSizeChunking(), GuidedSelfScheduling(),
+            Factoring(), TrapezoidSelfScheduling(), SafeSelfScheduling(),
+            StaticChunking()]

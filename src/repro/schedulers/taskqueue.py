@@ -1,0 +1,116 @@
+"""Task-queue loop scheduling (the related work of paper §2.2).
+
+The classic dynamic loop schedulers — self-scheduling, fixed-size
+chunking, guided self-scheduling, factoring, trapezoid self-scheduling,
+safe self-scheduling — all share one structure: a central queue of loop
+iterations from which idle processors grab chunks; they differ only in
+the chunk-size rule.  This module simulates that structure on the same
+:class:`~repro.machine.workstation.Workstation` time math the DLB
+system uses, so the ablation benches can compare the two models under
+identical external load.
+
+The queue is a serial resource with a per-access cost ``access_cost``:
+on a shared-memory machine that is a cheap atomic operation, on a
+network of workstations it is a message round-trip — which is exactly
+why the paper moves away from the task-queue model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..apps.workload import LoopSpec, WorkTable
+from ..machine.cluster import ClusterSpec
+from ..machine.workstation import Workstation
+
+__all__ = ["ChunkPolicy", "TaskQueueResult", "run_task_queue"]
+
+
+class ChunkPolicy:
+    """Chunk-size rule: how many iterations an idle processor grabs."""
+
+    name = "abstract"
+
+    def chunk(self, remaining: int, n_processors: int, step: int) -> int:
+        """Chunk size given ``remaining`` iterations and grab count ``step``."""
+        raise NotImplementedError
+
+    def reset(self, n_iterations: int, n_processors: int) -> None:
+        """Called once per run before the first grab."""
+
+
+@dataclass
+class TaskQueueResult:
+    """Outcome of one task-queue schedule simulation."""
+
+    scheduler: str
+    finish_time: float
+    n_chunks: int
+    queue_accesses: int
+    chunks_by_processor: dict[int, int] = field(default_factory=dict)
+    iterations_by_processor: dict[int, int] = field(default_factory=dict)
+    finish_by_processor: dict[int, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (f"{self.scheduler}: time={self.finish_time:.3f}s "
+                f"chunks={self.n_chunks} accesses={self.queue_accesses}")
+
+
+def run_task_queue(loop: LoopSpec, cluster: ClusterSpec,
+                   policy: ChunkPolicy,
+                   access_cost: float = 0.0,
+                   stations: Optional[Sequence[Workstation]] = None
+                   ) -> TaskQueueResult:
+    """Simulate a central-queue schedule chronologically.
+
+    Each grab serializes on the queue (cost ``access_cost``), then the
+    processor computes the chunk at its load-modulated speed.  The
+    simulation is exact: processors are advanced in completion-time
+    order, so no events are needed.
+    """
+    if access_cost < 0:
+        raise ValueError("access_cost must be non-negative")
+    if stations is None:
+        stations = cluster.build()
+    n = len(stations)
+    table: WorkTable = loop.work_table()
+    policy.reset(loop.n_iterations, n)
+
+    next_iter = 0                      # first unassigned iteration
+    queue_free = 0.0                   # when the queue lock frees
+    ready = [(0.0, i) for i in range(n)]  # (time processor becomes idle, id)
+    step = 0
+    result = TaskQueueResult(scheduler=policy.name, finish_time=0.0,
+                             n_chunks=0, queue_accesses=0)
+    result.chunks_by_processor = {i: 0 for i in range(n)}
+    result.iterations_by_processor = {i: 0 for i in range(n)}
+    result.finish_by_processor = {i: 0.0 for i in range(n)}
+
+    import heapq
+    heapq.heapify(ready)
+    while ready:
+        t, proc = heapq.heappop(ready)
+        if next_iter >= loop.n_iterations:
+            result.finish_by_processor[proc] = max(
+                result.finish_by_processor[proc], t)
+            continue
+        # Serialize on the queue.
+        grab_start = max(t, queue_free)
+        grab_end = grab_start + access_cost
+        queue_free = grab_end
+        result.queue_accesses += 1
+        remaining = loop.n_iterations - next_iter
+        size = max(1, min(policy.chunk(remaining, n, step), remaining))
+        step += 1
+        start, next_iter = next_iter, next_iter + size
+        work = table.range_work(start, start + size)
+        done_at = stations[proc].time_to_complete(grab_end, work)
+        result.n_chunks += 1
+        result.chunks_by_processor[proc] += 1
+        result.iterations_by_processor[proc] += size
+        result.finish_by_processor[proc] = done_at
+        heapq.heappush(ready, (done_at, proc))
+
+    result.finish_time = max(result.finish_by_processor.values())
+    return result

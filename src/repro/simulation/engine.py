@@ -1,0 +1,434 @@
+"""A compact discrete-event simulation kernel.
+
+This is the substrate on which everything else in :mod:`repro` runs: the
+network of workstations, the PVM-like message layer, and the dynamic load
+balancing protocols are all simulated processes scheduled by the
+:class:`Environment` defined here.
+
+The design follows the classic process-interaction style (as popularized
+by SimPy): simulated processes are Python generators that ``yield`` events
+(:class:`Timeout`, :class:`Event`, other :class:`Process` instances, or
+composites such as :class:`AnyOf`/:class:`AllOf`).  The kernel is
+deterministic: events scheduled at equal times fire in (priority,
+insertion-order) sequence, so simulations are exactly reproducible for a
+given seed.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "a", 2.0))
+>>> _ = env.process(worker(env, "b", 1.0))
+>>> env.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import Interrupt, ScheduleInPastError, SimulationError, StopProcess
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+]
+
+# Scheduling priorities: lower fires first among simultaneous events.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+_PENDING = object()  # sentinel: event value not yet decided
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, which schedules its callbacks to run at the current
+    simulation time.  Processes waiting on the event are resumed with the
+    event's value (or have the failure raised inside them).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self._scheduled = False
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure carried by ``exception``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (processed) event."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after its creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ScheduleInPastError(env.now, env.now + delay)
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, PRIORITY_NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal: starts a process at the time it was created."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, PRIORITY_URGENT, 0.0)
+
+
+class Process(Event):
+    """A simulated process wrapping a generator.
+
+    The process itself is an event that triggers when the generator
+    returns (with its return value) or raises (with the exception).  Other
+    processes may therefore ``yield proc`` to join it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: Optional[str] = None) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for (if any)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process must be alive and must not interrupt itself.  The
+        interrupt is delivered immediately (before any other scheduled
+        event at this timestamp).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        # Deliver through a throw-event so interrupts honor the event loop.
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, PRIORITY_URGENT, 0.0)
+
+    def stop(self) -> None:
+        """Terminate the process without treating it as a failure."""
+        if not self.is_alive:
+            return
+        event = Event(self.env)
+        event._ok = False
+        event._value = StopProcess()
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, PRIORITY_URGENT, 0.0)
+
+    # -- generator driving ----------------------------------------------
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env._active_process = self
+        # Detach from the event we were waiting on (interrupts bypass it).
+        if self._target is not None and self._target is not event:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):
+                pass
+        self._target = None
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    if isinstance(exc, StopProcess):
+                        self._generator.close()
+                        raise StopIteration(None)
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                env._active_process = None
+                self._ok = True
+                self._value = stop.value
+                env._schedule(self, PRIORITY_NORMAL, 0.0)
+                return
+            except StopProcess:
+                env._active_process = None
+                self._ok = True
+                self._value = None
+                env._schedule(self, PRIORITY_NORMAL, 0.0)
+                return
+            except BaseException as exc:
+                env._active_process = None
+                self._ok = False
+                self._value = exc
+                env._schedule(self, PRIORITY_NORMAL, 0.0)
+                return
+
+            if not isinstance(next_event, Event):
+                env._active_process = None
+                error = SimulationError(
+                    f"process {self.name!r} yielded non-event {next_event!r}")
+                self._ok = False
+                self._value = error
+                env._schedule(self, PRIORITY_NORMAL, 0.0)
+                return
+
+            if next_event.callbacks is None:
+                # Already processed: resume immediately with its value.
+                event = next_event
+                continue
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            env._active_process = None
+            return
+
+
+class Condition(Event):
+    """Base for composite events over a fixed set of sub-events."""
+
+    __slots__ = ("events", "_fired")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = tuple(events)
+        self._fired: list[Event] = []
+        if not self.events:
+            self.succeed(self._build_value())
+            return
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("events from different environments")
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _build_value(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self._fired if ev._ok}
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._fired.append(event)
+        if self._satisfied():
+            self.succeed(self._build_value())
+
+
+class AllOf(Condition):
+    """Fires when every sub-event has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) == len(self.events)
+
+
+class AnyOf(Condition):
+    """Fires as soon as any sub-event fires."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) >= 1
+
+
+class Environment:
+    """The simulation clock and event queue.
+
+    All events and processes belong to exactly one environment.  Time is a
+    float in *seconds* throughout :mod:`repro`.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        if delay < 0:
+            raise ScheduleInPastError(self._now, self._now + delay)
+        event._scheduled = True
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event (advancing the clock)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            return  # event was already processed (should not happen)
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the schedule drains, a time is reached, or an event fires.
+
+        Returns the value of ``until`` when it is an event; otherwise None.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "schedule drained before the awaited event fired")
+                self.step()
+            if not stop._ok:
+                raise stop._value
+            return stop._value
+        horizon = float(until)
+        if horizon < self._now:
+            raise ScheduleInPastError(self._now, horizon)
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = max(self._now, horizon)
+        return None

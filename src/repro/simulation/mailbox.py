@@ -1,0 +1,112 @@
+"""FIFO mailboxes with predicate matching for simulated message passing.
+
+A :class:`Mailbox` decouples senders from receivers: ``put`` never blocks
+(workstation memory is not modeled as a bottleneck), while ``get`` returns
+an event that fires when a matching item is available.  ``get`` accepts an
+optional predicate so a receiver can wait for, e.g., only messages of a
+given tag while unrelated traffic queues up — this is how the DLB
+protocols wait for "the instruction for epoch j" while stray interrupts
+for the same epoch sit in the box.
+
+A ``notify`` hook fires on every deposit; the node runtime uses it to
+interrupt a computing process when a synchronization interrupt arrives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .engine import Environment, Event
+
+__all__ = ["Mailbox"]
+
+Predicate = Callable[[Any], bool]
+
+
+class _GetRequest(Event):
+    __slots__ = ("predicate",)
+
+    def __init__(self, env: Environment, predicate: Optional[Predicate]) -> None:
+        super().__init__(env)
+        self.predicate = predicate
+
+
+class Mailbox:
+    """An unbounded FIFO store of items with predicate-filtered gets."""
+
+    def __init__(self, env: Environment, name: str = "mailbox") -> None:
+        self.env = env
+        self.name = name
+        self.items: deque[Any] = deque()
+        self._getters: list[_GetRequest] = []
+        self.notify: Optional[Callable[[Any], None]] = None
+        self.put_count = 0
+        self.got_count = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the first matching waiter, if any."""
+        self.put_count += 1
+        for idx, getter in enumerate(self._getters):
+            if getter.predicate is None or getter.predicate(item):
+                del self._getters[idx]
+                self.got_count += 1
+                getter.succeed(item)
+                break
+        else:
+            self.items.append(item)
+        if self.notify is not None:
+            self.notify(item)
+
+    def get(self, predicate: Optional[Predicate] = None) -> Event:
+        """Return an event that fires with the first matching item.
+
+        Items are matched in FIFO order; a matched item is removed from
+        the box.  If no item currently matches, the request queues until
+        a matching ``put``.
+        """
+        request = _GetRequest(self.env, predicate)
+        for idx, item in enumerate(self.items):
+            if predicate is None or predicate(item):
+                del self.items[idx]
+                self.got_count += 1
+                request.succeed(item)
+                return request
+        self._getters.append(request)
+        return request
+
+    def peek(self, predicate: Optional[Predicate] = None) -> Optional[Any]:
+        """Return (without removing) the first matching queued item."""
+        for item in self.items:
+            if predicate is None or predicate(item):
+                return item
+        return None
+
+    def take(self, predicate: Optional[Predicate] = None) -> Optional[Any]:
+        """Remove and return the first matching queued item, or ``None``.
+
+        Unlike :meth:`get` this never blocks and never creates an event;
+        it is the non-blocking poll used at iteration boundaries.
+        """
+        for idx, item in enumerate(self.items):
+            if predicate is None or predicate(item):
+                del self.items[idx]
+                self.got_count += 1
+                return item
+        return None
+
+    def drain(self, predicate: Optional[Predicate] = None) -> list[Any]:
+        """Remove and return all currently queued matching items."""
+        kept: deque[Any] = deque()
+        out: list[Any] = []
+        for item in self.items:
+            if predicate is None or predicate(item):
+                out.append(item)
+            else:
+                kept.append(item)
+        self.items = kept
+        self.got_count += len(out)
+        return out

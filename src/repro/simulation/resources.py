@@ -1,0 +1,98 @@
+"""Capacity-limited resources for the simulation kernel.
+
+:class:`Resource` models mutual exclusion with FIFO queueing — used for
+the shared Ethernet bus and per-host network interfaces.  Requests are
+events; the canonical usage inside a simulated process is::
+
+    req = bus.request()
+    yield req
+    yield env.timeout(transmit_time)
+    bus.release(req)
+
+or, equivalently, ``yield from bus.use(transmit_time)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from .engine import Environment, Event
+from .errors import SimulationError
+
+__all__ = ["Resource"]
+
+
+class _Request(Event):
+    __slots__ = ()
+
+
+class Resource:
+    """A FIFO resource with integer capacity (default: mutual exclusion)."""
+
+    def __init__(self, env: Environment, capacity: int = 1,
+                 name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._users: set[_Request] = set()
+        self._waiting: deque[_Request] = deque()
+        # -- statistics (for contention analysis / tests) -----------------
+        self.total_requests = 0
+        self.total_wait_time = 0.0
+        self._request_times: dict[int, float] = {}
+
+    @property
+    def in_use(self) -> int:
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Return an event that fires once the resource is acquired."""
+        req = _Request(self.env)
+        self.total_requests += 1
+        self._request_times[id(req)] = self.env.now
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            self._account_wait(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Event) -> None:
+        """Release a previously granted request."""
+        if request in self._users:
+            self._users.remove(request)
+        else:
+            # Allow cancelling a queued request.
+            try:
+                self._waiting.remove(request)  # type: ignore[arg-type]
+                self._request_times.pop(id(request), None)
+                return
+            except ValueError:
+                raise SimulationError("release of a request that was never granted")
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            self._account_wait(nxt)
+            nxt.succeed()
+
+    def _account_wait(self, req: _Request) -> None:
+        start = self._request_times.pop(id(req), None)
+        if start is not None:
+            self.total_wait_time += self.env.now - start
+
+    def use(self, hold_time: float) -> Generator[Event, None, None]:
+        """Acquire, hold for ``hold_time`` simulated seconds, release."""
+        req = self.request()
+        yield req
+        try:
+            yield self.env.timeout(hold_time)
+        finally:
+            self.release(req)

@@ -1,0 +1,50 @@
+"""Tests for the MXM workload spec (§6.2)."""
+
+import pytest
+
+from repro.apps.mxm import (
+    MxmConfig,
+    PAPER_MXM_P16,
+    PAPER_MXM_P4,
+    mxm_application,
+    mxm_loop,
+)
+
+
+def test_work_per_iteration_formula():
+    cfg = MxmConfig(400, 800, 400)
+    assert cfg.work_per_iteration_ops == 800 * 400
+
+
+def test_dc_is_c_elements():
+    cfg = MxmConfig(400, 800, 400)
+    assert cfg.dc_bytes == 800 * 8
+
+
+def test_loop_spec_dimensions():
+    loop = mxm_loop(MxmConfig(400, 800, 400), op_seconds=1e-7)
+    assert loop.n_iterations == 400
+    assert loop.uniform
+    assert loop.iteration_time == pytest.approx(800 * 400 * 1e-7)
+    assert loop.replicated_bytes == 400 * 800 * 8
+
+
+def test_paper_sizes_r_per_proc():
+    assert [c.r for c in PAPER_MXM_P4] == [400, 400, 800, 800]
+    assert [c.r for c in PAPER_MXM_P16] == [1600, 1600, 3200, 3200]
+    assert all(c.r2 == 400 for c in PAPER_MXM_P4 + PAPER_MXM_P16)
+
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ValueError):
+        MxmConfig(0, 1, 1)
+
+
+def test_application_wraps_single_loop():
+    app = mxm_application(MxmConfig(16, 16, 16))
+    assert len(app.loops()) == 1
+    assert app.loops()[0].name == "mxm"
+
+
+def test_label():
+    assert MxmConfig(400, 800, 400).label == "R=400,C=800,R2=400"

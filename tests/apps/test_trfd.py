@@ -1,0 +1,95 @@
+"""Tests for the TRFD workload spec (§6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.trfd import (
+    TrfdConfig,
+    bitonic_pair_costs,
+    loop2_iteration_ops,
+    transpose_stage,
+    trfd_application,
+    trfd_loop1,
+    trfd_loop2,
+)
+
+
+def test_array_size_formula():
+    assert TrfdConfig(30).m == 465
+    assert TrfdConfig(40).m == 820
+    assert TrfdConfig(50).m == 1275
+
+
+def test_loop1_uniform_work():
+    cfg = TrfdConfig(30)
+    loop = trfd_loop1(cfg, op_seconds=1e-7)
+    assert loop.uniform
+    assert loop.n_iterations == 465
+    assert loop.iteration_time == pytest.approx(
+        (30 ** 3 + 3 * 30 ** 2 + 30) * 1e-7)
+
+
+def test_loop2_raw_costs_decreasing():
+    cfg = TrfdConfig(30)
+    ops = loop2_iteration_ops(cfg)
+    assert ops.size == 465
+    assert ops[0] > ops[-1]
+    assert np.all(np.diff(ops) <= 1e-9)
+    assert np.all(ops > 0)
+
+
+def test_loop2_first_iteration_matches_loop1():
+    """At j=1 (i=1) the §6.3 formula reduces to n^3+3n^2+n."""
+    cfg = TrfdConfig(40)
+    assert loop2_iteration_ops(cfg)[0] == pytest.approx(
+        cfg.loop1_iteration_ops)
+
+
+def test_bitonic_pairing_evens_out():
+    cfg = TrfdConfig(30)
+    raw = loop2_iteration_ops(cfg)
+    paired = bitonic_pair_costs(raw)
+    assert paired.size == 233  # ceil(465 / 2)
+    assert paired.sum() == pytest.approx(raw.sum())
+    # Paired costs vary far less than raw costs.
+    assert paired[:-1].std() / paired[:-1].mean() < \
+        0.25 * raw.std() / raw.mean()
+
+
+def test_bitonic_even_count():
+    costs = np.array([4.0, 3.0, 2.0, 1.0])
+    paired = bitonic_pair_costs(costs)
+    assert np.allclose(paired, [5.0, 5.0])
+
+
+def test_loop2_spec_bitonic_default():
+    cfg = TrfdConfig(30)
+    loop = trfd_loop2(cfg)
+    assert loop.n_iterations == 233
+    assert loop.dc_bytes == 2 * cfg.dc_bytes  # two columns per pair
+    assert not loop.uniform
+
+
+def test_loop2_spec_raw_variant():
+    cfg = TrfdConfig(30)
+    loop = trfd_loop2(cfg, bitonic=False)
+    assert loop.n_iterations == 465
+    assert loop.dc_bytes == cfg.dc_bytes
+
+
+def test_transpose_stage_scales_with_m():
+    small = transpose_stage(TrfdConfig(30))
+    big = transpose_stage(TrfdConfig(50))
+    assert big.compute_seconds > small.compute_seconds
+    assert big.gather_bytes == 1275 * 1275 * 8
+
+
+def test_application_structure():
+    app = trfd_application(TrfdConfig(30))
+    assert [s.name for s in app.stages] == ["trfd-L1", "trfd-transpose",
+                                            "trfd-L2"]
+
+
+def test_small_n_rejected():
+    with pytest.raises(ValueError):
+        TrfdConfig(1)

@@ -1,0 +1,134 @@
+"""Unit and property tests for workload specs and work tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.workload import (
+    ApplicationSpec,
+    LoopSpec,
+    SequentialStage,
+    WorkTable,
+)
+
+
+def test_uniform_table_basics():
+    t = WorkTable(0.5, 10)
+    assert t.uniform
+    assert t.total_work == pytest.approx(5.0)
+    assert t.cost(3) == 0.5
+    assert t.range_work(2, 6) == pytest.approx(2.0)
+
+
+def test_non_uniform_table_basics():
+    t = WorkTable(np.array([1.0, 2.0, 3.0]))
+    assert not t.uniform
+    assert t.total_work == pytest.approx(6.0)
+    assert t.cost(2) == 3.0
+    assert t.range_work(1, 3) == pytest.approx(5.0)
+
+
+def test_uniform_requires_count():
+    with pytest.raises(ValueError):
+        WorkTable(1.0)
+
+
+def test_nonpositive_costs_rejected():
+    with pytest.raises(ValueError):
+        WorkTable(np.array([1.0, 0.0]))
+    with pytest.raises(ValueError):
+        WorkTable(0.0, 5)
+
+
+def test_count_mismatch_rejected():
+    with pytest.raises(ValueError):
+        WorkTable(np.array([1.0, 2.0]), n_iterations=3)
+
+
+def test_range_bounds_checked():
+    t = WorkTable(1.0, 4)
+    with pytest.raises(IndexError):
+        t.range_work(0, 5)
+    with pytest.raises(IndexError):
+        t.cost(4)
+
+
+def test_count_for_work_round_trip_uniform():
+    t = WorkTable(2.0, 10)
+    assert t.count_for_work(0, 5.0) == 3       # round up
+    assert t.count_for_work(0, 5.0, round_up=False) == 2
+    assert t.count_for_work(0, 4.0) == 2       # exact boundary
+    assert t.count_for_work(0, 4.0, round_up=False) == 2
+    assert t.count_for_work(4, 100.0) == 6     # clipped
+
+
+def test_count_for_work_non_uniform():
+    t = WorkTable(np.array([1.0, 2.0, 3.0, 4.0]))
+    assert t.count_for_work(0, 3.5) == 3
+    assert t.count_for_work(0, 3.0) == 2
+    assert t.count_for_work(1, 2.0, round_up=False) == 1
+
+
+def test_loop_spec_validation():
+    with pytest.raises(ValueError):
+        LoopSpec(name="bad", n_iterations=0, iteration_time=1.0, dc_bytes=0)
+    with pytest.raises(ValueError):
+        LoopSpec(name="bad", n_iterations=2, iteration_time=1.0,
+                 dc_bytes=-1)
+
+
+def test_loop_spec_uniform_properties():
+    loop = LoopSpec(name="u", n_iterations=8, iteration_time=0.25,
+                    dc_bytes=10)
+    assert loop.uniform
+    assert loop.total_work == pytest.approx(2.0)
+    assert loop.mean_iteration_time == pytest.approx(0.25)
+    assert loop.work_table().uniform
+
+
+def test_loop_spec_non_uniform_properties():
+    loop = LoopSpec(name="n", n_iterations=3,
+                    iteration_time=(1.0, 2.0, 3.0), dc_bytes=10)
+    assert not loop.uniform
+    assert loop.total_work == pytest.approx(6.0)
+    assert not loop.work_table().uniform
+
+
+def test_application_spec_accessors():
+    l1 = LoopSpec(name="a", n_iterations=2, iteration_time=1.0, dc_bytes=0)
+    l2 = LoopSpec(name="b", n_iterations=2, iteration_time=1.0, dc_bytes=0)
+    stage = SequentialStage(name="t", compute_seconds=1.0)
+    app = ApplicationSpec(name="app", stages=(l1, stage, l2))
+    assert [s.name for s in app.loops()] == ["a", "b"]
+    assert app.loop("b") is l2
+    with pytest.raises(KeyError):
+        app.loop("zzz")
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1,
+                max_size=50),
+       st.integers(min_value=0, max_value=49),
+       st.floats(min_value=0.0, max_value=200.0))
+@settings(max_examples=150, deadline=None)
+def test_count_for_work_is_minimal_cover(costs, start, work):
+    """round_up returns the smallest k whose cumulative cost >= work."""
+    if start >= len(costs):
+        start = start % len(costs)
+    t = WorkTable(np.array(costs))
+    k = t.count_for_work(start, work)
+    covered = t.range_work(start, start + k)
+    limit = len(costs) - start
+    if k < limit:
+        assert covered >= work - 1e-9
+    if k > 0:
+        assert t.range_work(start, start + k - 1) < work + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=2,
+                max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_range_work_additive(costs):
+    t = WorkTable(np.array(costs))
+    mid = len(costs) // 2
+    assert t.range_work(0, len(costs)) == pytest.approx(
+        t.range_work(0, mid) + t.range_work(mid, len(costs)))

@@ -1,0 +1,126 @@
+"""Tests for compile-time cost analysis."""
+
+import pytest
+
+from repro.compiler.analysis import AnalysisError, analyze_program
+from repro.compiler.parser import parse_program
+from repro.compiler.symbolic import sym
+
+
+MXM = """
+/* dlb: array Z(R, C) distribute(BLOCK, WHOLE) */
+/* dlb: array X(R, R2) distribute(BLOCK, WHOLE) */
+/* dlb: array Y(R2, C) distribute(WHOLE, WHOLE) */
+/* dlb: loadbalance */
+for i = 0, R {
+    for j = 0, C {
+        for k = 0, R2 {
+            Z[i][j] += X[i][k] * Y[k][j];
+        }
+    }
+}
+"""
+
+
+def analyze(src):
+    return analyze_program(parse_program(src))
+
+
+def test_mxm_trip_count():
+    a = analyze(MXM)[0]
+    assert a.trip_count == sym("R")
+    assert a.var == "i"
+
+
+def test_mxm_work_uniform_quadratic():
+    a = analyze(MXM)[0]
+    assert a.uniform
+    # 3 basic ops (mul, +=, store) per innermost iteration.
+    assert a.work_per_iteration == 3 * sym("C") * sym("R2")
+
+
+def test_mxm_dc_is_migrating_input_row():
+    a = analyze(MXM)[0]
+    # Only X rows migrate (Z is written, Y replicated): 8*R2 bytes.
+    assert a.dc_bytes == 8 * sym("R2")
+
+
+def test_mxm_result_and_replicated():
+    a = analyze(MXM)[0]
+    assert a.result_bytes == 8 * sym("C")          # a Z row
+    assert a.replicated_bytes == 8 * sym("R2") * sym("C")  # all of Y
+
+
+def test_mxm_no_intrinsic_communication():
+    a = analyze(MXM)[0]
+    assert a.ic_bytes == 0
+
+
+def test_triangular_work_non_uniform():
+    src = """
+    /* dlb: array A(N, N) distribute(BLOCK, WHOLE) */
+    /* dlb: loadbalance */
+    for i = 0, N {
+        for j = 0, i { A[i][j] = A[i][j] + 1; }
+    }
+    """
+    a = analyze(src)[0]
+    assert not a.uniform
+    assert a.work_per_iteration.depends_on("i")
+    assert a.work_per_iteration == 2 * sym("i")
+
+
+def test_undeclared_array_rejected():
+    src = "/* dlb: loadbalance */ for i = 0, N { B[i] = 1; }"
+    with pytest.raises(AnalysisError, match="not declared"):
+        analyze(src)
+
+
+def test_index_arity_mismatch_rejected():
+    src = """
+    /* dlb: array A(N, N) distribute(BLOCK, WHOLE) */
+    /* dlb: loadbalance */
+    for i = 0, N { A[i] = 1; }
+    """
+    with pytest.raises(AnalysisError, match="indices"):
+        analyze(src)
+
+
+def test_no_loadbalance_loop_rejected():
+    src = "/* dlb: array A(N) distribute(BLOCK) */ for i = 0, N { A[i] = 1; }"
+    with pytest.raises(AnalysisError, match="loadbalance"):
+        analyze(src)
+
+
+def test_intrinsic_communication_detected():
+    """A BLOCK array read through a non-parallel index is remote."""
+    src = """
+    /* dlb: array A(N, N) distribute(BLOCK, WHOLE) */
+    /* dlb: array B(N, N) distribute(BLOCK, WHOLE) */
+    /* dlb: loadbalance */
+    for i = 0, N {
+        for k = 0, N { A[i][k] = B[k][i]; }
+    }
+    """
+    a = analyze(src)[0]
+    assert a.ic_bytes != 0
+
+
+def test_division_in_bounds():
+    src = """
+    /* dlb: array A(M) distribute(BLOCK) */
+    /* dlb: loadbalance */
+    for i = 0, n * (n + 1) / 2 { A[i] = 1; }
+    """
+    a = analyze(src)[0]
+    assert a.trip_count == (sym("n") * sym("n") + sym("n")) / 2
+
+
+def test_describe_mentions_shape():
+    text = analyze(MXM)[0].describe()
+    assert "uniform" in text and "DC" in text
+
+
+def test_size_symbols_exclude_loop_var():
+    a = analyze(MXM)[0]
+    assert a.size_symbols() == {"R", "C", "R2"}

@@ -1,0 +1,89 @@
+"""Unit tests for code generation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ast_nodes import ArrayRef, BinOp, Num, Var
+from repro.compiler.codegen import expr_to_python, poly_to_python
+from repro.compiler.driver import compile_source
+from repro.compiler.symbolic import const, sym
+
+
+def test_poly_to_python_constant():
+    assert eval(poly_to_python(const(5))) == 5
+    assert eval(poly_to_python(const(0))) == 0
+
+
+def test_poly_to_python_round_trip():
+    p = 3 * sym("C") * sym("R2") + sym("C") ** 2 - 7
+    code = poly_to_python(p)
+    env = {"C": 11, "R2": 4}
+    assert eval(code, {}, env) == p.eval(env)
+
+
+def test_poly_to_python_negative_coeff():
+    p = sym("x") - 2 * sym("y")
+    assert eval(poly_to_python(p), {}, {"x": 10, "y": 3}) == 4
+
+
+def test_expr_to_python_number_kinds():
+    assert expr_to_python(Num(3.0)) == "3"
+    assert expr_to_python(Num(2.5)) == "2.5"
+
+
+def test_expr_to_python_array_ref():
+    expr = ArrayRef("Z", (Var("i"), Num(2.0)))
+    assert expr_to_python(expr) == "Z[int(i), int(2)]"
+
+
+def test_expr_to_python_nested():
+    expr = BinOp("*", Var("a"), BinOp("+", Num(1.0), Var("b")))
+    assert eval(expr_to_python(expr), {}, {"a": 3, "b": 4}) == 15
+
+
+def test_generated_module_shape():
+    src = """
+    /* dlb: array A(N) distribute(BLOCK) */
+    /* dlb: loadbalance */ /* dlb: name one */
+    for i = 0, N { A[i] = A[i] + 1; }
+    /* dlb: loadbalance */ /* dlb: name two */
+    for i = 0, N { A[i] = A[i] * 2; }
+    """
+    prog = compile_source(src)
+    assert set(prog.loops) == {"one", "two"}
+    assert "make_loop_spec_one" in prog.module_source
+    assert "make_kernel_two" in prog.module_source
+    assert prog.module_source.count("LOOPS = {") == 1
+
+
+def test_generated_kernels_compose_in_order():
+    src = """
+    /* dlb: array A(N) distribute(BLOCK) */
+    /* dlb: loadbalance */ /* dlb: name add */
+    for i = 0, N { A[i] = A[i] + 1; }
+    /* dlb: loadbalance */ /* dlb: name dbl */
+    for i = 0, N { A[i] = A[i] * 2; }
+    """
+    prog = compile_source(src)
+    arrays = prog.run_sequential({"N": 5})
+    # (0 + 1) * 2 = 2 everywhere.
+    assert np.allclose(arrays["A"], 2.0)
+
+
+def test_listing_contains_loop_bodies():
+    src = """
+    /* dlb: array A(N) distribute(BLOCK) */
+    /* dlb: loadbalance */
+    for i = 0, N { A[i] = A[i] + 1; }
+    """
+    listing = compile_source(src).transformed_source
+    assert "dlb.start" in listing and "dlb.end" in listing
+    assert "A[i]" in listing
+
+
+def test_shipped_example_sources_compile():
+    import pathlib
+    root = pathlib.Path(__file__).resolve().parents[2] / "examples_src"
+    for path in sorted(root.glob("*.dlb")):
+        prog = compile_source(path.read_text())
+        assert prog.loops, path.name

@@ -1,0 +1,142 @@
+"""Property-based fuzzing of the compiler pipeline.
+
+Random annotated programs are generated structurally (so they are
+always lexically valid), then pushed through parse → analyze →
+codegen → exec, checking:
+
+* the generated module is valid Python and registers every loop;
+* symbolic trip counts and work functions evaluate consistently with
+  brute-force interpretation of the AST;
+* sequential kernel execution equals the parallel run under DLB.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compiler.driver import compile_source
+from repro.machine.cluster import ClusterSpec
+
+
+@st.composite
+def annotated_programs(draw):
+    """A random 1-or-2-deep loop nest over one or two arrays."""
+    n_sym = "N"
+    depth = draw(st.integers(min_value=0, max_value=2))
+    arrays = ["A"] + (["B"] if draw(st.booleans()) else [])
+    inner_vars = ["j", "k"][:depth]
+
+    # Random (always valid) index expressions per dimension.
+    def index(var_pool):
+        v = draw(st.sampled_from(var_pool))
+        return v
+
+    body_var_pool = ["i"] + inner_vars
+    # Statement: A[i][x] op= <expr over arrays/consts>
+    op = draw(st.sampled_from(["=", "+=", "*="]))
+    second = index(body_var_pool)
+    rhs_terms = []
+    for name in arrays:
+        rhs_terms.append(f"{name}[i][{index(body_var_pool)}]")
+    rhs = " + ".join(rhs_terms + [str(draw(st.integers(1, 5)))])
+    stmt = f"A[i][{second}] {op} {rhs};"
+
+    inner_open = ""
+    inner_close = ""
+    for v in inner_vars:
+        # Inner bounds: constant or triangular (bounded by i needs i>0;
+        # use 0, N or 0, i).
+        upper = draw(st.sampled_from([n_sym, "i"]))
+        inner_open += f"for {v} = 0, {upper} {{ "
+        inner_close += " }"
+
+    decls = "\n".join(
+        f"/* dlb: array {name}(N, N) distribute(BLOCK, WHOLE) */"
+        for name in arrays)
+    bitonic = "/* dlb: bitonic */\n" if draw(st.booleans()) else ""
+    source = f"""
+    {decls}
+    /* dlb: loadbalance */
+    {bitonic}/* dlb: name fuzz */
+    for i = 0, {n_sym} {{
+        {inner_open}{stmt}{inner_close}
+    }}
+    """
+    n_value = draw(st.integers(min_value=3, max_value=12))
+    return source, n_value
+
+
+@given(annotated_programs())
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_pipeline_round_trip(case):
+    source, n_value = case
+    program = compile_source(source)
+    loop = program.loops["fuzz"]
+    sizes = {"N": n_value}
+
+    # Generated module must instantiate a coherent spec.
+    spec = loop.loop_spec(sizes)
+    analysis = loop.analysis
+    expected_n = n_value
+    if analysis.nest.bitonic and not analysis.uniform:
+        expected_n = (n_value + 1) // 2
+    assert spec.n_iterations == expected_n
+    assert spec.total_work > 0
+
+    # Sequential vs parallel numerical equality (doall programs only:
+    # every write goes to row i, which belongs to one iteration).
+    seq = program.run_sequential(sizes, seed=3)
+    cluster = ClusterSpec.homogeneous(3, max_load=2, persistence=0.2,
+                                      seed=9)
+    _stats, par = program.run_parallel(sizes, cluster, "GDDLB", seed=3)
+    for name in seq:
+        assert np.allclose(seq[name], par[name]), name
+
+
+@given(annotated_programs())
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_work_polynomial_matches_bruteforce(case):
+    """The symbolic work function equals counting ops by interpretation."""
+    source, n_value = case
+    program = compile_source(source)
+    analysis = program.loops["fuzz"].analysis
+
+    def trips(upper, env):
+        return env[upper] if upper in env else int(upper)
+
+    # Brute-force count for iteration i: walk the (single) nest shape.
+    def brute(i):
+        from repro.compiler.ast_nodes import Assign, ForLoop
+
+        def count(stmts, env):
+            total = 0
+            for s in stmts:
+                if isinstance(s, ForLoop):
+                    upper = str(s.upper)
+                    n_trips = env.get(upper, None)
+                    if n_trips is None:
+                        n_trips = int(float(upper)) if upper.isdigit() \
+                            else env[upper]
+                    inner_env = dict(env)
+                    total_inner = 0
+                    for v in range(int(n_trips)):
+                        inner_env[s.var] = v
+                        total_inner += count(s.body, inner_env)
+                    total += total_inner
+                elif isinstance(s, Assign):
+                    total += 1 + (1 if s.op != "=" else 0) + sum(
+                        1 for _ in _binops(s.expr))
+            return total
+
+        return count(analysis.nest.loop.body, {"N": n_value, "i": i})
+
+    def _binops(expr):
+        from repro.compiler.ast_nodes import BinOp, walk_expr
+        return [n for n in walk_expr(expr) if isinstance(n, BinOp)]
+
+    for i in (0, n_value // 2, n_value - 1):
+        symbolic = analysis.work_per_iteration.eval(
+            {"N": n_value, "i": i})
+        assert symbolic == pytest.approx(brute(i))

@@ -1,0 +1,78 @@
+"""Tests for the tokenizer."""
+
+import pytest
+
+from repro.compiler.lexer import LexError, TokenKind, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def test_empty_source_yields_eof():
+    assert kinds("") == [TokenKind.EOF]
+
+
+def test_for_keyword_vs_identifier():
+    toks = tokenize("for fort")
+    assert toks[0].kind is TokenKind.FOR
+    assert toks[1].kind is TokenKind.IDENT
+    assert toks[1].text == "fort"
+
+
+def test_numbers():
+    toks = tokenize("42 3.5")
+    assert [t.text for t in toks[:2]] == ["42", "3.5"]
+    assert all(t.kind is TokenKind.NUMBER for t in toks[:2])
+
+
+def test_bad_number_rejected():
+    with pytest.raises(LexError):
+        tokenize("1.2.3")
+
+
+def test_compound_operators():
+    toks = tokenize("+= -= *= =")
+    assert [t.kind for t in toks[:4]] == [
+        TokenKind.PLUS_ASSIGN, TokenKind.MINUS_ASSIGN,
+        TokenKind.TIMES_ASSIGN, TokenKind.ASSIGN]
+
+
+def test_punctuation():
+    src = "( ) [ ] { } , ;"
+    expected = [TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.LBRACKET,
+                TokenKind.RBRACKET, TokenKind.LBRACE, TokenKind.RBRACE,
+                TokenKind.COMMA, TokenKind.SEMI, TokenKind.EOF]
+    assert kinds(src) == expected
+
+
+def test_dlb_comment_becomes_annotation():
+    toks = tokenize("/* dlb: loadbalance */")
+    assert toks[0].kind is TokenKind.ANNOTATION
+    assert toks[0].text == "loadbalance"
+
+
+def test_ordinary_comment_skipped():
+    assert kinds("/* nothing to see */ x") == [TokenKind.IDENT,
+                                               TokenKind.EOF]
+
+
+def test_line_comment_skipped():
+    assert kinds("x // trailing\n y") == [TokenKind.IDENT, TokenKind.IDENT,
+                                          TokenKind.EOF]
+
+
+def test_unterminated_comment_rejected():
+    with pytest.raises(LexError):
+        tokenize("/* oops")
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].column) == (1, 1)
+    assert (toks[1].line, toks[1].column) == (2, 3)

@@ -1,0 +1,146 @@
+"""Tests for the recursive-descent parser and annotations."""
+
+import pytest
+
+from repro.compiler.annotations import AnnotationError, parse_annotation
+from repro.compiler.ast_nodes import ArrayRef, Assign, BinOp, ForLoop, Num, Var
+from repro.compiler.parser import ParseError, parse_program
+
+
+MXM = """
+/* dlb: array Z(R, C) distribute(BLOCK, WHOLE) */
+/* dlb: array X(R, R2) distribute(BLOCK, WHOLE) */
+/* dlb: array Y(R2, C) distribute(WHOLE, WHOLE) */
+/* dlb: loadbalance */
+for i = 0, R {
+    for j = 0, C {
+        for k = 0, R2 {
+            Z[i][j] += X[i][k] * Y[k][j];
+        }
+    }
+}
+"""
+
+
+def test_mxm_parses():
+    prog = parse_program(MXM)
+    assert set(prog.arrays) == {"Z", "X", "Y"}
+    assert len(prog.nests) == 1
+    nest = prog.nests[0]
+    assert nest.load_balance
+    loop = nest.loop
+    assert loop.var == "i"
+    assert isinstance(loop.upper, Var) and loop.upper.name == "R"
+
+
+def test_nested_structure():
+    prog = parse_program(MXM)
+    outer = prog.nests[0].loop
+    inner_j = outer.body[0]
+    assert isinstance(inner_j, ForLoop) and inner_j.var == "j"
+    inner_k = inner_j.body[0]
+    assert isinstance(inner_k, ForLoop) and inner_k.var == "k"
+    stmt = inner_k.body[0]
+    assert isinstance(stmt, Assign) and stmt.op == "+="
+    assert isinstance(stmt.target, ArrayRef) and stmt.target.name == "Z"
+
+
+def test_expression_precedence():
+    prog = parse_program("for i = 0, N { A[i] = 1 + 2 * 3; }"
+                         "/* trailing */")
+    stmt = prog.nests[0].loop.body[0]
+    expr = stmt.expr
+    assert isinstance(expr, BinOp) and expr.op == "+"
+    assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+
+def test_parenthesized_expression():
+    prog = parse_program("for i = 0, N { A[i] = (1 + 2) * 3; }")
+    expr = prog.nests[0].loop.body[0].expr
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_unary_minus():
+    prog = parse_program("for i = 0, N { A[i] = -x; }")
+    expr = prog.nests[0].loop.body[0].expr
+    assert isinstance(expr, BinOp) and expr.op == "-"
+    assert isinstance(expr.left, Num) and expr.left.value == 0
+
+
+def test_triangular_bounds():
+    prog = parse_program("for i = 0, N { for j = 0, i { A[i] = j; } }")
+    inner = prog.nests[0].loop.body[0]
+    assert isinstance(inner.upper, Var) and inner.upper.name == "i"
+
+
+def test_multiple_loops_with_names():
+    src = """
+    /* dlb: loadbalance */ /* dlb: name first */
+    for i = 0, N { A[i] = 1; }
+    /* dlb: loadbalance */ /* dlb: name second */
+    for i = 0, N { A[i] = 2; }
+    """
+    prog = parse_program("/* dlb: array A(N) distribute(BLOCK) */" + src)
+    assert [n.name for n in prog.nests] == ["first", "second"]
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParseError):
+        parse_program("for i = 0, N { A[i] = 1 }")
+
+
+def test_missing_brace_rejected():
+    with pytest.raises(ParseError):
+        parse_program("for i = 0, N { A[i] = 1;")
+
+
+def test_garbage_toplevel_rejected():
+    with pytest.raises(ParseError):
+        parse_program("banana;")
+
+
+def test_annotation_parsing():
+    assert parse_annotation("loadbalance").kind == "loadbalance"
+    assert parse_annotation("bitonic").kind == "bitonic"
+    assert parse_annotation("processors 8").payload == 8
+    assert parse_annotation("name trfd-L1").payload == "trfd-L1"
+    decl = parse_annotation("array A(N, 5) distribute(BLOCK, WHOLE)").payload
+    assert decl.shape == ("N", "5")
+    assert decl.distribution == ("BLOCK", "WHOLE")
+
+
+def test_unknown_annotation_rejected():
+    with pytest.raises(AnnotationError):
+        parse_annotation("frobnicate everything")
+
+
+def test_array_dimension_mismatch_rejected():
+    with pytest.raises(ValueError):
+        parse_annotation("array A(N, M) distribute(BLOCK)")
+
+
+def test_bad_distribution_kind_rejected():
+    with pytest.raises(ValueError):
+        parse_annotation("array A(N) distribute(DIAGONAL)")
+
+
+def test_duplicate_array_rejected():
+    src = """
+    /* dlb: array A(N) distribute(BLOCK) */
+    /* dlb: array A(N) distribute(BLOCK) */
+    for i = 0, N { A[i] = 1; }
+    """
+    with pytest.raises(AnnotationError):
+        parse_program(src)
+
+
+def test_processors_annotation_sets_program():
+    prog = parse_program(
+        "/* dlb: processors 16 */ for i = 0, N { x = 1; }")
+    assert prog.n_processors == 16
+
+
+def test_cyclic_distribution_accepted():
+    decl = parse_annotation("array A(N, M) distribute(CYCLIC, WHOLE)").payload
+    assert decl.distribution[0] == "CYCLIC"

@@ -1,0 +1,144 @@
+"""Unit and property tests for symbolic polynomials."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.symbolic import Poly, const, sym
+
+
+def test_symbol_and_constant():
+    assert str(sym("n")) == "n"
+    assert str(const(3)) == "3"
+    assert str(const(0)) == "0"
+
+
+def test_bad_symbol_rejected():
+    with pytest.raises(ValueError):
+        sym("2bad")
+
+
+def test_addition_collects_terms():
+    p = sym("x") + sym("x")
+    assert p == 2 * sym("x")
+
+
+def test_subtraction_cancels():
+    assert sym("x") - sym("x") == 0
+    assert (sym("x") - sym("x")).terms == {}
+
+
+def test_multiplication_distributes():
+    p = (sym("x") + 1) * (sym("x") - 1)
+    assert p == sym("x") ** 2 - 1
+
+
+def test_power():
+    p = (sym("a") + sym("b")) ** 2
+    assert p == sym("a") ** 2 + 2 * sym("a") * sym("b") + sym("b") ** 2
+
+
+def test_negative_power_rejected():
+    with pytest.raises(ValueError):
+        sym("x") ** -1
+
+
+def test_division_by_constant():
+    p = (2 * sym("x")) / 2
+    assert p == sym("x")
+
+
+def test_division_by_poly_rejected():
+    with pytest.raises(TypeError):
+        sym("x") / sym("y")
+
+
+def test_division_by_zero_rejected():
+    with pytest.raises(ZeroDivisionError):
+        sym("x") / 0
+
+
+def test_eval_scalar():
+    p = sym("n") ** 3 + 3 * sym("n") ** 2 + sym("n")
+    assert p.eval({"n": 30}) == 30 ** 3 + 3 * 30 ** 2 + 30
+
+
+def test_eval_vectorized():
+    p = 2 * sym("i") + 1
+    out = p.eval({"i": np.arange(4)})
+    assert np.array_equal(out, [1, 3, 5, 7])
+
+
+def test_eval_missing_symbol():
+    with pytest.raises(KeyError):
+        (sym("x") * sym("y")).eval({"x": 1})
+
+
+def test_substitute_partial():
+    p = sym("x") * sym("y")
+    q = p.substitute({"x": const(3)})
+    assert q == 3 * sym("y")
+
+
+def test_substitute_with_poly():
+    p = sym("x") ** 2
+    q = p.substitute({"x": sym("a") + 1})
+    assert q == sym("a") ** 2 + 2 * sym("a") + 1
+
+
+def test_degree_and_variables():
+    p = sym("x") ** 2 * sym("y") + sym("y")
+    assert p.degree() == 3
+    assert p.degree("x") == 2
+    assert p.degree("y") == 1
+    assert p.variables() == {"x", "y"}
+    assert p.depends_on("x") and not p.depends_on("z")
+
+
+def test_constant_detection():
+    assert const(5).is_constant
+    assert const(5).constant_value == 5
+    assert not sym("x").is_constant
+    with pytest.raises(ValueError):
+        sym("x").constant_value
+
+
+def test_str_readable():
+    p = 3 * sym("C") * sym("R2") - 2
+    text = str(p)
+    assert "3*" in text and "- 2" in text
+
+
+def test_hash_consistent_with_eq():
+    a = sym("x") + 1
+    b = 1 + sym("x")
+    assert a == b and hash(a) == hash(b)
+
+
+@st.composite
+def polys(draw):
+    vars_ = ["x", "y"]
+    p = const(draw(st.integers(-5, 5)))
+    for _ in range(draw(st.integers(0, 4))):
+        term = const(draw(st.integers(-5, 5)))
+        for v in vars_:
+            term = term * sym(v) ** draw(st.integers(0, 3))
+        p = p + term
+    return p
+
+
+@given(polys(), polys(), st.integers(-10, 10), st.integers(-10, 10))
+@settings(max_examples=100, deadline=None)
+def test_algebra_matches_evaluation(p, q, x, y):
+    """Operations on polynomials commute with evaluation."""
+    env = {"x": x, "y": y}
+    assert (p + q).eval(env) == p.eval(env) + q.eval(env)
+    assert (p - q).eval(env) == p.eval(env) - q.eval(env)
+    assert (p * q).eval(env) == p.eval(env) * q.eval(env)
+
+
+@given(polys(), st.integers(0, 3), st.integers(-5, 5), st.integers(-5, 5))
+@settings(max_examples=80, deadline=None)
+def test_power_matches_evaluation(p, e, x, y):
+    env = {"x": x, "y": y}
+    assert (p ** e).eval(env) == p.eval(env) ** e

@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_mxm(capsys):
+    rc = main(["run", "--app", "mxm", "--size", "64x64x64", "-P", "3",
+               "--strategy", "GDDLB", "--persistence", "0.5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "GDDLB" in out and "syncs=" in out
+
+
+def test_run_mxm_custom_reports_selection(capsys):
+    rc = main(["run", "--app", "mxm", "--size", "128x128x128", "-P", "4",
+               "--strategy", "CUSTOM"])
+    assert rc == 0
+    assert "customized selection" in capsys.readouterr().out
+
+
+def test_run_trfd(capsys):
+    rc = main(["run", "--app", "trfd", "--n", "8", "-P", "3",
+               "--strategy", "LDDLB"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "trfd-L1" in out and "trfd-L2" in out
+
+
+def test_run_bad_size(capsys):
+    rc = main(["run", "--app", "mxm", "--size", "not-a-size"])
+    assert rc == 2
+    assert "bad --size" in capsys.readouterr().err
+
+
+def test_run_periodic_mode(capsys):
+    rc = main(["run", "--app", "mxm", "--size", "64x64x64", "-P", "3",
+               "--strategy", "GDDLB", "--sync-mode", "periodic",
+               "--sync-period", "0.2"])
+    assert rc == 0
+
+
+def test_characterize(capsys):
+    rc = main(["characterize", "--max-procs", "6"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "latency" in out and "AA:" in out
+
+
+def test_figure_small(capsys, monkeypatch):
+    rc = main(["figure", "4", "--seeds", "1"])
+    assert rc == 0
+    assert "figure4" in capsys.readouterr().out
+
+
+def test_table_requires_valid_number():
+    with pytest.raises(SystemExit):
+        main(["table", "9"])
+
+
+def test_compile_analysis(tmp_path, capsys):
+    src = tmp_path / "prog.dlb"
+    src.write_text("""
+    /* dlb: array A(N) distribute(BLOCK) */
+    /* dlb: loadbalance */
+    for i = 0, N { A[i] = A[i] + 1; }
+    """)
+    rc = main(["compile", str(src)])
+    assert rc == 0
+    assert "parallel over i" in capsys.readouterr().out
+
+
+def test_compile_listing(tmp_path, capsys):
+    src = tmp_path / "prog.dlb"
+    src.write_text("""
+    /* dlb: array A(N) distribute(BLOCK) */
+    /* dlb: loadbalance */
+    for i = 0, N { A[i] = A[i] + 1; }
+    """)
+    rc = main(["compile", str(src), "--emit", "listing"])
+    assert rc == 0
+    assert "DLB_init" in capsys.readouterr().out
+
+
+def test_compile_module(tmp_path, capsys):
+    src = tmp_path / "prog.dlb"
+    src.write_text("""
+    /* dlb: array A(N) distribute(BLOCK) */
+    /* dlb: loadbalance */
+    for i = 0, N { A[i] = A[i] + 1; }
+    """)
+    rc = main(["compile", str(src), "--emit", "module"])
+    assert rc == 0
+    assert "make_loop_spec_loop0" in capsys.readouterr().out
+
+
+def test_compile_missing_file(capsys):
+    rc = main(["compile", "/nonexistent/path.dlb"])
+    assert rc == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_sweep_command(capsys):
+    rc = main(["sweep", "max_load", "0", "3", "--size", "48x48x48",
+               "-P", "3", "--seeds", "1", "--schemes", "GD"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "max_load" in out and "GD" in out
+
+
+def test_sweep_bad_size(capsys):
+    rc = main(["sweep", "max_load", "0", "--size", "oops"])
+    assert rc == 2
+
+
+def test_figure2_command(capsys):
+    rc = main(["figure", "2", "--seeds", "1"])
+    assert rc == 0
+    assert "Load function" in capsys.readouterr().out
+
+
+def test_validate_subset_runs(capsys, monkeypatch):
+    # Full validation is heavy; patch the claim list to a fast one.
+    from repro.experiments import validation as V
+
+    fast = tuple(c for c in V.ALL_CLAIMS if c.claim_id == "fig4-shape")
+    monkeypatch.setattr(V, "ALL_CLAIMS", fast)
+    # The CLI imports validate/render lazily from the module, and
+    # validate() defaults to the patched ALL_CLAIMS.
+    monkeypatch.setattr(
+        V, "validate",
+        lambda config, claims=fast: [
+            V.ClaimResult(claim=c, passed=c.check(config)[0],
+                          evidence=c.check(config)[1]) for c in claims])
+    rc = main(["validate", "--seeds", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "claim validation" in out and "fig4-shape" in out

@@ -1,0 +1,91 @@
+"""Tests for the CSV/JSON exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.apps.mxm import MxmConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.export import (
+    figure_to_csv,
+    result_to_json,
+    table_to_csv,
+    write_result,
+)
+from repro.experiments.figures import figure2, mxm_figure
+from repro.experiments.tables import OrderRow, TableResult
+
+
+CFG = ExperimentConfig(n_seeds=2, base_seed=4)
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return mxm_figure(4, CFG, sizes=(MxmConfig(64, 160, 160),))
+
+
+@pytest.fixture(scope="module")
+def tab():
+    return TableResult(table_id="tX", title="demo", rows=[
+        OrderRow(label="row-a", actual=("GD", "GC", "LD", "LC"),
+                 predicted=("GD", "GC", "LD", "LC"), agreement=1.0,
+                 actual_means={"GD": 1.0}, predicted_means={"GD": 1.1})])
+
+
+def test_figure_csv_round_trip(fig):
+    text = figure_to_csv(fig)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0][0] == "config"
+    assert len(rows) == 1 + len(fig.rows)
+    # Values parse back as floats.
+    assert float(rows[1][1]) > 0
+
+
+def test_table_csv(tab):
+    text = table_to_csv(tab)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[1][0] == "row-a"
+    assert rows[1][1] == "GD GC LD LC"
+
+
+def test_figure_json(fig):
+    doc = json.loads(result_to_json(fig))
+    assert doc["kind"] == "figure"
+    assert doc["rows"][0]["normalized"]["NONE"] == pytest.approx(1.0)
+    assert len(doc["rows"][0]["raw_times"]["GD"]) == 2
+
+
+def test_table_json(tab):
+    doc = json.loads(result_to_json(tab))
+    assert doc["kind"] == "table"
+    assert doc["rows"][0]["agreement"] == 1.0
+
+
+def test_json_rejects_unknown():
+    with pytest.raises(TypeError):
+        result_to_json(object())
+
+
+def test_write_result_csv_and_json(tmp_path, fig):
+    csv_path = tmp_path / "fig.csv"
+    json_path = tmp_path / "fig.json"
+    write_result(fig, str(csv_path))
+    write_result(fig, str(json_path))
+    assert csv_path.read_text().startswith("config")
+    assert json.loads(json_path.read_text())["kind"] == "figure"
+
+
+def test_write_result_bad_extension(tmp_path, fig):
+    with pytest.raises(ValueError):
+        write_result(fig, str(tmp_path / "fig.xlsx"))
+
+
+def test_figure2_exports(tmp_path):
+    result = figure2(CFG, seed=1, n_windows=8)
+    assert len(result.rows) == 8
+    levels = [row.normalized["level"] for row in result.rows]
+    assert all(0 <= lv <= CFG.max_load for lv in levels)
+    text = figure_to_csv(result)
+    assert "level" in text

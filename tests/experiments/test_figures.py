@@ -1,0 +1,70 @@
+"""Tests for figure regeneration (small configurations for speed)."""
+
+import pytest
+
+from repro.apps.mxm import MxmConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import figure4, mxm_figure, trfd_figure
+from repro.experiments.report import render_bars, render_figure
+
+
+CFG = ExperimentConfig(n_seeds=2, base_seed=9)
+
+
+def test_figure4_shapes():
+    result = figure4(proc_counts=tuple(range(2, 9)))
+    assert result.figure_id == "figure4"
+    assert len(result.rows) == 7
+    for row in result.rows:
+        assert row.normalized["AA(exp)"] >= row.normalized["AO(exp)"] \
+            >= row.normalized["OA(exp)"] > 0
+    assert "coefficients" in result.meta
+
+
+def test_figure4_fit_close_to_measurement():
+    result = figure4(proc_counts=tuple(range(2, 9)))
+    for row in result.rows:
+        for pat in ("AA", "AO", "OA"):
+            assert row.normalized[f"{pat}(polyfit)"] == pytest.approx(
+                row.normalized[f"{pat}(exp)"], rel=0.15, abs=1e-3)
+
+
+def test_mxm_figure_small():
+    result = mxm_figure(4, CFG, sizes=(MxmConfig(64, 160, 160),))
+    assert len(result.rows) == 1
+    row = result.rows[0]
+    assert row.normalized["NONE"] == pytest.approx(1.0)
+    # The global schemes beat the static baseline clearly; the locals
+    # (groups of two) can at worst only tie when the imbalance happens
+    # to fall across group boundaries.
+    for scheme in ("GC", "GD"):
+        assert row.normalized[scheme] < 0.9
+    for scheme in ("LC", "LD"):
+        assert row.normalized[scheme] < 1.05
+
+
+def test_trfd_figure_small():
+    result = trfd_figure(4, CFG, n_values=(10,))
+    assert result.figure_id == "figure7"
+    row = result.rows[0]
+    assert row.normalized["NONE"] == pytest.approx(1.0)
+    assert set(row.normalized) == {"NONE", "GC", "GD", "LC", "LD"}
+
+
+def test_figure_row_best():
+    result = mxm_figure(4, CFG, sizes=(MxmConfig(64, 32, 32),))
+    best = result.rows[0].best()
+    assert best in ("GC", "GD", "LC", "LD")
+
+
+def test_render_figure_text():
+    result = figure4(proc_counts=tuple(range(2, 7)))
+    text = render_figure(result)
+    assert "figure4" in text
+    assert "P=2" in text and "fit AA" in text
+
+
+def test_render_bars_text():
+    result = mxm_figure(4, CFG, sizes=(MxmConfig(64, 32, 32),))
+    text = render_bars(result)
+    assert "#" in text and "NONE" in text

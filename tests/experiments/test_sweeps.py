@@ -1,0 +1,64 @@
+"""Tests for the generic sweep utility."""
+
+import pytest
+
+from repro.apps.workload import LoopSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import KNOBS, sweep
+
+
+CFG = ExperimentConfig(n_seeds=2, base_seed=8, persistence=0.5)
+LOOP = LoopSpec(name="swp", n_iterations=48, iteration_time=0.01,
+                dc_bytes=200)
+
+
+def test_unknown_knob_rejected():
+    with pytest.raises(KeyError):
+        sweep(LOOP, 4, "flux_capacitor", [1, 2], config=CFG)
+
+
+def test_sweep_shape():
+    result = sweep(LOOP, 4, "persistence", [0.2, 1.0], schemes=("GD", "LD"),
+                   config=CFG)
+    assert result.knob == "persistence"
+    assert [p.value for p in result.points] == [0.2, 1.0]
+    for p in result.points:
+        assert set(p.means) == {"GD", "LD"}
+        assert all(v > 0 for v in p.means.values())
+
+
+def test_sweep_render():
+    result = sweep(LOOP, 4, "max_load", [0, 4], schemes=("GD",),
+                   config=CFG)
+    text = result.render()
+    assert "max_load" in text and "GD" in text
+    # No external load is strictly faster.
+    assert result.points[0].means["GD"] < result.points[1].means["GD"]
+
+
+def test_sweep_group_size_k_equals_p_recovers_globals():
+    """§3.5: the global strategies are the K = P instance of the locals.
+
+    With identical clusters, LD at K=P must produce *exactly* GD's
+    execution time (and LC exactly GC's): the protocols coincide."""
+    result = sweep(LOOP, 4, "group_size", [4],
+                   schemes=("GC", "GD", "LC", "LD"), config=CFG)
+    point = result.points[0]
+    assert point.means["LD"] == pytest.approx(point.means["GD"], rel=1e-12)
+    assert point.means["LC"] == pytest.approx(point.means["GC"], rel=1e-12)
+
+
+def test_sweep_crossover_helper():
+    result = sweep(LOOP, 4, "max_load", [0, 5], schemes=("GD", "LD"),
+                   config=CFG)
+    # crossover returns None when b never beats a, or the first value.
+    value = result.crossover("GD", "LD")
+    assert value in (None, 0.0, 5.0)
+
+
+def test_all_knobs_apply_cleanly():
+    for knob, values in (("persistence", [0.5]), ("group_size", [2]),
+                         ("improvement_threshold", [0.2]),
+                         ("sync_period", [0.3]), ("max_load", [2])):
+        result = sweep(LOOP, 4, knob, values, schemes=("GD",), config=CFG)
+        assert len(result.points) == 1, knob

@@ -1,0 +1,49 @@
+"""Tests for table regeneration (reduced grids for speed)."""
+
+import pytest
+
+from repro.apps.workload import LoopSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_table
+from repro.experiments.runner import measured_order, predicted_order, \
+    order_agreement
+from repro.experiments.tables import OrderRow, TableResult, _order_row
+
+
+CFG = ExperimentConfig(n_seeds=2, base_seed=3)
+LOOP = LoopSpec(name="t", n_iterations=48, iteration_time=0.01,
+                dc_bytes=400)
+
+
+def test_order_row_construction():
+    row = _order_row("demo", LOOP, 4, CFG)
+    assert set(row.actual) == {"GC", "GD", "LC", "LD"}
+    assert set(row.predicted) == {"GC", "GD", "LC", "LD"}
+    assert 0.0 <= row.agreement <= 1.0
+    assert set(row.actual_means) == set(row.predicted_means)
+
+
+def test_table_result_aggregates():
+    rows = [OrderRow(label="a", actual=("GD", "GC", "LD", "LC"),
+                     predicted=("GD", "GC", "LD", "LC"), agreement=1.0),
+            OrderRow(label="b", actual=("GD", "GC", "LD", "LC"),
+                     predicted=("GC", "GD", "LD", "LC"), agreement=5 / 6)]
+    table = TableResult(table_id="t", title="demo", rows=rows)
+    assert table.mean_agreement == pytest.approx((1.0 + 5 / 6) / 2)
+    assert table.best_match_rate == pytest.approx(0.5)
+    assert rows[0].best_match and not rows[1].best_match
+
+
+def test_render_table_text():
+    row = _order_row("demo", LOOP, 4, CFG)
+    text = render_table(TableResult(table_id="tX", title="T", rows=[row]))
+    assert "actual order" in text and "agree" in text and "demo" in text
+
+
+def test_actual_and_predicted_use_same_seeds():
+    a1, _ = measured_order(LOOP, 4, CFG)
+    a2, _ = measured_order(LOOP, 4, CFG)
+    assert a1 == a2
+    p1, _ = predicted_order(LOOP, 4, CFG)
+    p2, _ = predicted_order(LOOP, 4, CFG)
+    assert p1 == p2

@@ -1,0 +1,61 @@
+"""Tests for the claim-validation engine (fast, 2 seeds)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.validation import (
+    ALL_CLAIMS,
+    Claim,
+    ClaimResult,
+    render_validation,
+    validate,
+)
+
+
+CFG = ExperimentConfig(n_seeds=2, base_seed=12)
+
+
+def test_all_claims_have_distinct_ids():
+    ids = [c.claim_id for c in ALL_CLAIMS]
+    assert len(set(ids)) == len(ids)
+    assert len(ALL_CLAIMS) == 8
+
+
+def test_claims_cite_paper_sections():
+    assert all("§" in c.source for c in ALL_CLAIMS)
+
+
+def test_single_claim_check_returns_evidence():
+    claim = next(c for c in ALL_CLAIMS if c.claim_id == "fig4-shape")
+    passed, evidence = claim.check(CFG)
+    assert isinstance(passed, bool)
+    assert "AA" in evidence
+
+
+def test_validate_runs_selected_claims():
+    subset = tuple(c for c in ALL_CLAIMS
+                   if c.claim_id in ("fig4-shape", "different-winners"))
+    results = validate(CFG, claims=subset)
+    assert len(results) == 2
+    assert all(isinstance(r, ClaimResult) for r in results)
+    # Figure 4 is deterministic: its claim must hold even at 2 seeds.
+    fig4 = next(r for r in results if r.claim.claim_id == "fig4-shape")
+    assert fig4.passed
+
+
+def test_render_validation_format():
+    claim = Claim("demo", "§0", "a statement",
+                  lambda cfg: (True, "the data"))
+    text = render_validation([ClaimResult(claim=claim, passed=True,
+                                          evidence="the data")])
+    assert "[PASS] demo" in text
+    assert "1/1 claims reproduced" in text
+
+
+def test_render_validation_failure():
+    claim = Claim("demo", "§0", "a statement",
+                  lambda cfg: (False, "contradiction"))
+    results = validate(CFG, claims=(claim,))
+    text = render_validation(results)
+    assert "[FAIL] demo" in text
+    assert "0/1" in text

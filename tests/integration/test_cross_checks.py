@@ -1,0 +1,94 @@
+"""Cross-cutting consistency checks between subsystems."""
+
+import pytest
+
+from repro.apps.mxm import MxmConfig, mxm_loop
+from repro.apps.trfd import TrfdConfig, trfd_loop1, trfd_loop2
+from repro.apps.workload import LoopSpec
+from repro.core.model.predictor import predict_no_dlb
+from repro.machine.analytics import ideal_balanced_time
+from repro.machine.cluster import ClusterSpec
+from repro.runtime.executor import run_loop
+
+
+def test_no_dlb_simulation_matches_model_exactly(options):
+    """With no protocol involved, the event simulation and the model
+    must agree on the static time to within boundary rounding."""
+    loop = LoopSpec(name="x", n_iterations=64, iteration_time=0.01,
+                    dc_bytes=0)
+    cluster = ClusterSpec.homogeneous(4, max_load=5, persistence=0.7,
+                                      seed=19)
+    sim = run_loop(loop, cluster, "NONE", options=options)
+    model = predict_no_dlb(loop, cluster)
+    assert sim.duration == pytest.approx(model.total_time, rel=1e-6)
+
+
+def test_mxm_configs_paper_ratio_r_per_proc():
+    """The paper keeps R/P at 100 and 200 across both processor counts."""
+    for p, sizes in ((4, (400, 800)), (16, (1600, 3200))):
+        for r in sizes:
+            assert r // p in (100, 200)
+
+
+def test_trfd_l2_has_more_work_per_iteration_than_l1():
+    """'Loop 2 has almost double the work per iteration than in loop 1'
+    (§6.3) — after the bitonic pairing."""
+    for n in (30, 40, 50):
+        cfg = TrfdConfig(n)
+        l1 = trfd_loop1(cfg)
+        l2 = trfd_loop2(cfg)
+        ratio = l2.mean_iteration_time / l1.mean_iteration_time
+        assert 1.4 < ratio < 2.2, (n, ratio)
+
+
+def test_loop_total_work_preserved_by_strategies(options, cluster4):
+    """Every strategy executes exactly the loop's iterations — work is
+    conserved end to end (stronger phrasing of the coverage check)."""
+    loop = mxm_loop(MxmConfig(48, 32, 32), op_seconds=1e-5)
+    table = loop.work_table()
+    for scheme in ("NONE", "GCDLB", "GDDLB", "LCDLB", "LDDLB", "WS"):
+        stats = run_loop(loop, cluster4, scheme, options=options)
+        executed_work = sum(
+            table.range_work(s, e)
+            for ranges in stats.executed_by_node.values()
+            for s, e in ranges)
+        assert executed_work == pytest.approx(loop.total_work)
+
+
+def test_duration_bounded_by_ideal_and_static(options):
+    """Every DLB run lands between the omniscient lower bound and the
+    static upper bound (plus sync overheads)."""
+    loop = LoopSpec(name="b", n_iterations=80, iteration_time=0.01,
+                    dc_bytes=100)
+    for seed in (3, 4, 5):
+        cluster = ClusterSpec.homogeneous(4, max_load=5, persistence=0.8,
+                                          seed=seed)
+        stations = cluster.build()
+        lower = ideal_balanced_time(loop, stations)
+        static = run_loop(loop, cluster, "NONE", options=options).duration
+        for scheme in ("GDDLB", "LDDLB"):
+            d = run_loop(loop, cluster, scheme, options=options).duration
+            assert d >= lower - 1e-9
+            assert d <= static * 1.3 + 0.1
+
+
+def test_network_bytes_scale_with_dc(options, cluster4):
+    """Work messages dominate traffic when DC is large: doubling DC
+    roughly doubles the bytes on the wire."""
+    small = LoopSpec(name="dc1", n_iterations=64, iteration_time=0.01,
+                     dc_bytes=10_000)
+    big = LoopSpec(name="dc2", n_iterations=64, iteration_time=0.01,
+                   dc_bytes=20_000)
+    b_small = run_loop(small, cluster4, "GDDLB", options=options)
+    b_big = run_loop(big, cluster4, "GDDLB", options=options)
+    if b_small.total_work_moved > 0 and b_big.total_work_moved > 0:
+        ratio = b_big.network_bytes / max(b_small.network_bytes, 1)
+        assert ratio > 1.2
+
+
+def test_stats_messages_match_network_counter(options, cluster4,
+                                              small_loop):
+    stats = run_loop(small_loop, cluster4, "GCDLB", options=options)
+    by_tag = sum(stats.messages_by_tag.values())
+    # Every sent message crosses the network exactly once.
+    assert by_tag == stats.network_messages

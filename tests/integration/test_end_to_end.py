@@ -1,0 +1,131 @@
+"""End-to-end integration tests across all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterSpec,
+    DlbPolicy,
+    RunOptions,
+    TrfdConfig,
+    run_application,
+    run_loop,
+    trfd_application,
+)
+from repro.apps.mxm import MxmConfig, mxm_loop
+from repro.apps.workload import LoopSpec
+from repro.compiler import compile_source
+from repro.core.model.predictor import predict_strategy
+from repro.core.strategies import ALL_DLB_STRATEGIES
+
+
+def test_trfd_pipeline_all_schemes(options):
+    app = trfd_application(TrfdConfig(8))
+    cluster = ClusterSpec.homogeneous(4, max_load=3, persistence=0.2,
+                                      seed=21)
+    durations = {}
+    for scheme in ("NONE", "GCDLB", "GDDLB", "LCDLB", "LDDLB", "CUSTOM"):
+        stats = run_application(app, cluster, scheme, options=options)
+        assert len(stats.stages) == 3
+        durations[scheme] = stats.total_duration
+    assert all(d > 0 for d in durations.values())
+
+
+def test_mxm_loop_matches_paper_structure(options):
+    loop = mxm_loop(MxmConfig(64, 32, 32), op_seconds=2e-6)
+    cluster = ClusterSpec.homogeneous(4, max_load=4, persistence=0.5,
+                                      seed=33)
+    static = run_loop(loop, cluster, "NONE", options=options)
+    dlb = run_loop(loop, cluster, "GDDLB", options=options)
+    assert dlb.duration < static.duration
+
+
+def test_compiled_trfd_like_program_runs_under_dlb():
+    src = """
+    /* dlb: array V(M, M) distribute(WHOLE, BLOCK) */
+    /* dlb: loadbalance */
+    /* dlb: name xform */
+    for j = 0, M {
+        for i = 0, M {
+            V[i][j] = V[i][j] * 2 + 1;
+        }
+    }
+    """
+    prog = compile_source(src)
+    sizes = {"M": 18}
+    seq = prog.run_sequential(sizes, seed=4)
+    cluster = ClusterSpec.homogeneous(3, max_load=2, persistence=0.3,
+                                      seed=13)
+    _stats, par = prog.run_parallel(sizes, cluster, "GCDLB", seed=4)
+    assert np.allclose(seq["V"], par["V"])
+
+
+def test_model_and_simulation_agree_on_clear_winner(options):
+    """When one scheme is clearly best, model and simulation agree.
+
+    The external load is persistent and falls entirely on group {0, 1}:
+    the local schemes (groups of two) cannot move work across groups,
+    so the globals win decisively in both worlds.
+    """
+    loop = LoopSpec(name="clear", n_iterations=64, iteration_time=0.05,
+                    dc_bytes=100)
+    cluster = ClusterSpec(speeds=(1.0,) * 4, persistence=1000.0,
+                          load_traces=((5,), (5,), (0,), (0,)))
+    opts = options.but(group_size=2)
+    sim = {s.code: run_loop(loop, cluster, s, options=opts).duration
+           for s in ALL_DLB_STRATEGIES}
+    pred = {s.code: predict_strategy(loop, cluster, s, group_size=2
+                                     ).total_time
+            for s in ALL_DLB_STRATEGIES}
+    assert min(sim, key=sim.get) in ("GD", "GC")
+    assert min(pred, key=pred.get) in ("GD", "GC")
+    # And the gap is material in both.
+    assert min(sim.values()) < 0.8 * max(sim.values())
+    assert min(pred.values()) < 0.8 * max(pred.values())
+
+
+def test_ablation_movement_cost_inclusion_is_worse_or_equal(options):
+    """§3.4: including movement cost in profitability tends to cancel
+    useful moves; excluding it should never be much worse."""
+    loop = LoopSpec(name="abl", n_iterations=96, iteration_time=0.02,
+                    dc_bytes=120_000)
+    results = {}
+    for include in (False, True):
+        opts = options.but(policy=DlbPolicy(include_movement_cost=include))
+        times = []
+        for seed in range(4):
+            cluster = ClusterSpec.homogeneous(4, max_load=5,
+                                              persistence=0.5,
+                                              seed=100 + seed)
+            times.append(run_loop(loop, cluster, "GDDLB",
+                                  options=opts).duration)
+        results[include] = float(np.mean(times))
+    assert results[False] <= results[True] * 1.1
+
+
+def test_heterogeneous_cluster_respects_speeds(options):
+    """Faster processors end up executing more iterations."""
+    cluster = ClusterSpec.heterogeneous([2.0, 1.0, 1.0, 0.5], max_load=0)
+    loop = LoopSpec(name="het", n_iterations=90, iteration_time=0.01,
+                    dc_bytes=100)
+    stats = run_loop(loop, cluster, "GDDLB", options=options)
+    counts = {i: stats.executed_count(i) for i in range(4)}
+    assert counts[0] > counts[3]
+
+
+def test_stats_serialize_to_summary(options, cluster4, small_loop):
+    stats = run_loop(small_loop, cluster4, "LCDLB", options=options)
+    assert isinstance(stats.summary(), str)
+
+
+@pytest.mark.parametrize("p,scheme", [
+    (2, "GDDLB"), (3, "GCDLB"), (5, "LDDLB"), (6, "LCDLB"), (7, "CUSTOM"),
+])
+def test_odd_cluster_sizes(p, scheme, options):
+    """Cluster sizes that do not divide evenly still satisfy coverage."""
+    loop = LoopSpec(name="odd", n_iterations=41, iteration_time=0.015,
+                    dc_bytes=200)
+    cluster = ClusterSpec.homogeneous(p, max_load=4, persistence=0.3,
+                                      seed=p * 11)
+    stats = run_loop(loop, cluster, scheme, options=options)
+    assert sum(stats.executed_count(i) for i in range(p)) == 41

@@ -1,0 +1,109 @@
+"""Failure-injection tests: extreme load, frozen processors, degenerate
+clusters.  The DLB protocols must drain crippled processors and finish;
+the static baseline demonstrably cannot."""
+
+import pytest
+
+from repro.apps.workload import LoopSpec
+from repro.core.model.predictor import predict_strategy
+from repro.core.strategies import LCDLB, LDDLB
+from repro.machine.cluster import ClusterSpec
+from repro.runtime.executor import run_loop
+
+
+LOOP = LoopSpec(name="fi", n_iterations=64, iteration_time=0.01,
+                dc_bytes=200)
+
+
+def frozen_cluster(frozen_level: int = 99) -> ClusterSpec:
+    """Processor 3 is near-frozen (load factor 100: 10 ms iterations
+    take a second).
+
+    Note a faithful-to-the-paper consequence of boundary polling
+    (Figure 3 checks the interrupt flag *between* iterations): every
+    synchronization waits for the crippled processor to finish its
+    in-flight iteration, so completion is bounded below by one frozen
+    iteration regardless of strategy.
+    """
+    return ClusterSpec(speeds=(1.0,) * 4, persistence=1e9,
+                       load_traces=((0,), (0,), (0,), (frozen_level,)))
+
+
+@pytest.mark.parametrize("scheme", ["GCDLB", "GDDLB", "LCDLB", "LDDLB",
+                                    "WS", "CUSTOM"])
+def test_frozen_processor_drained(scheme, options):
+    """Every dynamic scheme must finish despite one frozen processor,
+    in time comparable to 3 healthy processors doing all the work."""
+    stats = run_loop(LOOP, frozen_cluster(), scheme, options=options)
+    total = sum(stats.executed_count(i) for i in range(4))
+    assert total == 64
+    # One frozen iteration (~1 s) gates the first sync; after that the
+    # frozen node is drained.  The distributed schemes additionally pay
+    # the frozen node's load-scaled plan calculation.  Static would
+    # take 16 frozen iterations (~16 s).
+    assert stats.duration < 4.0
+    # Work stealing halves the victim's queue but never drains it, so
+    # the frozen node keeps a few iterations; the synchronized schemes
+    # retire it almost empty.
+    assert stats.executed_count(3) <= (4 if scheme == "WS" else 2)
+
+
+def test_static_hostage_to_frozen_processor(options):
+    stats = run_loop(LOOP, frozen_cluster(), "NONE", options=options)
+    assert stats.duration > 10.0  # 16 frozen iterations
+
+
+def test_model_predicts_frozen_drain():
+    pred = predict_strategy(LOOP, frozen_cluster(), LDDLB, group_size=2)
+    assert pred.total_time < 6.0
+
+
+def test_frozen_processor_in_local_group(options):
+    """LDDLB with the frozen node inside a 2-member group: the partner
+    absorbs its block; the group finishes late but finite."""
+    stats = run_loop(LOOP, frozen_cluster(), "LDDLB",
+                     options=options.but(group_size=2))
+    total = sum(stats.executed_count(i) for i in range(4))
+    assert total == 64
+    assert stats.duration < 6.0
+
+
+def test_all_processors_heavily_loaded(options):
+    """Uniform extreme load: DLB cannot help but must not hurt much."""
+    cluster = ClusterSpec(speeds=(1.0,) * 4, persistence=1e9,
+                          load_traces=tuple(((50,),) * 4))
+    static = run_loop(LOOP, cluster, "NONE", options=options)
+    dlb = run_loop(LOOP, cluster, "GDDLB", options=options)
+    assert dlb.duration <= static.duration * 1.10
+
+
+def test_speed_ratio_extreme(options):
+    """A 100:1 speed spread: the fast node should do nearly everything."""
+    cluster = ClusterSpec.heterogeneous([10.0, 0.1, 0.1, 0.1], max_load=0)
+    stats = run_loop(LOOP, cluster, "GDDLB", options=options)
+    assert stats.executed_count(0) > 48
+    assert sum(stats.executed_count(i) for i in range(4)) == 64
+
+
+def test_single_iteration_loop(options):
+    tiny = LoopSpec(name="one", n_iterations=1, iteration_time=0.05,
+                    dc_bytes=10)
+    for scheme in ("NONE", "GDDLB", "LCDLB", "WS"):
+        cluster = ClusterSpec.homogeneous(4, max_load=2, persistence=0.5,
+                                          seed=3)
+        stats = run_loop(tiny, cluster, scheme, options=options)
+        assert sum(stats.executed_count(i) for i in range(4)) == 1, scheme
+
+
+def test_lcdlb_delay_factor_visible():
+    """With many groups, LCDLB's single balancer queues group service —
+    the model must charge more than LDDLB for the same run (§4.2)."""
+    loop = LoopSpec(name="dq", n_iterations=256, iteration_time=0.005,
+                    dc_bytes=100)
+    cluster = ClusterSpec.homogeneous(16, max_load=5, persistence=0.4,
+                                      seed=6)
+    lc = predict_strategy(loop, cluster, LCDLB, group_size=2,
+                          stations=cluster.build())
+    ld = predict_strategy(loop, cluster, LDDLB, group_size=2,
+                          stations=cluster.build())
+    assert lc.total_time > ld.total_time

@@ -1,0 +1,86 @@
+"""Property-based fuzzing of the full DLB protocol.
+
+Random loops, clusters, policies and schemes; the invariants that must
+hold for *every* run:
+
+* every iteration executes exactly once (checked inside the executor),
+* every node process terminates,
+* the run is no slower than the worst theoretical bound (all work on
+  the slowest processor plus overheads),
+* statistics are internally consistent.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.workload import LoopSpec
+from repro.core.policy import DlbPolicy
+from repro.machine.cluster import ClusterSpec
+from repro.network.parameters import NetworkParameters
+from repro.runtime.executor import run_loop
+from repro.runtime.options import RunOptions
+
+FAST_NET = NetworkParameters(send_overhead=100e-6, recv_overhead=120e-6,
+                             wire_latency=30e-6, bandwidth=10e6,
+                             local_overhead=10e-6)
+
+
+@st.composite
+def scenarios(draw):
+    n_procs = draw(st.integers(min_value=2, max_value=9))
+    n_iters = draw(st.integers(min_value=1, max_value=120))
+    uniform = draw(st.booleans())
+    if uniform:
+        iteration_time = draw(st.floats(min_value=0.001, max_value=0.05))
+    else:
+        iteration_time = tuple(
+            draw(st.lists(st.floats(min_value=0.001, max_value=0.05),
+                          min_size=n_iters, max_size=n_iters)))
+    loop = LoopSpec(name="fuzz", n_iterations=n_iters,
+                    iteration_time=iteration_time,
+                    dc_bytes=draw(st.integers(min_value=0, max_value=5000)))
+    cluster = ClusterSpec.homogeneous(
+        n_procs,
+        max_load=draw(st.integers(min_value=0, max_value=6)),
+        persistence=draw(st.floats(min_value=0.05, max_value=2.0)),
+        seed=draw(st.integers(min_value=0, max_value=2 ** 20)))
+    scheme = draw(st.sampled_from(
+        ["NONE", "GCDLB", "GDDLB", "LCDLB", "LDDLB", "CUSTOM"]))
+    policy = DlbPolicy(
+        improvement_threshold=draw(st.sampled_from([0.0, 0.1, 0.3])),
+        min_move_fraction=draw(st.sampled_from([0.0, 0.02, 0.1])),
+        include_movement_cost=draw(st.booleans()))
+    group_size = draw(st.integers(min_value=1, max_value=n_procs))
+    return loop, cluster, scheme, policy, group_size
+
+
+@given(scenarios())
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_protocol_invariants(scenario):
+    loop, cluster, scheme, policy, group_size = scenario
+    options = RunOptions(policy=policy, network=FAST_NET,
+                         group_size=group_size)
+    stats = run_loop(loop, cluster, scheme, options=options)
+
+    # Exactly-once execution (the executor also raises CoverageError).
+    total = sum(stats.executed_count(i)
+                for i in range(cluster.n_processors))
+    assert total == loop.n_iterations
+
+    # All nodes terminated within the run.
+    assert all(t is not None for t in stats.node_finish_times.values())
+    assert stats.end_time >= stats.start_time
+
+    # Sanity bound: even the slowest processor alone under the worst
+    # constant load would finish in total_work * (m_l + 1); allow2 x for
+    # protocol overheads.
+    worst = loop.total_work * (cluster.max_load + 1) * 2 + 5.0
+    assert stats.duration <= worst
+
+    # Sync records are time-ordered within each group.
+    by_group = {}
+    for s in stats.syncs:
+        by_group.setdefault(s.group, []).append(s.time)
+    for times in by_group.values():
+        assert times == sorted(times)

@@ -1,0 +1,79 @@
+"""Tests for the closed-form / numeric load analytics."""
+
+import pytest
+
+from repro.apps.workload import LoopSpec
+from repro.machine.analytics import (
+    expected_capacity_rate,
+    expected_inverse_factor,
+    expected_static_slowdown,
+    ideal_balanced_time,
+)
+from repro.machine.cluster import ClusterSpec
+from repro.runtime.executor import run_loop
+
+
+def test_expected_inverse_factor_known_values():
+    assert expected_inverse_factor(0) == pytest.approx(1.0)
+    assert expected_inverse_factor(1) == pytest.approx(0.75)
+    # The paper's m_l = 5: H_6 / 6 = 2.45 / 6.
+    assert expected_inverse_factor(5) == pytest.approx(2.45 / 6, rel=1e-9)
+
+
+def test_expected_inverse_factor_validation():
+    with pytest.raises(ValueError):
+        expected_inverse_factor(-1)
+
+
+def test_expected_capacity_rate():
+    cluster = ClusterSpec.heterogeneous([1.0, 2.0], max_load=5)
+    assert expected_capacity_rate(cluster) == pytest.approx(
+        3.0 * 2.45 / 6)
+
+
+def test_ideal_balanced_time_no_load():
+    loop = LoopSpec(name="x", n_iterations=40, iteration_time=0.1,
+                    dc_bytes=0)
+    stations = ClusterSpec.homogeneous(4, max_load=0).build()
+    assert ideal_balanced_time(loop, stations) == pytest.approx(1.0,
+                                                                rel=1e-6)
+
+
+def test_ideal_balanced_time_is_lower_bound(small_loop, cluster4, options):
+    stations = cluster4.build()
+    ideal = ideal_balanced_time(small_loop, stations)
+    for scheme in ("NONE", "GDDLB", "LDDLB", "WS"):
+        stats = run_loop(small_loop, cluster4, scheme, options=options)
+        assert stats.duration >= ideal * (1 - 1e-9), scheme
+
+
+def test_dlb_approaches_ideal_under_stable_load(options, small_loop):
+    cluster = ClusterSpec(speeds=(1.0,) * 4, persistence=1000.0,
+                          load_traces=((3,), (1,), (0,), (2,)))
+    stations = cluster.build()
+    ideal = ideal_balanced_time(small_loop, stations)
+    stats = run_loop(small_loop, cluster, "GDDLB", options=options)
+    assert stats.duration <= ideal * 1.3
+
+
+def test_expected_static_slowdown_increases_with_p():
+    s4 = expected_static_slowdown(4, 5, seed=1)
+    s16 = expected_static_slowdown(16, 5, seed=1)
+    assert 1.5 < s4 < s16 < 3.5
+
+
+def test_expected_static_slowdown_shrinks_with_windows():
+    """Averaging over many load windows evens processors out."""
+    one = expected_static_slowdown(4, 5, n_windows=1, seed=2)
+    many = expected_static_slowdown(4, 5, n_windows=50, seed=2)
+    assert many < one
+    assert many < 1.3
+
+
+def test_expected_static_slowdown_no_load():
+    assert expected_static_slowdown(4, 0) == pytest.approx(1.0)
+
+
+def test_expected_static_slowdown_validation():
+    with pytest.raises(ValueError):
+        expected_static_slowdown(0, 5)

@@ -1,0 +1,95 @@
+"""Unit tests for cluster specs and group building."""
+
+import pytest
+
+from repro.machine.cluster import ClusterSpec, build_groups
+
+
+def test_homogeneous_builds_n_stations():
+    stations = ClusterSpec.homogeneous(5, seed=1).build()
+    assert len(stations) == 5
+    assert all(ws.speed == 1.0 for ws in stations)
+    assert [ws.index for ws in stations] == list(range(5))
+
+
+def test_heterogeneous_speeds_preserved():
+    spec = ClusterSpec.heterogeneous([1.0, 2.0, 0.5])
+    assert [ws.speed for ws in spec.build()] == [1.0, 2.0, 0.5]
+
+
+def test_empty_cluster_rejected():
+    with pytest.raises(ValueError):
+        ClusterSpec(speeds=())
+
+
+def test_nonpositive_speed_rejected():
+    with pytest.raises(ValueError):
+        ClusterSpec(speeds=(1.0, 0.0))
+
+
+def test_build_reproducible():
+    spec = ClusterSpec.homogeneous(3, max_load=5, seed=77)
+    a = spec.build()
+    b = spec.build()
+    for wa, wb in zip(a, b):
+        assert [wa.load.window_level(k) for k in range(50)] == \
+               [wb.load.window_level(k) for k in range(50)]
+
+
+def test_processors_have_independent_loads():
+    stations = ClusterSpec.homogeneous(2, max_load=5, seed=3).build()
+    a = [stations[0].load.window_level(k) for k in range(60)]
+    b = [stations[1].load.window_level(k) for k in range(60)]
+    assert a != b
+
+
+def test_reseeded_changes_realization():
+    spec = ClusterSpec.homogeneous(2, max_load=5, seed=1)
+    other = spec.reseeded(2)
+    a = spec.build()[0]
+    b = other.build()[0]
+    assert [a.load.window_level(k) for k in range(50)] != \
+           [b.load.window_level(k) for k in range(50)]
+
+
+def test_zero_max_load_means_dedicated():
+    stations = ClusterSpec.homogeneous(2, max_load=0).build()
+    assert stations[0].load.level(123.0) == 0
+
+
+def test_load_traces_override_random():
+    spec = ClusterSpec(speeds=(1.0, 1.0), load_traces=((1, 1), (3, 3)),
+                       persistence=1.0)
+    stations = spec.build()
+    assert stations[0].load.level(0.0) == 1
+    assert stations[1].load.level(0.0) == 3
+
+
+def test_load_traces_must_match_processors():
+    with pytest.raises(ValueError):
+        ClusterSpec(speeds=(1.0, 1.0), load_traces=((1,),))
+
+
+def test_build_groups_even_split():
+    assert build_groups(8, 4) == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+
+def test_build_groups_remainder_absorbed():
+    # 7 into blocks of 3 -> [0-2], [3-5], [6] -> the singleton merges.
+    assert build_groups(7, 3) == [[0, 1, 2], [3, 4, 5, 6]]
+
+
+def test_build_groups_oversized_k_caps():
+    assert build_groups(4, 10) == [[0, 1, 2, 3]]
+
+
+def test_build_groups_k1():
+    # K=1 keeps singleton groups except the trailing one, which merges
+    # (a lone trailing processor could never rebalance).
+    groups = build_groups(4, 1)
+    assert [len(g) for g in groups] == [1, 1, 2]
+
+
+def test_build_groups_bad_k():
+    with pytest.raises(ValueError):
+        build_groups(4, 0)

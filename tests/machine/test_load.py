@@ -1,0 +1,151 @@
+"""Unit and property tests for the external load functions (Figure 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.load import (
+    ConstantLoad,
+    DiscreteRandomLoad,
+    LoadFunction,
+    TraceLoad,
+)
+
+
+def test_persistence_must_be_positive():
+    with pytest.raises(ValueError):
+        ConstantLoad(0, persistence=0.0)
+
+
+def test_constant_load_level():
+    load = ConstantLoad(3, persistence=1.0)
+    assert load.level(0.0) == 3
+    assert load.level(123.4) == 3
+
+
+def test_constant_load_integral_linear():
+    load = ConstantLoad(1, persistence=1.0)  # factor 1/(1+1) = 0.5
+    assert load.integral(4.0) == pytest.approx(2.0)
+
+
+def test_fractional_constant_load():
+    load = ConstantLoad(1.5, persistence=1.0)
+    assert load.level(0.0) == pytest.approx(1.5)
+    assert load.integral(5.0) == pytest.approx(5.0 / 2.5)
+
+
+def test_trace_load_replays_sequence():
+    load = TraceLoad([0, 2, 5], persistence=1.0)
+    assert load.level(0.5) == 0
+    assert load.level(1.5) == 2
+    assert load.level(2.5) == 5
+    # Past the trace, the last level repeats.
+    assert load.level(99.0) == 5
+
+
+def test_trace_load_requires_levels():
+    with pytest.raises(ValueError):
+        TraceLoad([])
+
+
+def test_negative_levels_rejected():
+    with pytest.raises(ValueError):
+        TraceLoad([1, -2])
+
+
+def test_discrete_random_levels_within_range():
+    load = DiscreteRandomLoad(max_load=5, persistence=1.0, seed=1)
+    levels = [load.window_level(k) for k in range(500)]
+    assert min(levels) >= 0
+    assert max(levels) <= 5
+    assert len(set(levels)) > 1  # actually random
+
+
+def test_discrete_random_reproducible():
+    a = DiscreteRandomLoad(max_load=5, persistence=1.0, seed=9)
+    b = DiscreteRandomLoad(max_load=5, persistence=1.0, seed=9)
+    assert [a.window_level(k) for k in range(100)] == \
+           [b.window_level(k) for k in range(100)]
+
+
+def test_different_seeds_differ():
+    a = DiscreteRandomLoad(max_load=5, persistence=1.0, seed=1)
+    b = DiscreteRandomLoad(max_load=5, persistence=1.0, seed=2)
+    assert [a.window_level(k) for k in range(50)] != \
+           [b.window_level(k) for k in range(50)]
+
+
+def test_level_negative_time_rejected():
+    with pytest.raises(ValueError):
+        ConstantLoad(0).level(-1.0)
+
+
+def test_integral_zero_at_origin():
+    assert DiscreteRandomLoad(seed=0).integral(0.0) == 0.0
+
+
+def test_integral_piecewise_by_hand():
+    load = TraceLoad([1, 3], persistence=2.0)
+    # [0,2): factor 1/2 -> 1.0 ; [2,3): factor 1/4 -> 0.25
+    assert load.integral(3.0) == pytest.approx(1.25)
+
+
+def test_inverse_integral_round_trip():
+    load = DiscreteRandomLoad(max_load=5, persistence=0.7, seed=3)
+    for target in (0.0, 0.3, 1.7, 12.9):
+        t = load.inverse_integral(target)
+        assert load.integral(t) == pytest.approx(target, abs=1e-9)
+
+
+def test_effective_load_constant():
+    load = ConstantLoad(4, persistence=1.0)
+    assert load.effective_load(0.0, 10.0) == pytest.approx(5.0)
+
+
+def test_effective_load_windows_formula():
+    load = TraceLoad([0, 1, 3], persistence=1.0)
+    # (b-a+1) / sum 1/(l+1) over windows 0..2 = 3 / (1 + 1/2 + 1/4)
+    assert load.effective_load_windows(0, 2) == pytest.approx(3 / 1.75)
+
+
+def test_effective_load_point_interval():
+    load = TraceLoad([2], persistence=1.0)
+    assert load.effective_load(0.5, 0.5) == pytest.approx(3.0)
+
+
+def test_mean_inverse_factor_between_extremes():
+    load = DiscreteRandomLoad(max_load=5, persistence=1.0, seed=4)
+    load.window_level(999)
+    m = load.mean_inverse_factor()
+    assert 1 / 6 < m < 1.0
+
+
+@given(st.floats(min_value=0.0, max_value=100.0),
+       st.floats(min_value=0.0, max_value=100.0),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_integral_monotone(t0, t1, seed):
+    """F is non-decreasing: more elapsed time, at least as much capacity."""
+    load = DiscreteRandomLoad(max_load=5, persistence=0.9, seed=seed)
+    lo, hi = sorted((t0, t1))
+    assert load.integral(hi) >= load.integral(lo) - 1e-12
+
+
+@given(st.floats(min_value=0.001, max_value=50.0),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_inverse_integral_is_right_inverse(target, seed):
+    load = DiscreteRandomLoad(max_load=4, persistence=1.3, seed=seed)
+    t = load.inverse_integral(target)
+    assert load.integral(t) == pytest.approx(target, rel=1e-9, abs=1e-9)
+
+
+@given(st.floats(min_value=0.0, max_value=30.0),
+       st.floats(min_value=0.01, max_value=30.0),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_effective_load_bounds(t0, dt, seed):
+    """mu is always within [1, max_load + 1]."""
+    load = DiscreteRandomLoad(max_load=5, persistence=0.8, seed=seed)
+    mu = load.effective_load(t0, t0 + dt)
+    assert 1.0 - 1e-9 <= mu <= 6.0 + 1e-9

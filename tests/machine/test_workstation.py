@@ -1,0 +1,117 @@
+"""Unit and property tests for workstation time math."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.load import ConstantLoad, DiscreteRandomLoad, TraceLoad
+from repro.machine.workstation import Workstation
+
+
+def test_speed_must_be_positive():
+    with pytest.raises(ValueError):
+        Workstation(0, speed=0.0)
+
+
+def test_default_name():
+    assert Workstation(3).name == "ws3"
+
+
+def test_unloaded_capacity_equals_elapsed():
+    ws = Workstation(0, speed=1.0, load=ConstantLoad(0))
+    assert ws.capacity(0.0, 5.0) == pytest.approx(5.0)
+
+
+def test_speed_scales_capacity():
+    ws = Workstation(0, speed=2.0, load=ConstantLoad(0))
+    assert ws.capacity(0.0, 5.0) == pytest.approx(10.0)
+
+
+def test_load_divides_effective_speed():
+    ws = Workstation(0, speed=1.0, load=ConstantLoad(4))
+    assert ws.effective_speed(0.0) == pytest.approx(0.2)
+    assert ws.capacity(0.0, 10.0) == pytest.approx(2.0)
+
+
+def test_time_to_complete_unloaded():
+    ws = Workstation(0, speed=2.0, load=ConstantLoad(0))
+    assert ws.time_to_complete(1.0, 4.0) == pytest.approx(3.0)
+
+
+def test_time_to_complete_zero_work():
+    ws = Workstation(0)
+    assert ws.time_to_complete(7.0, 0.0) == 7.0
+
+
+def test_time_to_complete_negative_work_rejected():
+    with pytest.raises(ValueError):
+        Workstation(0).time_to_complete(0.0, -1.0)
+
+
+def test_time_spans_load_windows():
+    ws = Workstation(0, speed=1.0, load=TraceLoad([0, 1], persistence=1.0))
+    # 1 unit of work in window 0 (rate 1), then rate 1/2.
+    assert ws.time_to_complete(0.0, 2.0) == pytest.approx(3.0)
+
+
+def test_capacity_inverse_of_time_to_complete():
+    ws = Workstation(0, speed=1.5,
+                     load=DiscreteRandomLoad(max_load=5, persistence=0.6,
+                                             seed=11))
+    t = ws.time_to_complete(2.0, 7.5)
+    assert ws.capacity(2.0, t) == pytest.approx(7.5, abs=1e-9)
+
+
+def test_effective_load_and_average_speed_consistent():
+    ws = Workstation(0, speed=3.0,
+                     load=DiscreteRandomLoad(max_load=4, persistence=0.5,
+                                             seed=5))
+    mu = ws.effective_load(0.0, 4.0)
+    assert ws.average_effective_speed(0.0, 4.0) == pytest.approx(3.0 / mu)
+
+
+def test_capacity_backwards_interval_rejected():
+    with pytest.raises(ValueError):
+        Workstation(0).capacity(2.0, 1.0)
+
+
+@given(st.floats(min_value=0.0, max_value=50.0),
+       st.floats(min_value=0.001, max_value=50.0),
+       st.floats(min_value=0.1, max_value=8.0),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=80, deadline=None)
+def test_round_trip_work_time(start, work, speed, seed):
+    """time_to_complete and capacity are exact inverses."""
+    ws = Workstation(0, speed=speed,
+                     load=DiscreteRandomLoad(max_load=5, persistence=0.75,
+                                             seed=seed))
+    t = ws.time_to_complete(start, work)
+    assert t >= start
+    assert ws.capacity(start, t) == pytest.approx(work, rel=1e-9, abs=1e-9)
+
+
+@given(st.floats(min_value=0.001, max_value=20.0),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_completion_time_bounded_by_load_extremes(work, seed):
+    """Completion takes between work/S and work*(m+1)/S wall seconds."""
+    ws = Workstation(0, speed=1.0,
+                     load=DiscreteRandomLoad(max_load=5, persistence=1.1,
+                                             seed=seed))
+    t = ws.time_to_complete(0.0, work)
+    assert work - 1e-9 <= t <= 6.0 * work + 1e-9
+
+
+@given(st.floats(min_value=0.0, max_value=10.0),
+       st.floats(min_value=0.0, max_value=10.0),
+       st.floats(min_value=0.0, max_value=10.0),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_capacity_additive(a, b, c, seed):
+    """capacity(t0,t2) == capacity(t0,t1) + capacity(t1,t2)."""
+    t0, t1, t2 = sorted((a, b, c))
+    ws = Workstation(0, speed=2.0,
+                     load=DiscreteRandomLoad(max_load=3, persistence=0.4,
+                                             seed=seed))
+    total = ws.capacity(t0, t2)
+    split = ws.capacity(t0, t1) + ws.capacity(t1, t2)
+    assert total == pytest.approx(split, rel=1e-9, abs=1e-9)

@@ -1,0 +1,71 @@
+"""Tests for typed protocol messages."""
+
+import pytest
+
+from repro.message.messages import (
+    ControlMsg,
+    DataMsg,
+    InstructionMsg,
+    InterruptMsg,
+    ProfileMsg,
+    Tag,
+    TransferOrder,
+    WorkMsg,
+)
+
+
+def test_tags_distinct():
+    msgs = [InterruptMsg(0, 1), ProfileMsg(0, 1), InstructionMsg(0, 1),
+            WorkMsg(0, 1), ControlMsg(0, 1), DataMsg(0, 1)]
+    assert len({m.tag for m in msgs}) == 6
+
+
+def test_interrupt_is_small():
+    assert InterruptMsg(0, 1).nbytes <= 32
+
+
+def test_profile_carries_metrics():
+    msg = ProfileMsg(src=2, dst=0, epoch=3, remaining_work=1.5,
+                     remaining_count=10, rate=0.8)
+    assert msg.tag is Tag.PROFILE
+    assert msg.remaining_work == 1.5
+    assert msg.nbytes > InterruptMsg(0, 1).nbytes
+
+
+def test_transfer_order_validation():
+    with pytest.raises(ValueError):
+        TransferOrder(src=0, dst=1, work=-1.0)
+
+
+def test_instruction_size_grows_with_orders():
+    small = InstructionMsg(0, 1)
+    big = InstructionMsg(0, 1, outgoing=(TransferOrder(1, 2, 1.0),
+                                         TransferOrder(1, 3, 1.0)),
+                         active=(0, 1, 2, 3))
+    assert big.nbytes > small.nbytes
+
+
+def test_work_message_counts_data_bytes():
+    msg = WorkMsg(src=0, dst=1, ranges=((0, 5),), count=5, data_bytes=4000)
+    assert msg.nbytes >= 4000
+    assert msg.count == 5
+
+
+def test_data_message_bytes():
+    assert DataMsg(0, 1, data_bytes=1000).nbytes >= 1000
+
+
+def test_messages_are_immutable():
+    msg = InterruptMsg(0, 1)
+    with pytest.raises(Exception):
+        msg.src = 5  # type: ignore[misc]
+
+
+def test_epoch_defaults_to_zero():
+    assert ProfileMsg(0, 1).epoch == 0
+
+
+def test_instruction_selection_fields():
+    msg = InstructionMsg(0, 1, select_scheme="LD", select_group_size=4)
+    assert msg.select_scheme == "LD"
+    assert msg.select_group_size == 4

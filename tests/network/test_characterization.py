@@ -1,0 +1,74 @@
+"""Tests for the Figure-4 characterization and fitted cost model."""
+
+import pytest
+
+from repro.network.characterization import (
+    CommCostModel,
+    characterize_network,
+)
+from repro.network.parameters import NetworkParameters
+
+
+@pytest.fixture(scope="module")
+def model():
+    return characterize_network(proc_counts=range(2, 17, 2))
+
+
+def test_fits_cover_all_patterns(model):
+    assert set(model.fits) == {"OA", "AO", "AA"}
+
+
+def test_fit_close_to_samples(model):
+    for fit in model.fits.values():
+        for p, measured in fit.samples:
+            assert fit(p) == pytest.approx(measured, rel=0.1, abs=2e-3)
+
+
+def test_residuals_small(model):
+    for fit in model.fits.values():
+        assert fit.residual_rms() < 2e-3
+
+
+def test_cost_ordering_preserved(model):
+    for p in (4, 8, 16):
+        assert model.one_to_all(p) <= model.all_to_one(p) \
+            <= model.all_to_all(p)
+
+
+def test_single_host_costs_nothing(model):
+    assert model.one_to_all(1) == 0.0
+    assert model.all_to_all(0) == 0.0
+
+
+def test_point_to_point_formula(model):
+    nbytes = 9600
+    expected = model.latency + nbytes / model.bandwidth
+    assert model.point_to_point(nbytes) == pytest.approx(expected)
+
+
+def test_latency_matches_paper_default(model):
+    assert model.latency == pytest.approx(2414.5e-6)
+    assert model.bandwidth == pytest.approx(0.96e6)
+
+
+def test_uncharacterized_pattern_raises():
+    empty = CommCostModel(params=NetworkParameters())
+    with pytest.raises(KeyError):
+        empty.all_to_all(4)
+
+
+def test_analytic_fallback_sane():
+    model = CommCostModel.analytic()
+    for p in (2, 8, 16):
+        assert 0 < model.one_to_all(p) <= model.all_to_all(p)
+
+
+def test_too_few_samples_rejected():
+    with pytest.raises(ValueError):
+        characterize_network(proc_counts=[2, 3], degree=2)
+
+
+def test_negative_fit_clipped():
+    fit = characterize_network(proc_counts=range(2, 8)).fits["OA"]
+    # Extrapolating far below the sample range must never go negative.
+    assert fit(0.0) >= 0.0

@@ -1,0 +1,39 @@
+"""Cross-checks between the fitted communication model and the
+simulated transport it was fitted on."""
+
+import pytest
+
+from repro.core.model.costs import default_comm_model
+from repro.message.messages import ProfileMsg
+from repro.network.characterization import DEFAULT_PROBE_BYTES
+from repro.network.parameters import NetworkParameters
+from repro.network.patterns import measure_pattern
+
+
+def test_probe_size_matches_profile_message():
+    """The characterization probes with profile-sized messages, so the
+    model's sigma terms describe real sync traffic."""
+    assert ProfileMsg(0, 1).nbytes == DEFAULT_PROBE_BYTES
+
+
+def test_fit_interpolates_unsampled_points():
+    model = default_comm_model()
+    # The cache was fitted on 2..16; check an interior non-sample...
+    for p in (5, 11, 13):
+        measured = measure_pattern("AA", p, DEFAULT_PROBE_BYTES)
+        assert model.all_to_all(p) == pytest.approx(measured, rel=0.1)
+
+
+def test_model_terms_monotone_in_p():
+    model = default_comm_model()
+    for fn in (model.one_to_all, model.all_to_one, model.all_to_all):
+        values = [fn(p) for p in range(2, 17)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_custom_network_gets_its_own_fit():
+    fast = NetworkParameters(send_overhead=10e-6, recv_overhead=12e-6,
+                             wire_latency=3e-6, bandwidth=100e6)
+    fast_model = default_comm_model(fast)
+    slow_model = default_comm_model()
+    assert fast_model.all_to_all(8) < slow_model.all_to_all(8) / 10

@@ -1,0 +1,40 @@
+"""Tests for network parameter validation and derived quantities."""
+
+import pytest
+
+from repro.network.parameters import (
+    NetworkParameters,
+    PAPER_BANDWIDTH_BPS,
+    PAPER_LATENCY_S,
+)
+
+
+def test_default_latency_is_papers():
+    assert NetworkParameters().latency == pytest.approx(PAPER_LATENCY_S)
+
+
+def test_default_bandwidth_is_papers():
+    assert NetworkParameters().bandwidth == PAPER_BANDWIDTH_BPS
+
+
+def test_transfer_time():
+    p = NetworkParameters()
+    assert p.transfer_time(0) == pytest.approx(p.latency)
+    assert p.transfer_time(960_000) == pytest.approx(p.latency + 1.0)
+
+
+def test_negative_overhead_rejected():
+    with pytest.raises(ValueError):
+        NetworkParameters(send_overhead=-1.0)
+
+
+def test_nonpositive_bandwidth_rejected():
+    with pytest.raises(ValueError):
+        NetworkParameters(bandwidth=0.0)
+
+
+def test_frozen_and_hashable():
+    a = NetworkParameters()
+    b = NetworkParameters()
+    assert a == b
+    assert hash(a) == hash(b)

@@ -1,0 +1,60 @@
+"""Tests for the collective pattern measurements (§6.1 shapes)."""
+
+import pytest
+
+from repro.network.parameters import NetworkParameters
+from repro.network.patterns import measure_pattern
+
+
+def test_unknown_pattern_rejected():
+    with pytest.raises(ValueError):
+        measure_pattern("XX", 4, 64)
+
+
+def test_needs_two_hosts():
+    with pytest.raises(ValueError):
+        measure_pattern("OA", 1, 64)
+
+
+def test_patterns_positive_and_ordered():
+    """At every P: AA >= AO >= OA (the paper's Figure 4 ordering)."""
+    for p in (2, 4, 8, 16):
+        oa = measure_pattern("OA", p, 64)
+        ao = measure_pattern("AO", p, 64)
+        aa = measure_pattern("AA", p, 64)
+        assert 0 < oa <= ao <= aa
+
+
+def test_oa_grows_linearly():
+    t4 = measure_pattern("OA", 4, 64)
+    t8 = measure_pattern("OA", 8, 64)
+    t16 = measure_pattern("OA", 16, 64)
+    # Linear: increments roughly equal per added host.
+    slope1 = (t8 - t4) / 4
+    slope2 = (t16 - t8) / 8
+    assert slope2 == pytest.approx(slope1, rel=0.2)
+
+
+def test_aa_superlinear():
+    t4 = measure_pattern("AA", 4, 64)
+    t16 = measure_pattern("AA", 16, 64)
+    # Message count grows 20x (12 -> 240); time must grow much more
+    # than the 4x host ratio.
+    assert t16 / t4 > 6
+
+
+def test_bigger_messages_cost_more():
+    small = measure_pattern("AO", 8, 64)
+    big = measure_pattern("AO", 8, 64_000)
+    assert big > small
+
+
+def test_measurement_deterministic():
+    assert measure_pattern("AA", 6, 128) == measure_pattern("AA", 6, 128)
+
+
+def test_custom_params_respected():
+    slow = NetworkParameters(bandwidth=0.1e6)
+    fast = NetworkParameters(bandwidth=100e6)
+    assert measure_pattern("AA", 4, 10_000, slow) > \
+        measure_pattern("AA", 4, 10_000, fast)

@@ -1,0 +1,121 @@
+"""Unit and property tests for the DLB_array descriptor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.arrays import DlbArray
+
+
+Z = DlbArray("Z", (400, 800), ("BLOCK", "WHOLE"))
+Y = DlbArray("Y", (400, 800), ("WHOLE", "WHOLE"))
+C = DlbArray("C", (10, 4), ("CYCLIC", "WHOLE"))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DlbArray("bad", (), ())
+    with pytest.raises(ValueError):
+        DlbArray("bad", (4,), ("BLOCK", "WHOLE"))
+    with pytest.raises(ValueError):
+        DlbArray("bad", (4, 4), ("BLOCK", "DIAGONAL"))
+    with pytest.raises(ValueError):
+        DlbArray("bad", (4, 4), ("BLOCK", "CYCLIC"))  # two partitioned
+    with pytest.raises(ValueError):
+        DlbArray("bad", (0, 4), ("BLOCK", "WHOLE"))
+
+
+def test_byte_accounting():
+    assert Z.total_bytes == 400 * 800 * 8
+    assert Z.section_bytes == 800 * 8        # one row
+    assert Y.section_bytes == Y.total_bytes  # replicated
+    col = DlbArray("V", (400, 800), ("WHOLE", "BLOCK"))
+    assert col.section_bytes == 400 * 8      # one column
+
+
+def test_block_ownership_contiguous():
+    arr = DlbArray("A", (10,), ("BLOCK",))
+    owners = [arr.owner(i, 3) for i in range(10)]
+    # 10 over 3: sizes 4, 3, 3.
+    assert owners == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+
+def test_cyclic_ownership_round_robin():
+    owners = [C.owner(i, 3) for i in range(10)]
+    assert owners == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+
+
+def test_local_index_block():
+    arr = DlbArray("A", (10,), ("BLOCK",))
+    assert arr.local_index(0, 3) == 0
+    assert arr.local_index(3, 3) == 3
+    assert arr.local_index(4, 3) == 0   # first of rank 1's block
+    assert arr.local_index(9, 3) == 2
+
+
+def test_local_index_cyclic():
+    assert C.local_index(7, 3) == 2  # rank 1 holds 1, 4, 7
+
+
+def test_replicated_has_no_owner():
+    with pytest.raises(ValueError):
+        Y.owner(0, 4)
+    with pytest.raises(ValueError):
+        Y.owned_indices(0, 4)
+
+
+def test_scatter_bytes():
+    arr = DlbArray("A", (8, 2), ("BLOCK", "WHOLE"))
+    assert arr.scatter_bytes(0, 4) == 2 * 2 * 8
+    # Replicated arrays go whole to every non-master rank.
+    assert Y.scatter_bytes(1, 4) == Y.total_bytes
+    assert Y.scatter_bytes(0, 4) == 0
+
+
+def test_move_bytes():
+    assert Z.move_bytes(3) == 3 * 800 * 8
+    assert Y.move_bytes(5) == 0
+    with pytest.raises(ValueError):
+        Z.move_bytes(-1)
+
+
+def test_index_out_of_range():
+    with pytest.raises(IndexError):
+        Z.owner(400, 4)
+
+
+@given(st.integers(min_value=1, max_value=200),
+       st.integers(min_value=1, max_value=17),
+       st.sampled_from(["BLOCK", "CYCLIC"]))
+@settings(max_examples=120, deadline=None)
+def test_ownership_partitions_indices(extent, p, dist):
+    """owned_indices over all ranks partitions the index space, and
+    owner() agrees with owned_indices()."""
+    arr = DlbArray("A", (extent,), (dist,))
+    seen = []
+    for rank in range(p):
+        for idx in arr.owned_indices(rank, p):
+            assert arr.owner(idx, p) == rank
+            seen.append(idx)
+    assert sorted(seen) == list(range(extent))
+
+
+@given(st.integers(min_value=1, max_value=200),
+       st.integers(min_value=1, max_value=17))
+@settings(max_examples=100, deadline=None)
+def test_block_sizes_balanced(extent, p):
+    arr = DlbArray("A", (extent,), ("BLOCK",))
+    sizes = [len(arr.owned_indices(r, p)) for r in range(p)]
+    assert sum(sizes) == extent
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(st.integers(min_value=1, max_value=120),
+       st.integers(min_value=1, max_value=9),
+       st.sampled_from(["BLOCK", "CYCLIC"]))
+@settings(max_examples=100, deadline=None)
+def test_local_index_bijective_per_rank(extent, p, dist):
+    arr = DlbArray("A", (extent,), (dist,))
+    for rank in range(p):
+        owned = arr.owned_indices(rank, p)
+        locals_ = [arr.local_index(i, p) for i in owned]
+        assert locals_ == list(range(len(owned)))

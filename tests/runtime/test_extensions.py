@@ -1,0 +1,201 @@
+"""Tests for the extension features: group formation, periodic sync,
+speed-proportional partitioning, and work stealing."""
+
+import pytest
+
+from repro.apps.workload import LoopSpec
+from repro.machine.cluster import ClusterSpec, build_groups
+from repro.runtime.assignment import proportional_block_partition
+from repro.runtime.executor import run_loop
+from repro.runtime.options import RunOptions
+
+
+# -- group formation (§3.5 variants) -------------------------------------
+
+def test_build_groups_interleaved():
+    assert build_groups(8, 4, formation="interleaved") == \
+        [[0, 2, 4, 6], [1, 3, 5, 7]]
+
+
+def test_build_groups_random_is_seeded_permutation():
+    a = build_groups(8, 4, formation="random", seed=3)
+    b = build_groups(8, 4, formation="random", seed=3)
+    c = build_groups(8, 4, formation="random", seed=4)
+    assert a == b
+    assert a != c
+    flat = sorted(x for g in a for x in g)
+    assert flat == list(range(8))
+
+
+def test_build_groups_unknown_formation():
+    with pytest.raises(ValueError):
+        build_groups(8, 4, formation="fancy")
+
+
+def test_group_formation_changes_who_balances_with_whom(options):
+    """With load striped across processors, interleaved groups pair a
+    loaded processor with an idle one — block groups do not."""
+    loop = LoopSpec(name="stripe", n_iterations=64, iteration_time=0.01,
+                    dc_bytes=100)
+    cluster = ClusterSpec(speeds=(1.0,) * 4, persistence=1000.0,
+                          load_traces=((5,), (5,), (0,), (0,)))
+    block = run_loop(loop, cluster, "LDDLB",
+                     options=options.but(group_size=2,
+                                         group_formation="block"))
+    inter = run_loop(loop, cluster, "LDDLB",
+                     options=options.but(group_size=2,
+                                         group_formation="interleaved"))
+    assert inter.duration < block.duration * 0.8
+
+
+def test_random_formation_runs_to_coverage(options, cluster8, small_loop):
+    stats = run_loop(small_loop, cluster8, "LDDLB",
+                     options=options.but(group_formation="random",
+                                         group_seed=5))
+    assert sum(stats.executed_count(i) for i in range(8)) == 64
+
+
+# -- speed-proportional initial partition ---------------------------------
+
+def test_proportional_partition_counts():
+    parts = proportional_block_partition(100, [2.0, 1.0, 1.0])
+    assert [p.count for p in parts] == [50, 25, 25]
+    assert parts[0].ranges == [(0, 50)]
+
+
+def test_proportional_partition_largest_remainder():
+    parts = proportional_block_partition(10, [1.0, 1.0, 1.0])
+    assert sum(p.count for p in parts) == 10
+    assert max(p.count for p in parts) - min(p.count for p in parts) <= 1
+
+
+def test_proportional_partition_validation():
+    with pytest.raises(ValueError):
+        proportional_block_partition(10, [])
+    with pytest.raises(ValueError):
+        proportional_block_partition(10, [1.0, 0.0])
+
+
+def test_speed_partition_balances_heterogeneous_static(options):
+    cluster = ClusterSpec.heterogeneous([2.0, 1.0, 1.0, 0.5], max_load=0)
+    loop = LoopSpec(name="het", n_iterations=90, iteration_time=0.01,
+                    dc_bytes=100)
+    equal = run_loop(loop, cluster, "NONE", options=options)
+    speed = run_loop(loop, cluster, "NONE",
+                     options=options.but(initial_partition="speed"))
+    assert speed.duration < equal.duration * 0.6
+    # The ideal is total work / total speed.
+    assert speed.duration == pytest.approx(0.9 / 4.5, rel=0.1)
+
+
+def test_speed_partition_under_dlb_reduces_moves(options):
+    cluster = ClusterSpec.heterogeneous([2.0, 1.0, 1.0, 0.5], max_load=0)
+    loop = LoopSpec(name="het2", n_iterations=90, iteration_time=0.01,
+                    dc_bytes=100)
+    equal = run_loop(loop, cluster, "GDDLB", options=options)
+    speed = run_loop(loop, cluster, "GDDLB",
+                     options=options.but(initial_partition="speed"))
+    assert speed.total_work_moved <= equal.total_work_moved
+
+
+# -- periodic synchronization ----------------------------------------------
+
+def test_periodic_mode_completes_with_coverage(options, cluster4,
+                                               small_loop):
+    stats = run_loop(small_loop, cluster4, "GDDLB",
+                     options=options.but(sync_mode="periodic",
+                                         sync_period=0.1))
+    assert sum(stats.executed_count(i) for i in range(4)) == 64
+    assert stats.n_syncs >= 1
+
+
+def test_periodic_sync_times_follow_period(options, cluster4):
+    loop = LoopSpec(name="per", n_iterations=200, iteration_time=0.01,
+                    dc_bytes=100)
+    stats = run_loop(loop, cluster4, "GDDLB",
+                     options=options.but(sync_mode="periodic",
+                                         sync_period=0.3))
+    times = [s.time for s in stats.syncs]
+    # Syncs happen at roughly multiples of the period (plus boundary
+    # rounding and communication).
+    assert times[0] == pytest.approx(0.3, abs=0.15)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(g > 0.2 for g in gaps)
+
+
+def test_interrupt_mode_beats_periodic_with_long_period(options, cluster4,
+                                                        small_loop):
+    """Long periods leave finished processors idle — the §3.1 argument
+    for interrupt-based synchronization."""
+    interrupt = run_loop(small_loop, cluster4, "GDDLB", options=options)
+    periodic = run_loop(small_loop, cluster4, "GDDLB",
+                        options=options.but(sync_mode="periodic",
+                                            sync_period=1.0))
+    assert interrupt.duration <= periodic.duration
+
+
+def test_periodic_centralized_works(options, cluster8, small_loop):
+    stats = run_loop(small_loop, cluster8, "LCDLB",
+                     options=options.but(sync_mode="periodic",
+                                         sync_period=0.15))
+    assert sum(stats.executed_count(i) for i in range(8)) == 64
+
+
+def test_bad_option_values_rejected():
+    with pytest.raises(ValueError):
+        RunOptions(sync_mode="sometimes")
+    with pytest.raises(ValueError):
+        RunOptions(sync_period=0.0)
+    with pytest.raises(ValueError):
+        RunOptions(group_formation="circular")
+    with pytest.raises(ValueError):
+        RunOptions(initial_partition="alphabetical")
+
+
+# -- work stealing -----------------------------------------------------------
+
+def test_work_stealing_coverage(options, cluster4, small_loop):
+    stats = run_loop(small_loop, cluster4, "WS", options=options)
+    assert sum(stats.executed_count(i) for i in range(4)) == 64
+
+
+def test_work_stealing_moves_work_to_idle(options):
+    cluster = ClusterSpec(speeds=(1.0,) * 4, persistence=1000.0,
+                          load_traces=((0,), (4,), (4,), (4,)))
+    loop = LoopSpec(name="ws", n_iterations=64, iteration_time=0.01,
+                    dc_bytes=100)
+    stats = run_loop(loop, cluster, "WS", options=options)
+    counts = {i: stats.executed_count(i) for i in range(4)}
+    assert counts[0] > max(counts[i] for i in (1, 2, 3))
+    steals = [s for s in stats.syncs if s.reason == "steal"]
+    assert len(steals) >= 1
+
+
+def test_work_stealing_beats_static_under_load(options):
+    cluster = ClusterSpec(speeds=(1.0,) * 4, persistence=1000.0,
+                          load_traces=((5,), (0,), (0,), (0,)))
+    loop = LoopSpec(name="ws2", n_iterations=64, iteration_time=0.01,
+                    dc_bytes=100)
+    static = run_loop(loop, cluster, "NONE", options=options)
+    ws = run_loop(loop, cluster, "WS", options=options)
+    assert ws.duration < 0.7 * static.duration
+
+
+def test_work_stealing_deterministic(options, cluster4, small_loop):
+    a = run_loop(small_loop, cluster4, "WS", options=options)
+    b = run_loop(small_loop, cluster4, "WS", options=options)
+    assert a.duration == b.duration
+
+
+def test_work_stealing_many_processors(options, small_loop):
+    cluster = ClusterSpec.homogeneous(8, max_load=4, persistence=0.3,
+                                      seed=31)
+    stats = run_loop(small_loop, cluster, "WS", options=options)
+    assert sum(stats.executed_count(i) for i in range(8)) == 64
+
+
+def test_work_stealing_registry():
+    from repro.core.strategies import WORK_STEALING, get_strategy
+    assert get_strategy("WS") is WORK_STEALING
+    assert get_strategy("workstealing") is WORK_STEALING
+    assert "stealing" in WORK_STEALING.describe()

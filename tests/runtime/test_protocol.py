@@ -1,0 +1,129 @@
+"""Protocol-level tests: sync behavior, retirement, balancer queueing."""
+
+import pytest
+
+from repro.apps.workload import LoopSpec
+from repro.core.policy import DlbPolicy
+from repro.machine.cluster import ClusterSpec
+from repro.runtime.executor import run_loop
+from repro.runtime.options import RunOptions
+
+
+def test_receiver_initiated_sync(small_loop, options):
+    """The first finisher triggers the first sync: with one fast and
+    three slow processors, the first sync comes well before the static
+    finish of the slow ones."""
+    cluster = ClusterSpec(speeds=(1.0,) * 4, persistence=1000.0,
+                          load_traces=((0,), (4,), (4,), (4,)))
+    stats = run_loop(small_loop, cluster, "GDDLB", options=options)
+    # Fast node finishes its block (16 iters x 10 ms) at ~0.16 s.
+    assert stats.syncs[0].time == pytest.approx(0.16, rel=0.3)
+
+
+def test_work_flows_to_fast_node(small_loop, options):
+    cluster = ClusterSpec(speeds=(1.0,) * 4, persistence=1000.0,
+                          load_traces=((0,), (4,), (4,), (4,)))
+    stats = run_loop(small_loop, cluster, "GDDLB", options=options)
+    counts = {i: stats.executed_count(i) for i in range(4)}
+    assert counts[0] > max(counts[i] for i in (1, 2, 3))
+
+
+def test_local_scheme_keeps_work_in_group(small_loop, options):
+    """LDDLB with group {0,1} fast and {2,3} slow: no iteration of the
+    second group's initial block may be executed by the first group."""
+    cluster = ClusterSpec(speeds=(1.0,) * 4, persistence=1000.0,
+                          load_traces=((0,), (0,), (5,), (5,)))
+    stats = run_loop(small_loop, cluster, "LDDLB",
+                     options=options.but(group_size=2))
+    # Initial blocks: node2 gets [32,48), node3 [48,64).
+    group0_executed = (stats.executed_by_node.get(0, [])
+                       + stats.executed_by_node.get(1, []))
+    assert all(e <= 32 for _s, e in group0_executed)
+
+
+def test_global_scheme_crosses_groups(small_loop, options):
+    cluster = ClusterSpec(speeds=(1.0,) * 4, persistence=1000.0,
+                          load_traces=((0,), (0,), (5,), (5,)))
+    stats = run_loop(small_loop, cluster, "GDDLB", options=options)
+    group0_executed = (stats.executed_by_node.get(0, [])
+                       + stats.executed_by_node.get(1, []))
+    assert any(e > 32 for _s, e in group0_executed)
+
+
+def test_local_groups_sync_independently(small_loop, options, cluster8):
+    stats = run_loop(small_loop, cluster8, "LDDLB",
+                     options=options.but(group_size=4))
+    epochs_by_group = {}
+    for s in stats.syncs:
+        epochs_by_group.setdefault(s.group, []).append(s.epoch)
+    assert len(epochs_by_group) == 2
+    for epochs in epochs_by_group.values():
+        assert epochs == sorted(epochs)
+
+
+def test_final_sync_reports_done(small_loop, cluster4, options):
+    stats = run_loop(small_loop, cluster4, "GDDLB", options=options)
+    assert stats.syncs[-1].reason == "done"
+
+
+def test_unprofitable_sync_retires_finisher(options):
+    """When load is perfectly uniform, syncs near the end should refuse
+    to move and retire idle finishers rather than thrash."""
+    loop = LoopSpec(name="u", n_iterations=40, iteration_time=0.01,
+                    dc_bytes=100)
+    cluster = ClusterSpec.homogeneous(4, max_load=0)
+    stats = run_loop(loop, cluster, "GDDLB", options=options)
+    # Nothing to balance: at most a couple of syncs, no moves.
+    assert stats.n_redistributions == 0
+    assert stats.n_syncs <= 2
+
+
+def test_sync_count_bounded(small_loop, cluster8, options):
+    """No sync storms: syncs should be at most a few dozen for a small
+    loop (regression guard for the sub-iteration livelock)."""
+    for scheme in ("GCDLB", "GDDLB", "LCDLB", "LDDLB"):
+        stats = run_loop(small_loop, cluster8, scheme, options=options)
+        assert stats.n_syncs <= 40, scheme
+
+
+def test_centralized_uses_instruction_messages(small_loop, cluster4,
+                                               options):
+    gc = run_loop(small_loop, cluster4, "GCDLB", options=options)
+    gd = run_loop(small_loop, cluster4, "GDDLB", options=options)
+    assert gc.messages_by_tag["instruction"] > 0
+    # Distributed profiles broadcast: many more profile messages.
+    assert gd.messages_by_tag["profile"] > gc.messages_by_tag["profile"]
+
+
+def test_lcdlb_single_balancer_serves_all_groups(small_loop, cluster8,
+                                                 options):
+    stats = run_loop(small_loop, cluster8, "LCDLB",
+                     options=options.but(group_size=4))
+    served_groups = {s.group for s in stats.syncs}
+    assert served_groups == {0, 1}
+
+
+def test_include_movement_cost_reduces_moves(options, cluster4):
+    loop = LoopSpec(name="heavy-dc", n_iterations=48, iteration_time=0.01,
+                    dc_bytes=200_000)  # expensive rows
+    base = run_loop(loop, cluster4, "GDDLB", options=options)
+    incl = run_loop(loop, cluster4, "GDDLB", options=options.but(
+        policy=DlbPolicy(include_movement_cost=True)))
+    assert incl.n_redistributions <= base.n_redistributions
+
+
+def test_profile_window_no_reset_variant(small_loop, cluster4, options):
+    """The whole-history metric variant also completes correctly."""
+    stats = run_loop(small_loop, cluster4, "GDDLB",
+                     options=options.but(profile_window_reset=False))
+    assert sum(stats.executed_count(i) for i in range(4)) == 64
+
+
+def test_retirement_recorded_in_sync_trace(options):
+    """A drastically slow node should eventually be retired or drained."""
+    cluster = ClusterSpec(speeds=(1.0, 1.0, 1.0, 0.02), persistence=1000.0,
+                          load_traces=((0,), (0,), (0,), (5,)))
+    loop = LoopSpec(name="drain", n_iterations=64, iteration_time=0.01,
+                    dc_bytes=100)
+    stats = run_loop(loop, cluster, "GDDLB", options=options)
+    assert stats.executed_count(3) < 16  # its initial block migrated away

@@ -1,0 +1,71 @@
+"""Tests pinning down the §3.2 performance-metric semantics."""
+
+import pytest
+
+from repro.apps.workload import LoopSpec
+from repro.machine.cluster import ClusterSpec
+from repro.runtime.executor import run_loop
+
+
+def test_measured_rates_drive_shares(options):
+    """Under a persistent 3:1 effective-speed split, the first
+    redistribution's shares reflect the measured rates, so executed
+    counts approach the 3:1 capacity ratio."""
+    cluster = ClusterSpec(speeds=(1.0, 1.0), persistence=1e9,
+                          load_traces=((0,), (2,)))  # speeds 1 vs 1/3
+    loop = LoopSpec(name="rate", n_iterations=120, iteration_time=0.01,
+                    dc_bytes=50)
+    stats = run_loop(loop, cluster, "GDDLB", options=options)
+    fast = stats.executed_count(0)
+    slow = stats.executed_count(1)
+    assert fast + slow == 120
+    # Capacity ratio 3:1 -> fast executes ~90.
+    assert fast / slow == pytest.approx(3.0, rel=0.25)
+
+
+def test_rate_window_resets_adapt_to_load_change(options):
+    """When the load flips mid-run, windowed rates re-learn it; the
+    final distribution tracks the *new* speeds, not the stale ones."""
+    # Node 0 fast then slow; node 1 slow then fast (flip at t=0.6).
+    cluster = ClusterSpec(speeds=(1.0, 1.0), persistence=0.6,
+                          load_traces=((0, 5, 5, 5, 5, 5, 5, 5),
+                                       (5, 0, 0, 0, 0, 0, 0, 0)))
+    loop = LoopSpec(name="flip", n_iterations=200, iteration_time=0.01,
+                    dc_bytes=50)
+    stats = run_loop(loop, cluster, "GDDLB", options=options)
+    # After the flip node 1 is 6x faster; across the whole run it must
+    # have executed well over half the iterations.
+    assert stats.executed_count(1) > 110
+
+
+def test_whole_history_window_slower_to_adapt(options):
+    """profile_window_reset=False (the §3.2 'whole past history'
+    variant) reacts more sluggishly to a load flip."""
+    cluster_spec = dict(speeds=(1.0, 1.0), persistence=0.6,
+                        load_traces=((0, 5, 5, 5, 5, 5, 5, 5),
+                                     (5, 0, 0, 0, 0, 0, 0, 0)))
+    loop = LoopSpec(name="flip2", n_iterations=200, iteration_time=0.01,
+                    dc_bytes=50)
+    windowed = run_loop(loop, ClusterSpec(**cluster_spec), "GDDLB",
+                        options=options)
+    history = run_loop(loop, ClusterSpec(**cluster_spec), "GDDLB",
+                       options=options.but(profile_window_reset=False))
+    # Both finish correctly.
+    assert windowed.executed_count(0) + windowed.executed_count(1) == 200
+    assert history.executed_count(0) + history.executed_count(1) == 200
+    # The windowed variant shifts at least as much work to the node
+    # that became fast.
+    assert windowed.executed_count(1) >= history.executed_count(1) - 5
+
+
+def test_rates_ignore_idle_time(options):
+    """The finisher's measured rate uses busy time only: despite idling
+    while waiting for the sync, it receives a fair share afterwards."""
+    cluster = ClusterSpec(speeds=(1.0, 1.0), persistence=1e9,
+                          load_traces=((0,), (1,)))
+    loop = LoopSpec(name="busy", n_iterations=60, iteration_time=0.01,
+                    dc_bytes=50)
+    stats = run_loop(loop, cluster, "GDDLB", options=options)
+    # Capacity ratio 2:1.
+    assert stats.executed_count(0) / stats.executed_count(1) == \
+        pytest.approx(2.0, rel=0.3)

@@ -1,0 +1,120 @@
+"""Unit tests for session bookkeeping and central balancer internals."""
+
+import pytest
+
+from repro.core.strategies import CUSTOMIZED, GCDLB, GDDLB, LCDLB, LDDLB
+from repro.machine.cluster import ClusterSpec
+from repro.message.pvm import VirtualMachine
+from repro.runtime.balancer import CentralBalancer
+from repro.runtime.options import RunOptions
+from repro.runtime.session import LoopSession
+from repro.simulation import Environment
+
+
+def make_session(strategy, n=4, options=None, small_loop=None):
+    from repro.apps.workload import LoopSpec
+    loop = small_loop or LoopSpec(name="s", n_iterations=32,
+                                  iteration_time=0.01, dc_bytes=100)
+    env = Environment()
+    cluster = ClusterSpec.homogeneous(n, max_load=0)
+    stations = cluster.build()
+    options = options or RunOptions()
+    vm = VirtualMachine(env, n, options.network)
+    return LoopSession(env, vm, stations, loop, strategy, options)
+
+
+def test_global_strategy_single_group():
+    session = make_session(GDDLB)
+    assert session.groups == [[0, 1, 2, 3]]
+    assert session.group_of[3] == 0
+
+
+def test_local_strategy_k_blocks():
+    session = make_session(LDDLB, n=8, options=RunOptions(group_size=4))
+    assert session.groups == [[0, 1, 2, 3], [4, 5, 6, 7]]
+    assert session.group_size == 4
+
+
+def test_default_group_size_two_groups():
+    session = make_session(LCDLB, n=6)
+    assert len(session.groups) == 2
+
+
+def test_custom_starts_centralized():
+    session = make_session(CUSTOMIZED)
+    assert session.centralized
+    assert session.groups == [[0, 1, 2, 3]]
+
+
+def test_apply_selection_switches_strategy():
+    session = make_session(CUSTOMIZED)
+    session.apply_selection("LD", 2)
+    assert session.strategy.code == "LD"
+    assert not session.centralized
+    assert len(session.groups) == 2
+    assert session.stats.selected_scheme == "LDDLB"
+
+
+def test_apply_selection_idempotent():
+    session = make_session(CUSTOMIZED)
+    session.apply_selection("GC", 0)
+    session.apply_selection("LD", 2)  # ignored
+    assert session.strategy.code == "GC"
+
+
+def test_record_plan_once_per_epoch():
+    from repro.core.redistribution import plan_redistribution, SyncProfile
+    session = make_session(GDDLB)
+    plan = plan_redistribution(
+        [SyncProfile(0, 1.0, 10, 1.0), SyncProfile(1, 0.0, 0, 1.0)],
+        session.policy, session.mean_iteration_time)
+    session.record_plan(0, 0, plan)
+    session.record_plan(0, 0, plan)   # replicated balancer, same epoch
+    session.record_plan(0, 1, plan)
+    assert session.stats.n_syncs == 2
+
+
+def test_movement_cost_fn_built_when_policy_asks():
+    from repro.core.policy import DlbPolicy
+    plain = make_session(GDDLB)
+    assert plain.movement_cost_fn is None
+    costed = make_session(
+        GDDLB, options=RunOptions(policy=DlbPolicy(
+            include_movement_cost=True)))
+    assert costed.movement_cost_fn is not None
+
+
+def test_balancer_absorbs_and_queues():
+    from repro.message.messages import ProfileMsg
+    session = make_session(GCDLB)
+    balancer = CentralBalancer(session)
+    for node in range(3):
+        balancer._absorb(ProfileMsg(src=node, dst=0, epoch=0, group=0,
+                                    remaining_work=1.0, remaining_count=10,
+                                    rate=1.0))
+    assert not balancer.ready          # one profile still missing
+    balancer._absorb(ProfileMsg(src=3, dst=0, epoch=0, group=0,
+                                remaining_work=1.0, remaining_count=10,
+                                rate=1.0))
+    assert list(balancer.ready) == [0]
+
+
+def test_balancer_tracks_groups_independently():
+    from repro.message.messages import ProfileMsg
+    session = make_session(LCDLB, n=4, options=RunOptions(group_size=2))
+    balancer = CentralBalancer(session)
+    balancer._absorb(ProfileMsg(src=0, dst=0, epoch=0, group=0,
+                                remaining_work=1.0, rate=1.0))
+    balancer._absorb(ProfileMsg(src=2, dst=0, epoch=0, group=1,
+                                remaining_work=1.0, rate=1.0))
+    assert not balancer.ready
+    balancer._absorb(ProfileMsg(src=3, dst=0, epoch=0, group=1,
+                                remaining_work=1.0, rate=1.0))
+    assert list(balancer.ready) == [1]
+
+
+def test_service_wall_time_scaled_by_load():
+    session = make_session(GCDLB)
+    balancer = CentralBalancer(session)
+    # No load: wall time equals work time.
+    assert balancer._service_wall_time(0.01) == pytest.approx(0.01)

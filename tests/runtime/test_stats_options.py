@@ -1,0 +1,83 @@
+"""Tests for run statistics aggregates and option resolution."""
+
+import pytest
+
+from repro.core.strategies import LDDLB
+from repro.runtime.options import RunOptions
+from repro.runtime.stats import AppRunStats, LoopRunStats, StageRunStats, \
+    SyncRecord
+
+
+def make_stats(**kw):
+    defaults = dict(loop_name="l", strategy="GDDLB", n_processors=4,
+                    group_size=2)
+    defaults.update(kw)
+    return LoopRunStats(**defaults)
+
+
+def test_duration_and_counts():
+    stats = make_stats(start_time=1.0, end_time=3.5)
+    assert stats.duration == pytest.approx(2.5)
+    assert stats.n_syncs == 0
+    assert stats.n_redistributions == 0
+    assert stats.total_work_moved == 0.0
+
+
+def test_sync_aggregates():
+    stats = make_stats()
+    stats.record_sync(SyncRecord(time=1.0, group=0, epoch=0,
+                                 reason="moved", moved_work=2.0,
+                                 n_transfers=3, retired=()))
+    stats.record_sync(SyncRecord(time=2.0, group=0, epoch=1,
+                                 reason="unprofitable", moved_work=0.0,
+                                 n_transfers=0, retired=(3,)))
+    assert stats.n_syncs == 2
+    assert stats.n_redistributions == 1
+    assert stats.total_work_moved == pytest.approx(2.0)
+
+
+def test_executed_count():
+    stats = make_stats()
+    stats.executed_by_node[0] = [(0, 5), (10, 12)]
+    assert stats.executed_count(0) == 7
+    assert stats.executed_count(1) == 0
+
+
+def test_app_stats_accessors():
+    app = AppRunStats(app_name="a", strategy="GD", n_processors=2)
+    loop = make_stats(start_time=0.0, end_time=1.0)
+    stage = StageRunStats(stage_name="t", start_time=1.0, end_time=1.5)
+    app.stages.extend([loop, stage])
+    assert app.total_duration == pytest.approx(1.5)
+    assert app.loop_stats == [loop]
+    assert app.loop("l") is loop
+    with pytest.raises(KeyError):
+        app.loop("nope")
+    assert "a" in app.summary()
+
+
+def test_effective_group_size_priority():
+    options = RunOptions(group_size=3)
+    # Strategy override wins.
+    assert options.effective_group_size(8, 2) == 2
+    # Option value next.
+    assert options.effective_group_size(8, None) == 3
+    # Paper default: ceil(P / 2).
+    assert RunOptions().effective_group_size(8, None) == 4
+    assert RunOptions().effective_group_size(5, None) == 3
+    # Capped at P.
+    assert RunOptions(group_size=64).effective_group_size(4, None) == 4
+
+
+def test_options_but_copies():
+    a = RunOptions()
+    b = a.but(group_size=7)
+    assert b.group_size == 7 and a.group_size == 0
+
+
+def test_strategy_override_flows_to_session(small_loop, quiet_cluster4,
+                                            options):
+    from repro.runtime.executor import run_loop
+    stats = run_loop(small_loop, quiet_cluster4,
+                     LDDLB.with_group_size(3), options=options)
+    assert stats.group_size == 3

@@ -1,0 +1,121 @@
+"""Tests for the task-queue scheduling simulation (§2.2 baselines)."""
+
+import pytest
+
+from repro.apps.workload import LoopSpec
+from repro.machine.cluster import ClusterSpec
+from repro.schedulers.policies import (
+    Factoring,
+    FixedSizeChunking,
+    GuidedSelfScheduling,
+    SafeSelfScheduling,
+    SelfScheduling,
+    StaticChunking,
+    TrapezoidSelfScheduling,
+    ALL_POLICIES,
+)
+from repro.schedulers.taskqueue import run_task_queue
+
+
+LOOP = LoopSpec(name="tq", n_iterations=100, iteration_time=0.01,
+                dc_bytes=0)
+QUIET = ClusterSpec.homogeneous(4, max_load=0)
+NOISY = ClusterSpec(speeds=(1.0,) * 4, persistence=1000.0,
+                    load_traces=((0,), (0,), (0,), (4,)))
+
+
+def test_every_policy_schedules_all_iterations():
+    for policy in ALL_POLICIES():
+        result = run_task_queue(LOOP, QUIET, policy)
+        assert sum(result.iterations_by_processor.values()) == 100, \
+            policy.name
+
+
+def test_self_scheduling_one_chunk_per_iteration():
+    result = run_task_queue(LOOP, QUIET, SelfScheduling())
+    assert result.n_chunks == 100
+
+
+def test_static_one_chunk_per_processor():
+    result = run_task_queue(LOOP, QUIET, StaticChunking())
+    assert result.n_chunks == 4
+
+
+def test_gss_chunks_decrease():
+    gss = GuidedSelfScheduling()
+    # First chunk is remaining/P, later ones shrink.
+    assert gss.chunk(100, 4, 0) == 25
+    assert gss.chunk(75, 4, 1) == 19
+    assert gss.chunk(3, 4, 9) == 1
+
+
+def test_factoring_batches_halve():
+    f = Factoring()
+    f.reset(100, 4)
+    first_batch = [f.chunk(100 - 13 * i, 4, i) for i in range(4)]
+    assert first_batch == [13, 13, 13, 13]
+    second = f.chunk(48, 4, 4)
+    assert second == 6
+
+
+def test_tss_linear_decrease():
+    t = TrapezoidSelfScheduling()
+    t.reset(100, 4)
+    sizes = [t.chunk(100, 4, i) for i in range(5)]
+    assert sizes[0] > sizes[-1] >= 1
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_safe_ss_static_then_dynamic():
+    s = SafeSelfScheduling(alpha=0.5)
+    s.reset(100, 4)
+    static = [s.chunk(100, 4, i) for i in range(4)]
+    assert static == [12, 12, 12, 12]
+    assert s.chunk(52, 4, 4) == 7  # ceil(52 / 8)
+
+
+def test_safe_ss_alpha_bounds():
+    with pytest.raises(ValueError):
+        SafeSelfScheduling(alpha=1.5)
+
+
+def test_chunking_auto_size():
+    c = FixedSizeChunking()
+    c.reset(100, 4)
+    assert c.chunk(100, 4, 0) == 13  # ceil(100 / (4 * 2))
+
+
+def test_access_cost_penalizes_fine_grain():
+    cheap = run_task_queue(LOOP, QUIET, SelfScheduling(), access_cost=0.0)
+    pricey = run_task_queue(LOOP, QUIET, SelfScheduling(),
+                            access_cost=2.4e-3)
+    assert pricey.finish_time > cheap.finish_time
+    # Static barely notices the access cost.
+    s_cheap = run_task_queue(LOOP, QUIET, StaticChunking(), access_cost=0.0)
+    s_pricey = run_task_queue(LOOP, QUIET, StaticChunking(),
+                              access_cost=2.4e-3)
+    assert (s_pricey.finish_time - s_cheap.finish_time) < \
+        (pricey.finish_time - cheap.finish_time)
+
+
+def test_dynamic_beats_static_under_load():
+    static = run_task_queue(LOOP, NOISY, StaticChunking())
+    dynamic = run_task_queue(LOOP, NOISY, SelfScheduling())
+    assert dynamic.finish_time < static.finish_time
+
+
+def test_loaded_processor_gets_fewer_iterations():
+    result = run_task_queue(LOOP, NOISY, SelfScheduling())
+    counts = result.iterations_by_processor
+    assert counts[3] < min(counts[i] for i in (0, 1, 2))
+
+
+def test_negative_access_cost_rejected():
+    with pytest.raises(ValueError):
+        run_task_queue(LOOP, QUIET, SelfScheduling(), access_cost=-1.0)
+
+
+def test_deterministic():
+    a = run_task_queue(LOOP, NOISY, GuidedSelfScheduling())
+    b = run_task_queue(LOOP, NOISY, GuidedSelfScheduling())
+    assert a.finish_time == b.finish_time

@@ -1,0 +1,339 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simulation import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    ScheduleInPastError,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero(env):
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    assert Environment(5.0).now == 5.0
+
+
+def test_timeout_advances_clock(env):
+    env.timeout(2.5)
+    env.run()
+    assert env.now == 2.5
+
+
+def test_negative_timeout_rejected(env):
+    with pytest.raises(ScheduleInPastError):
+        env.timeout(-1.0)
+
+
+def test_processes_interleave_in_time_order(env):
+    log = []
+
+    def worker(name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    env.process(worker("slow", 3.0))
+    env.process(worker("fast", 1.0))
+    env.process(worker("mid", 2.0))
+    env.run()
+    assert log == [(1.0, "fast"), (2.0, "mid"), (3.0, "slow")]
+
+
+def test_simultaneous_events_fire_in_creation_order(env):
+    log = []
+
+    def worker(tag):
+        yield env.timeout(1.0)
+        log.append(tag)
+
+    for tag in "abc":
+        env.process(worker(tag))
+    env.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_process_return_value(env):
+    def worker():
+        yield env.timeout(1.0)
+        return 42
+
+    proc = env.process(worker())
+    assert env.run(proc) == 42
+
+
+def test_process_joining(env):
+    def child():
+        yield env.timeout(2.0)
+        return "done"
+
+    def parent():
+        value = yield env.process(child())
+        return (env.now, value)
+
+    assert env.run(env.process(parent())) == (2.0, "done")
+
+
+def test_run_until_time_stops_midway(env):
+    hits = []
+
+    def worker():
+        for _ in range(5):
+            yield env.timeout(1.0)
+            hits.append(env.now)
+
+    env.process(worker())
+    env.run(until=2.5)
+    assert hits == [1.0, 2.0]
+    assert env.now == 2.5
+
+
+def test_run_until_past_raises(env):
+    env.run(until=3.0)
+    with pytest.raises(ScheduleInPastError):
+        env.run(until=1.0)
+
+
+def test_event_succeed_delivers_value(env):
+    ev = env.event()
+
+    def waiter():
+        value = yield ev
+        return value
+
+    def trigger():
+        yield env.timeout(1.0)
+        ev.succeed("payload")
+
+    proc = env.process(waiter())
+    env.process(trigger())
+    assert env.run(proc) == "payload"
+
+
+def test_event_fail_raises_in_waiter(env):
+    ev = env.event()
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    def trigger():
+        yield env.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    proc = env.process(waiter())
+    env.process(trigger())
+    assert env.run(proc) == "caught boom"
+
+
+def test_event_double_trigger_rejected(env):
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception(env):
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_unhandled_process_failure_propagates(env):
+    def worker():
+        yield env.timeout(1.0)
+        raise ValueError("kaboom")
+
+    env.process(worker())
+    with pytest.raises(ValueError, match="kaboom"):
+        env.run()
+
+
+def test_yield_non_event_fails_process(env):
+    def worker():
+        yield 42
+
+    proc = env.process(worker())
+    with pytest.raises(SimulationError):
+        env.run(proc)
+
+
+def test_interrupt_during_timeout(env):
+    def victim():
+        try:
+            yield env.timeout(10.0)
+            return "finished"
+        except Interrupt as it:
+            return ("interrupted", env.now, it.cause)
+
+    def attacker(proc):
+        yield env.timeout(3.0)
+        proc.interrupt("stop it")
+
+    proc = env.process(victim())
+    env.process(attacker(proc))
+    assert env.run(proc) == ("interrupted", 3.0, "stop it")
+
+
+def test_interrupt_dead_process_rejected(env):
+    def worker():
+        yield env.timeout(1.0)
+
+    proc = env.process(worker())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_self_interrupt_rejected(env):
+    def worker(holder):
+        with pytest.raises(SimulationError):
+            holder[0].interrupt()
+        yield env.timeout(1.0)
+
+    holder = []
+    proc = env.process(worker(holder))
+    holder.append(proc)
+    env.run()
+
+
+def test_interrupted_process_can_continue(env):
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(10.0)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield env.timeout(1.0)
+        log.append(("resumed", env.now))
+
+    def attacker(proc):
+        yield env.timeout(2.0)
+        proc.interrupt()
+
+    proc = env.process(victim())
+    env.process(attacker(proc))
+    env.run()
+    assert log == [("interrupted", 2.0), ("resumed", 3.0)]
+
+
+def test_stop_terminates_without_error(env):
+    log = []
+
+    def worker():
+        yield env.timeout(10.0)
+        log.append("should not happen")
+
+    proc = env.process(worker())
+
+    def stopper():
+        yield env.timeout(1.0)
+        proc.stop()
+
+    env.process(stopper())
+    env.run()
+    assert log == []
+    assert not proc.is_alive
+
+
+def test_all_of_waits_for_every_event(env):
+    def worker():
+        result = yield AllOf(env, [env.timeout(1.0, "a"), env.timeout(3.0, "b")])
+        return (env.now, sorted(result.values()))
+
+    proc = env.process(worker())
+    assert env.run(proc) == (3.0, ["a", "b"])
+
+
+def test_any_of_fires_on_first(env):
+    def worker():
+        result = yield AnyOf(env, [env.timeout(5.0, "slow"),
+                                   env.timeout(1.0, "fast")])
+        return (env.now, list(result.values()))
+
+    proc = env.process(worker())
+    assert env.run(proc) == (1.0, ["fast"])
+
+
+def test_all_of_empty_fires_immediately(env):
+    def worker():
+        yield AllOf(env, [])
+        return env.now
+
+    proc = env.process(worker())
+    assert env.run(proc) == 0.0
+
+
+def test_peek_reports_next_event_time(env):
+    env.timeout(4.0)
+    env.timeout(2.0)
+    assert env.peek() == 2.0
+
+
+def test_peek_empty_is_infinite(env):
+    assert env.peek() == float("inf")
+
+
+def test_step_on_empty_schedule_raises(env):
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_run_until_event_with_drained_schedule_raises(env):
+    ev = env.event()
+    with pytest.raises(SimulationError, match="drained"):
+        env.run(ev)
+
+
+def test_active_process_visible_inside(env):
+    seen = []
+
+    def worker():
+        seen.append(env.active_process)
+        yield env.timeout(1.0)
+
+    proc = env.process(worker())
+    env.run()
+    assert seen == [proc]
+    assert env.active_process is None
+
+
+def test_yielding_processed_event_resumes_immediately(env):
+    ev = env.event()
+    ev.succeed("early")
+
+    def worker():
+        # The event is already processed by the time we wait on it.
+        yield env.timeout(1.0)
+        value = yield ev
+        return (env.now, value)
+
+    proc = env.process(worker())
+    assert env.run(proc) == (1.0, "early")
+
+
+def test_deterministic_replay(small_loop):
+    """The same program produces an identical event trace twice."""
+    def build():
+        env = Environment()
+        log = []
+
+        def worker(n):
+            for i in range(5):
+                yield env.timeout(0.1 * (n + 1))
+                log.append((round(env.now, 6), n, i))
+
+        for n in range(4):
+            env.process(worker(n))
+        env.run()
+        return log
+
+    assert build() == build()

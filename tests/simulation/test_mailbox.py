@@ -1,0 +1,175 @@
+"""Unit tests for predicate-matched mailboxes."""
+
+from repro.simulation import Environment, Mailbox
+
+
+def test_put_then_get(env):
+    box = Mailbox(env)
+    box.put("hello")
+
+    def worker():
+        value = yield box.get()
+        return value
+
+    assert env.run(env.process(worker())) == "hello"
+
+
+def test_get_blocks_until_put(env):
+    box = Mailbox(env)
+
+    def consumer():
+        value = yield box.get()
+        return (env.now, value)
+
+    def producer():
+        yield env.timeout(2.0)
+        box.put("late")
+
+    proc = env.process(consumer())
+    env.process(producer())
+    assert env.run(proc) == (2.0, "late")
+
+
+def test_fifo_order(env):
+    box = Mailbox(env)
+    for i in range(3):
+        box.put(i)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            got.append((yield box.get()))
+
+    env.run(env.process(consumer()))
+    assert got == [0, 1, 2]
+
+
+def test_predicate_skips_non_matching(env):
+    box = Mailbox(env)
+    box.put("skip")
+    box.put("take-me")
+
+    def consumer():
+        value = yield box.get(lambda m: m.startswith("take"))
+        return value
+
+    assert env.run(env.process(consumer())) == "take-me"
+    assert list(box.items) == ["skip"]
+
+
+def test_predicate_waiter_woken_only_by_match(env):
+    box = Mailbox(env)
+
+    def consumer():
+        value = yield box.get(lambda m: m == "yes")
+        return (env.now, value)
+
+    def producer():
+        yield env.timeout(1.0)
+        box.put("no")
+        yield env.timeout(1.0)
+        box.put("yes")
+
+    proc = env.process(consumer())
+    env.process(producer())
+    assert env.run(proc) == (2.0, "yes")
+    assert list(box.items) == ["no"]
+
+
+def test_multiple_waiters_matched_independently(env):
+    box = Mailbox(env)
+    results = {}
+
+    def consumer(tag):
+        value = yield box.get(lambda m, t=tag: m[0] == t)
+        results[tag] = value
+
+    env.process(consumer("a"))
+    env.process(consumer("b"))
+
+    def producer():
+        yield env.timeout(1.0)
+        box.put(("b", 2))
+        box.put(("a", 1))
+
+    env.process(producer())
+    env.run()
+    assert results == {"a": ("a", 1), "b": ("b", 2)}
+
+
+def test_take_nonblocking(env):
+    box = Mailbox(env)
+    assert box.take() is None
+    box.put(5)
+    assert box.take() == 5
+    assert box.take() is None
+
+
+def test_take_with_predicate(env):
+    box = Mailbox(env)
+    box.put(1)
+    box.put(2)
+    assert box.take(lambda x: x % 2 == 0) == 2
+    assert list(box.items) == [1]
+
+
+def test_peek_does_not_remove(env):
+    box = Mailbox(env)
+    box.put("x")
+    assert box.peek() == "x"
+    assert len(box) == 1
+
+
+def test_peek_predicate_miss_returns_none(env):
+    box = Mailbox(env)
+    box.put("x")
+    assert box.peek(lambda m: m == "y") is None
+
+
+def test_drain_removes_all_matching(env):
+    box = Mailbox(env)
+    for i in range(6):
+        box.put(i)
+    out = box.drain(lambda x: x % 2 == 0)
+    assert out == [0, 2, 4]
+    assert list(box.items) == [1, 3, 5]
+
+
+def test_drain_without_predicate_empties(env):
+    box = Mailbox(env)
+    box.put(1)
+    box.put(2)
+    assert box.drain() == [1, 2]
+    assert len(box) == 0
+
+
+def test_notify_hook_fires_on_every_put(env):
+    box = Mailbox(env)
+    seen = []
+    box.notify = seen.append
+    box.put("a")
+    box.put("b")
+    assert seen == ["a", "b"]
+
+
+def test_notify_fires_even_when_waiter_consumes(env):
+    box = Mailbox(env)
+    seen = []
+    box.notify = seen.append
+
+    def consumer():
+        yield box.get()
+
+    proc = env.process(consumer())
+    box.put("direct")
+    env.run(proc)
+    assert seen == ["direct"]
+
+
+def test_counters(env):
+    box = Mailbox(env)
+    box.put(1)
+    box.put(2)
+    box.take()
+    assert box.put_count == 2
+    assert box.got_count == 1

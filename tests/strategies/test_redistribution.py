@@ -1,0 +1,246 @@
+"""Unit and property tests for the redistribution planner (§3.3–§3.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policy import DlbPolicy
+from repro.core.redistribution import (
+    SyncProfile,
+    make_movement_cost_estimator,
+    plan_redistribution,
+)
+
+POLICY = DlbPolicy()
+MEAN_ITER = 0.01
+
+
+def prof(node, work, rate, count=None):
+    return SyncProfile(node=node, remaining_work=work,
+                       remaining_count=count if count is not None
+                       else max(int(work / MEAN_ITER), 0),
+                       rate=rate)
+
+
+def test_empty_profiles_rejected():
+    with pytest.raises(ValueError):
+        plan_redistribution([], POLICY, MEAN_ITER)
+
+
+def test_duplicate_nodes_rejected():
+    with pytest.raises(ValueError):
+        plan_redistribution([prof(0, 1.0, 1.0), prof(0, 1.0, 1.0)],
+                            POLICY, MEAN_ITER)
+
+
+def test_all_done_terminates():
+    plan = plan_redistribution([prof(0, 0.0, 1.0), prof(1, 0.0, 1.0)],
+                               POLICY, MEAN_ITER)
+    assert plan.done
+    assert plan.retire == (0, 1)
+    assert plan.active == ()
+
+
+def test_balanced_system_does_not_move():
+    plan = plan_redistribution([prof(0, 1.0, 1.0), prof(1, 1.0, 1.0)],
+                               POLICY, MEAN_ITER)
+    assert not plan.move
+    assert plan.reason == "below-move-threshold"
+    assert plan.active == (0, 1)
+
+
+def test_imbalance_moves_from_slow_to_fast():
+    plan = plan_redistribution(
+        [prof(0, 2.0, 1.0), prof(1, 0.0, 1.0)], POLICY, MEAN_ITER)
+    assert plan.move
+    assert len(plan.transfers) == 1
+    t = plan.transfers[0]
+    assert t.src == 0 and t.dst == 1
+    assert t.work == pytest.approx(1.0)
+
+
+def test_shares_proportional_to_rates():
+    plan = plan_redistribution(
+        [prof(0, 3.0, 3.0), prof(1, 0.0, 1.0)], POLICY, MEAN_ITER)
+    assert plan.move
+    assert plan.shares[0] == pytest.approx(2.25)
+    assert plan.shares[1] == pytest.approx(0.75)
+
+
+def test_idle_finisher_stays_active_on_move():
+    plan = plan_redistribution(
+        [prof(0, 2.0, 1.0), prof(1, 0.0, 2.0)], POLICY, MEAN_ITER)
+    assert plan.move
+    assert 1 in plan.active
+
+
+def test_idle_node_retires_on_no_move():
+    # Tiny remainder: below the absolute move floor.
+    plan = plan_redistribution(
+        [prof(0, 0.004, 1.0), prof(1, 0.0, 1.0)], POLICY, MEAN_ITER)
+    assert not plan.move
+    assert 1 in plan.retire
+    assert plan.active == (0,)
+
+
+def test_sub_iteration_moves_blocked():
+    """Moving less than one whole iteration must be refused."""
+    plan = plan_redistribution(
+        [prof(0, 0.012, 1.0), prof(1, 0.0, 1.0)], POLICY, MEAN_ITER)
+    assert not plan.move
+    assert plan.reason == "below-move-threshold"
+
+
+def test_unprofitable_move_blocked():
+    """Within 10% of balance already: not worth the disruption."""
+    plan = plan_redistribution(
+        [prof(0, 1.04, 1.0), prof(1, 0.96, 1.0)],
+        DlbPolicy(min_move_fraction=0.0, min_move_iterations=0.0,
+                  min_transfer_iterations=0.0),
+        MEAN_ITER)
+    assert not plan.move
+    assert plan.reason == "unprofitable"
+
+
+def test_profitability_uses_threshold():
+    # 2:1 imbalance: balanced time 1.5 < 0.9 * 2.0 -> move.
+    plan = plan_redistribution(
+        [prof(0, 2.0, 1.0), prof(1, 1.0, 1.0)], POLICY, MEAN_ITER)
+    assert plan.move
+    assert plan.predicted_current == pytest.approx(2.0)
+    assert plan.predicted_balanced == pytest.approx(1.5)
+
+
+def test_movement_cost_inclusion_blocks_marginal_move():
+    profiles = [prof(0, 2.0, 1.0), prof(1, 1.2, 1.0)]
+    base = DlbPolicy(include_movement_cost=False)
+    incl = DlbPolicy(include_movement_cost=True)
+    costly = lambda transfers: 10.0  # noqa: E731 - huge movement cost
+    assert plan_redistribution(profiles, base, MEAN_ITER, costly).move
+    assert not plan_redistribution(profiles, incl, MEAN_ITER, costly).move
+
+
+def test_movement_cost_estimator():
+    est = make_movement_cost_estimator(latency=1e-3, bandwidth=1e6,
+                                       dc_bytes=1000,
+                                       mean_iteration_time=0.01)
+    from repro.message.messages import TransferOrder
+    cost = est([TransferOrder(0, 1, 0.1)])  # 10 iterations -> 10 kB
+    assert cost == pytest.approx(1e-3 + 0.01)
+
+
+def test_zero_rates_fall_back_to_equal():
+    plan = plan_redistribution(
+        [prof(0, 2.0, 0.0), prof(1, 0.0, 0.0)], POLICY, MEAN_ITER)
+    assert plan.move
+    assert plan.shares[0] == pytest.approx(1.0)
+
+
+def test_rate_floor_prevents_starvation():
+    """A stalled node still receives a share (floored rate)."""
+    plan = plan_redistribution(
+        [prof(0, 5.0, 10.0), prof(1, 5.0, 0.0)], POLICY, MEAN_ITER)
+    assert plan.shares.get(1, 0.0) > 0.0 or 1 in plan.retire
+
+
+def test_very_slow_node_retired_and_drained():
+    """A node whose share rounds below one iteration ships everything."""
+    policy = DlbPolicy(retire_fraction=0.5)
+    plan = plan_redistribution(
+        [prof(0, 0.02, 1000.0), prof(1, 0.02, 1e-4)],
+        policy.but(min_move_fraction=0.0), MEAN_ITER)
+    if plan.move:
+        assert 1 in plan.retire
+        # All of node 1's work is covered by its outgoing transfers.
+        out = sum(t.work for t in plan.outgoing(1))
+        assert out == pytest.approx(0.02, rel=1e-6)
+
+
+def test_outgoing_incoming_views():
+    plan = plan_redistribution(
+        [prof(0, 3.0, 1.0), prof(1, 0.0, 1.0), prof(2, 0.0, 1.0)],
+        POLICY, MEAN_ITER)
+    assert plan.move
+    assert {t.dst for t in plan.outgoing(0)} == {1, 2}
+    assert len(plan.incoming(1)) == 1
+
+
+def test_deterministic_for_replication():
+    """Two calls with the same inputs yield identical plans (GDDLB
+    replicas must agree without communication)."""
+    profiles = [prof(0, 2.0, 1.3), prof(1, 0.7, 0.8), prof(2, 0.1, 2.0)]
+    a = plan_redistribution(profiles, POLICY, MEAN_ITER)
+    b = plan_redistribution(list(reversed(profiles)), POLICY, MEAN_ITER)
+    assert a.transfers == b.transfers
+    assert a.shares == b.shares
+    assert a.active == b.active
+
+
+@st.composite
+def profile_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    out = []
+    for i in range(n):
+        work = draw(st.floats(min_value=0.0, max_value=100.0))
+        rate = draw(st.floats(min_value=0.0, max_value=10.0))
+        out.append(prof(i, work, rate))
+    return out
+
+
+@given(profile_sets())
+@settings(max_examples=150, deadline=None)
+def test_plan_conserves_work(profiles):
+    """Work is neither created nor destroyed by a plan."""
+    plan = plan_redistribution(profiles, POLICY, MEAN_ITER)
+    total = sum(p.remaining_work for p in profiles)
+    if plan.done:
+        assert total == pytest.approx(0.0, abs=1e-9)
+        return
+    if plan.move:
+        final = {p.node: p.remaining_work for p in profiles}
+        for t in plan.transfers:
+            final[t.src] -= t.work
+            final[t.dst] += t.work
+        assert sum(final.values()) == pytest.approx(total, rel=1e-9)
+        assert all(v >= -1e-9 for v in final.values())
+
+
+@given(profile_sets())
+@settings(max_examples=150, deadline=None)
+def test_plan_transfers_have_positive_work(profiles):
+    plan = plan_redistribution(profiles, POLICY, MEAN_ITER)
+    for t in plan.transfers:
+        assert t.work > 0
+        assert t.src != t.dst
+
+
+@given(profile_sets())
+@settings(max_examples=150, deadline=None)
+def test_plan_partitions_nodes(profiles):
+    """Every node is either active or retired, never both."""
+    plan = plan_redistribution(profiles, POLICY, MEAN_ITER)
+    nodes = {p.node for p in profiles}
+    assert set(plan.active) | set(plan.retire) == nodes
+    assert set(plan.active) & set(plan.retire) == set()
+
+
+@given(profile_sets())
+@settings(max_examples=150, deadline=None)
+def test_retired_senders_fully_drained(profiles):
+    plan = plan_redistribution(profiles, POLICY, MEAN_ITER)
+    if not plan.move:
+        return
+    work = {p.node: p.remaining_work for p in profiles}
+    for node in plan.retire:
+        outgoing = sum(t.work for t in plan.outgoing(node))
+        incoming = sum(t.work for t in plan.incoming(node))
+        assert incoming == 0.0
+        assert outgoing == pytest.approx(work[node], rel=1e-6, abs=1e-9)
+
+
+@given(profile_sets())
+@settings(max_examples=150, deadline=None)
+def test_profitable_moves_improve_prediction(profiles):
+    plan = plan_redistribution(profiles, POLICY, MEAN_ITER)
+    if plan.move:
+        assert plan.predicted_balanced <= \
+            (1 - POLICY.improvement_threshold) * plan.predicted_current + 1e-12

@@ -1,0 +1,64 @@
+"""Tests for the strategy taxonomy and registry."""
+
+import pytest
+
+from repro.core.strategies import (
+    ALL_DLB_STRATEGIES,
+    CUSTOMIZED,
+    GCDLB,
+    GDDLB,
+    LCDLB,
+    LDDLB,
+    NO_DLB,
+    StrategySpec,
+    get_strategy,
+)
+
+
+def test_four_extreme_points():
+    axes = {(s.centralized, s.global_scope) for s in ALL_DLB_STRATEGIES}
+    assert axes == {(True, True), (False, True), (True, False),
+                    (False, False)}
+
+
+def test_codes_match_paper():
+    assert GCDLB.code == "GC" and GCDLB.centralized and GCDLB.global_scope
+    assert GDDLB.code == "GD" and GDDLB.distributed and GDDLB.global_scope
+    assert LCDLB.code == "LC" and LCDLB.centralized and LCDLB.local
+    assert LDDLB.code == "LD" and LDDLB.distributed and LDDLB.local
+
+
+def test_lookup_by_code_and_name():
+    assert get_strategy("gd") is GDDLB
+    assert get_strategy("GDDLB") is GDDLB
+    assert get_strategy("none") is NO_DLB
+    assert get_strategy("custom") is CUSTOMIZED
+
+
+def test_unknown_strategy_raises():
+    with pytest.raises(KeyError):
+        get_strategy("XYZ")
+
+
+def test_no_dlb_is_not_dlb():
+    assert not NO_DLB.is_dlb
+    assert all(s.is_dlb for s in ALL_DLB_STRATEGIES)
+
+
+def test_describe_mentions_axes():
+    assert "global" in GDDLB.describe()
+    assert "distributed" in GDDLB.describe()
+    assert "local" in LCDLB.describe()
+    assert "centralized" in LCDLB.describe()
+
+
+def test_with_group_size():
+    spec = LDDLB.with_group_size(4)
+    assert spec.group_size == 4
+    assert spec.code == "LD"
+    assert LDDLB.group_size is None  # original untouched
+
+
+def test_specs_frozen():
+    with pytest.raises(Exception):
+        GDDLB.code = "XX"  # type: ignore[misc]
