@@ -13,6 +13,10 @@ Commands
 ``compile``
     Compile an annotated source file and print the analysis and the
     transformed listing.
+``faults-demo``
+    Seeded fault-injection demo: crash one of four nodes mid-loop under
+    each strategy and report recovery; optionally the full robustness
+    sweep (see docs/FAULT_MODEL.md).
 
 Examples
 --------
@@ -22,8 +26,10 @@ Examples
     python -m repro table 1 --seeds 3
     python -m repro run --app mxm --size 400x400x400 -P 4 --strategy CUSTOM
     python -m repro run --app trfd --n 30 -P 16 --strategy LDDLB
+    python -m repro run --app mxm -P 4 --strategy GDDLB --crash 2:1.5
     python -m repro characterize --max-procs 16
     python -m repro compile examples_src/mxm.dlb
+    python -m repro faults-demo --sweep
 """
 
 from __future__ import annotations
@@ -73,6 +79,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sync-mode", choices=["interrupt", "periodic"],
                      default="interrupt")
     run.add_argument("--sync-period", type=float, default=1.0)
+    faults = run.add_argument_group(
+        "fault injection (enables the hardened protocol; "
+        "see docs/FAULT_MODEL.md)")
+    faults.add_argument("--crash", action="append", default=[],
+                        metavar="NODE:TIME",
+                        help="crash NODE at TIME seconds (repeatable; "
+                             "node 0 is the reliable master)")
+    faults.add_argument("--freeze", action="append", default=[],
+                        metavar="NODE:TIME:DURATION",
+                        help="freeze NODE at TIME for DURATION seconds")
+    faults.add_argument("--drop", type=float, default=0.0, metavar="PROB",
+                        help="per-message drop probability")
+    faults.add_argument("--max-drops", type=int, default=8)
+    faults.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the plan's drop/delay coin flips")
+    faults.add_argument("--ft-timeout", type=float, default=0.2,
+                        help="base request timeout before the first retry")
+    faults.add_argument("--ft-retries", type=int, default=5,
+                        help="retries before a silent peer is declared dead")
 
     cha = sub.add_parser("characterize",
                          help="off-line network characterization (Fig 4)")
@@ -100,6 +125,19 @@ def build_parser() -> argparse.ArgumentParser:
     val = sub.add_parser("validate",
                          help="run the paper-claim checklist")
     val.add_argument("--seeds", type=int, default=10)
+
+    fde = sub.add_parser("faults-demo",
+                         help="seeded crash-recovery demo per strategy")
+    fde.add_argument("--seed", type=int, default=42,
+                     help="cluster load seed (also seeds the fault plan)")
+    fde.add_argument("--victim", type=int, default=2,
+                     help="node crashed mid-loop (1..P-1)")
+    fde.add_argument("-P", "--processors", type=int, default=4)
+    fde.add_argument("--sweep", action="store_true",
+                     help="also run the full robustness sweep "
+                          "(scenarios x strategies)")
+    fde.add_argument("--sweep-seeds", type=int, default=1,
+                     help="seeds per cell in the --sweep table")
     return parser
 
 
@@ -123,15 +161,54 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_fault_plan(args: argparse.Namespace):
+    """Translate the ``run`` command's fault flags into a FaultPlan.
+
+    Returns ``None`` when no fault flag was given, so plain runs keep
+    the vanilla (non-hardened) protocol.
+    """
+    from .faults import (CrashFault, FaultPlan, MessageDropFault,
+                         SlowdownFault)
+    crashes = []
+    for spec in args.crash:
+        node, time = spec.split(":")
+        crashes.append(CrashFault(node=int(node), time=float(time)))
+    slowdowns = []
+    for spec in args.freeze:
+        node, time, duration = spec.split(":")
+        slowdowns.append(SlowdownFault(node=int(node), time=float(time),
+                                       duration=float(duration)))
+    drops = ()
+    if args.drop > 0:
+        drops = (MessageDropFault(probability=args.drop,
+                                  max_drops=args.max_drops),)
+    plan = FaultPlan(crashes=tuple(crashes), slowdowns=tuple(slowdowns),
+                     drops=drops, seed=args.fault_seed)
+    return None if plan.empty else plan
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .runtime.executor import run_application, run_loop
-    from .runtime.options import RunOptions
+    from .runtime.options import FaultToleranceConfig, RunOptions
     cluster = ClusterSpec.homogeneous(
         args.processors, max_load=args.max_load,
         persistence=args.persistence, seed=args.seed)
+    try:
+        fault_plan = _build_fault_plan(args)
+    except ValueError as exc:
+        print(f"bad fault flag: {exc}", file=sys.stderr)
+        return 2
+    if fault_plan is not None and args.strategy == "WS":
+        print("bad fault flag: the work-stealing baseline has no "
+              "timeout/reclaim protocol; fault injection needs a DLB "
+              "strategy", file=sys.stderr)
+        return 2
+    ft = FaultToleranceConfig(request_timeout=args.ft_timeout,
+                              max_retries=args.ft_retries)
     options = RunOptions(group_size=args.group_size,
                          sync_mode=args.sync_mode,
-                         sync_period=args.sync_period)
+                         sync_period=args.sync_period,
+                         fault_tolerance=ft)
     if args.app == "mxm":
         try:
             r, c, r2 = (int(x) for x in args.size.lower().split("x"))
@@ -140,14 +217,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         loop = mxm_loop(MxmConfig(r, c, r2), op_seconds=4e-7)
-        stats = run_loop(loop, cluster, args.strategy, options=options)
+        stats = run_loop(loop, cluster, args.strategy, options=options,
+                         fault_plan=fault_plan)
         print(stats.summary())
         if stats.selected_scheme:
             print(f"customized selection: {stats.selection_report.summary()}")
     else:
         app = trfd_application(TrfdConfig(args.n), op_seconds=3e-7)
         stats = run_application(app, cluster, args.strategy,
-                                options=options)
+                                options=options, fault_plan=fault_plan)
         print(stats.summary())
         for ls in stats.loop_stats:
             if ls.selected_scheme:
@@ -205,6 +283,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults_demo(args: argparse.Namespace) -> int:
+    from .apps.workload import LoopSpec
+    from .experiments.faults import fault_sweep, render_fault_sweep
+    from .faults import FaultPlan
+    from .runtime.executor import run_loop
+    from .runtime.options import FaultToleranceConfig, RunOptions
+    if not 1 <= args.victim < args.processors:
+        print(f"--victim must be in 1..{args.processors - 1} "
+              "(node 0 is the reliable master)", file=sys.stderr)
+        return 2
+    loop = LoopSpec(name="mxm-demo", n_iterations=96,
+                    iteration_time=0.008, dc_bytes=1600)
+    cluster = ClusterSpec.homogeneous(
+        args.processors, max_load=3, persistence=0.5, seed=args.seed)
+    ft = FaultToleranceConfig(enabled=False, request_timeout=0.08,
+                              backoff=2.0, max_retries=4,
+                              liveness_timeout=0.24)
+    options = RunOptions(fault_tolerance=ft)
+    print(f"== fault-injection demo: node {args.victim} of "
+          f"{args.processors} crashes at 40% of each run ==")
+    for scheme in ("GCDLB", "GDDLB", "LCDLB", "LDDLB"):
+        baseline = run_loop(loop, cluster, scheme, options=options)
+        plan = FaultPlan.single_crash(node=args.victim,
+                                      time=0.4 * baseline.duration)
+        stats = run_loop(loop, cluster, scheme, options=options,
+                         fault_plan=plan)
+        executed = sum(e - s for ranges in stats.executed_by_node.values()
+                       for s, e in ranges)
+        print(f"{scheme}: {baseline.duration:.3f}s -> "
+              f"{stats.duration:.3f}s "
+              f"({stats.duration / baseline.duration:.2f}x); "
+              f"{executed}/{loop.n_iterations} iterations on survivors, "
+              f"reclaimed={stats.reclaimed_iterations} "
+              f"retries={stats.fault_retries} "
+              f"salvaged={stats.salvaged_iterations} "
+              f"declared_dead={list(stats.declared_dead)}")
+    if args.sweep:
+        seeds = tuple(1000 + i for i in range(args.sweep_seeds))
+        result = fault_sweep(n_processors=args.processors, seeds=seeds)
+        print()
+        print(render_fault_sweep(result))
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .experiments.validation import render_validation, validate
     results = validate(ExperimentConfig(n_seeds=args.seeds))
@@ -217,7 +339,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handler = {"figure": _cmd_figure, "table": _cmd_table,
                "run": _cmd_run, "characterize": _cmd_characterize,
                "compile": _cmd_compile, "sweep": _cmd_sweep,
-               "validate": _cmd_validate}[args.command]
+               "validate": _cmd_validate,
+               "faults-demo": _cmd_faults_demo}[args.command]
     return handler(args)
 
 

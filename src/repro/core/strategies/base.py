@@ -14,6 +14,13 @@ The protocol engine in :mod:`repro.runtime` is parametric in these two
 booleans, so each strategy class here is a thin, well-named
 configuration — mirroring how the paper treats the four schemes as the
 extreme points of one design space.
+
+Because the taxonomy is configuration, cross-cutting machinery applies
+to all four schemes uniformly: the fault-tolerance hardening (timed
+receives, retries, fencing, orphan reclamation — see
+``docs/FAULT_MODEL.md``) lives in the shared protocol engine, not in
+any strategy, so every scheme survives the same fault plans without
+per-strategy code.
 """
 
 from __future__ import annotations

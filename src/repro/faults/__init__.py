@@ -1,0 +1,43 @@
+"""Fault injection and robustness layer for the DLB runtime.
+
+The paper's premise is a multi-user NOW — an environment where nodes
+disappear and messages get lost.  This package adds a *modeled* version
+of that unreliability on top of the benign external-load model:
+
+* :mod:`repro.faults.plan` — declarative, seeded fault plans (node
+  crash, node slowdown/freeze, message drop, message delay);
+* :mod:`repro.faults.controller` — the per-run injector, failure
+  registry, work ledger and orphan pool that the hardened runtime in
+  :mod:`repro.runtime` recovers through.
+
+Usage::
+
+    from repro import ClusterSpec, run_loop
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.single_crash(node=2, time=0.5)
+    stats = run_loop(loop, cluster, "GDDLB", fault_plan=plan)
+    assert stats.crashed_nodes == (2,)   # and coverage is still exact
+
+The fault taxonomy, detection/retry/reclaim semantics, and how they map
+onto the paper's assumptions are documented in ``docs/FAULT_MODEL.md``.
+"""
+
+from .controller import FaultController, WorkParcel
+from .plan import (
+    CrashFault,
+    FaultPlan,
+    MessageDelayFault,
+    MessageDropFault,
+    SlowdownFault,
+)
+
+__all__ = [
+    "CrashFault",
+    "FaultController",
+    "FaultPlan",
+    "MessageDelayFault",
+    "MessageDropFault",
+    "SlowdownFault",
+    "WorkParcel",
+]

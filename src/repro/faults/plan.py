@@ -1,0 +1,237 @@
+"""Declarative fault plans: *what* goes wrong, *when*, deterministically.
+
+A :class:`FaultPlan` is a frozen description of the faults one run will
+experience — node crashes, node slowdowns/freezes, message drops and
+message delays — plus a seed that fixes every probabilistic choice.  The
+same plan against the same cluster seed reproduces the same run event
+for event, which is what makes the robustness tests in ``tests/faults``
+deterministic.
+
+The taxonomy, the injection points and the recovery semantics are
+documented in ``docs/FAULT_MODEL.md``; the runtime mechanics live in
+:mod:`repro.faults.controller`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "CrashFault",
+    "SlowdownFault",
+    "MessageDropFault",
+    "MessageDelayFault",
+    "FaultPlan",
+]
+
+#: The master processor; the fault model assumes it is reliable (it holds
+#: the recovery registry and gathers results — see docs/FAULT_MODEL.md).
+RELIABLE_MASTER = 0
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Fail-stop crash: ``node`` halts permanently at ``time`` seconds.
+
+    The victim's process is stopped wherever it is (mid-iteration, mid-
+    send, mid-sync); it sends and receives nothing afterwards.  Its
+    unfinished iteration ranges become reclaimable orphans.
+    """
+
+    node: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.node == RELIABLE_MASTER:
+            raise ValueError(
+                "the fault model assumes the master (node 0) is reliable; "
+                "crashing it is unrecoverable by construction")
+        if self.time < 0:
+            raise ValueError("crash time must be non-negative")
+
+
+@dataclass(frozen=True)
+class SlowdownFault:
+    """Transient slowdown/freeze: ``node`` computes at ``1/factor`` of
+    its normal effective speed over ``[time, time + duration]``.
+
+    ``factor=inf`` (the default) is a full freeze.  Injected as a compute
+    pause of ``duration * (1 - 1/factor)`` seconds at ``time`` — the work
+    completed over the window is exactly what a uniform slowdown would
+    allow, though its placement within the window is front-loaded.  A
+    node that is not computing at ``time`` (it is synchronizing or has
+    retired) is unaffected; the attempt is still recorded.
+    """
+
+    node: int
+    time: float
+    duration: float
+    factor: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.duration <= 0:
+            raise ValueError("slowdown needs time >= 0 and duration > 0")
+        if self.factor <= 1.0:
+            raise ValueError("slowdown factor must exceed 1")
+
+    @property
+    def pause_seconds(self) -> float:
+        if math.isinf(self.factor):
+            return self.duration
+        return self.duration * (1.0 - 1.0 / self.factor)
+
+
+@dataclass(frozen=True)
+class MessageDropFault:
+    """Drop messages crossing the bus, transiently and boundedly.
+
+    Every non-local transfer matching the filters is dropped with
+    ``probability`` (decided by the plan's seeded RNG), up to
+    ``max_drops`` total for this fault.  ``tag`` matches the message's
+    wire tag value (e.g. ``"work"``, ``"profile"``); ``src``/``dst``
+    restrict endpoints; ``window`` restricts simulated time.
+
+    Keep drop bursts within the retry budget of the run's
+    :class:`~repro.runtime.options.FaultToleranceConfig` unless you
+    *want* to exercise retry exhaustion and peer fencing.
+    """
+
+    probability: float = 1.0
+    max_drops: int = 1
+    tag: Optional[str] = None
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    window: tuple[float, float] = (0.0, math.inf)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.max_drops < 1:
+            raise ValueError("max_drops must be at least 1")
+        if self.window[0] < 0 or self.window[1] < self.window[0]:
+            raise ValueError("bad time window")
+
+    def matches(self, now: float, src: int, dst: int,
+                tag_value: Optional[str]) -> bool:
+        return (self.window[0] <= now <= self.window[1]
+                and (self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst)
+                and (self.tag is None or tag_value is not None
+                     and self.tag.lower() == tag_value.lower()))
+
+
+@dataclass(frozen=True)
+class MessageDelayFault:
+    """Delay matching messages by ``extra_seconds`` on the wire.
+
+    Same filters as :class:`MessageDropFault`.  Delays model transient
+    congestion or routing flaps; they reorder traffic between host pairs
+    but never lose it.
+    """
+
+    extra_seconds: float
+    probability: float = 1.0
+    max_delays: int = 1_000_000
+    tag: Optional[str] = None
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    window: tuple[float, float] = (0.0, math.inf)
+
+    def __post_init__(self) -> None:
+        if self.extra_seconds <= 0:
+            raise ValueError("extra_seconds must be positive")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.max_delays < 1:
+            raise ValueError("max_delays must be at least 1")
+        if self.window[0] < 0 or self.window[1] < self.window[0]:
+            raise ValueError("bad time window")
+
+    def matches(self, now: float, src: int, dst: int,
+                tag_value: Optional[str]) -> bool:
+        return (self.window[0] <= now <= self.window[1]
+                and (self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst)
+                and (self.tag is None or tag_value is not None
+                     and self.tag.lower() == tag_value.lower()))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full fault schedule of one run.
+
+    ``seed`` drives every probabilistic decision (drop/delay coin flips)
+    through one :class:`random.Random` stream consumed in simulation
+    order, so a plan is exactly reproducible against a deterministic run.
+    """
+
+    crashes: tuple[CrashFault, ...] = ()
+    slowdowns: tuple[SlowdownFault, ...] = ()
+    drops: tuple[MessageDropFault, ...] = ()
+    delays: tuple[MessageDelayFault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        crashed = [c.node for c in self.crashes]
+        if len(set(crashed)) != len(crashed):
+            raise ValueError("a node can crash at most once")
+
+    @property
+    def empty(self) -> bool:
+        return not (self.crashes or self.slowdowns or self.drops
+                    or self.delays)
+
+    @property
+    def crashed_nodes(self) -> tuple[int, ...]:
+        return tuple(sorted(c.node for c in self.crashes))
+
+    def validate_for(self, n_processors: int) -> None:
+        """Reject plans the fault model cannot absorb on this cluster."""
+        for fault in (*self.crashes, *self.slowdowns):
+            if not 0 <= fault.node < n_processors:
+                raise ValueError(f"fault targets node {fault.node}, but the "
+                                 f"cluster has {n_processors} processors")
+        if len(self.crashes) >= n_processors:
+            raise ValueError("plan crashes every processor; at least one "
+                             "survivor is required for graceful degradation")
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    @staticmethod
+    def single_crash(node: int, time: float) -> "FaultPlan":
+        """The canonical scenario: one node dies mid-loop."""
+        return FaultPlan(crashes=(CrashFault(node=node, time=time),))
+
+    @staticmethod
+    def random_plan(seed: int, n_processors: int, duration_hint: float,
+                    n_crashes: int = 1, n_slowdowns: int = 0,
+                    drop_probability: float = 0.0,
+                    max_drops: int = 8) -> "FaultPlan":
+        """Generate a seeded plan sized to a run of ``duration_hint`` s.
+
+        Crash victims are drawn from ``1..n_processors-1`` (the master is
+        reliable), crash times uniformly from the middle 80% of the run.
+        """
+        if n_crashes >= n_processors:
+            raise ValueError("cannot crash every processor")
+        rng = random.Random(seed)
+        victims = rng.sample(range(1, n_processors), k=min(
+            n_crashes + n_slowdowns, n_processors - 1))
+        lo, hi = 0.1 * duration_hint, 0.9 * duration_hint
+        crashes = tuple(
+            CrashFault(node=v, time=rng.uniform(lo, hi))
+            for v in victims[:n_crashes])
+        slowdowns = tuple(
+            SlowdownFault(node=v, time=rng.uniform(lo, hi),
+                          duration=rng.uniform(0.05, 0.2) * duration_hint)
+            for v in victims[n_crashes:])
+        drops = ()
+        if drop_probability > 0:
+            drops = (MessageDropFault(probability=drop_probability,
+                                      max_drops=max_drops),)
+        return FaultPlan(crashes=crashes, slowdowns=slowdowns, drops=drops,
+                         seed=seed)

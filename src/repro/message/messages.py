@@ -128,6 +128,11 @@ class InstructionMsg(Message):
     # scheme and group size with the first-synchronization instruction.
     select_scheme: str = ""
     select_group_size: int = 0
+    # Fault tolerance (docs/FAULT_MODEL.md): the senders behind
+    # ``incoming`` (so a timed receive knows whom to nudge), and orphaned
+    # iteration ranges the balancer grants this node from the reclaim pool.
+    incoming_srcs: tuple[int, ...] = ()
+    grant: tuple[tuple[int, int], ...] = ()
 
     @property
     def tag(self) -> Tag:
@@ -135,7 +140,9 @@ class InstructionMsg(Message):
 
     @property
     def nbytes(self) -> int:
-        return HEADER_BYTES + 32 + 16 * len(self.outgoing) + 4 * len(self.active)
+        return (HEADER_BYTES + 32 + 16 * len(self.outgoing)
+                + 4 * len(self.active) + 4 * len(self.incoming_srcs)
+                + 16 * len(self.grant))
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,8 @@ class NetworkStats:
     messages: int = 0
     bytes: int = 0
     local_messages: int = 0
+    dropped_messages: int = 0
+    delayed_messages: int = 0
     per_host_sent: dict[int, int] = field(default_factory=dict)
     per_host_received: dict[int, int] = field(default_factory=dict)
 
@@ -69,6 +71,16 @@ class SharedBusNetwork:
         self.stats = NetworkStats()
         #: Optional hook called as ``on_deliver(dst, item)`` at delivery time.
         self.on_deliver: Optional[Callable[[int, Any], None]] = None
+        #: Optional fault hook consulted per transfer *before* it enters
+        #: the wire: ``fault_hook(src, dst, nbytes, item)`` returns
+        #: ``None`` (deliver normally), ``"drop"`` (the message vanishes
+        #: after the sender-side cost — PVM reports no error to the
+        #: sender), or a positive float (extra seconds of delay on the
+        #: wire).  Installed by :class:`repro.faults.FaultController`.
+        self.fault_hook: Optional[Callable[[int, int, int, Any],
+                                           "None | str | float"]] = None
+        #: Optional observer for dropped messages: ``on_drop(src, dst, item)``.
+        self.on_drop: Optional[Callable[[int, int, Any], None]] = None
 
     def _check_host(self, host: int) -> None:
         if not 0 <= host < self.n_hosts:
@@ -89,17 +101,36 @@ class SharedBusNetwork:
             raise ValueError("nbytes must be non-negative")
         delivered = self.env.event()
         if src == dst:
+            # Same-host transfers never touch the wire; local delivery is
+            # assumed reliable (no fault hook consultation).
             yield from self.send_nic[src].use(self.params.local_overhead)
             self.stats.record(src, dst, nbytes, local=True)
             self._deliver(dst, item, delivered)
             return delivered
+        verdict = None
+        if self.fault_hook is not None:
+            verdict = self.fault_hook(src, dst, nbytes, item)
         yield from self.send_nic[src].use(self.params.send_overhead)
-        self.env.process(self._carry(src, dst, nbytes, item, delivered),
+        if verdict == "drop":
+            # The frame is lost on the wire: the sender has paid its NIC
+            # cost (asynchronous sends report no error) and the delivery
+            # event simply never fires.
+            self.stats.dropped_messages += 1
+            if self.on_drop is not None:
+                self.on_drop(src, dst, item)
+            return delivered
+        extra = float(verdict) if isinstance(verdict, (int, float)) else 0.0
+        if extra > 0:
+            self.stats.delayed_messages += 1
+        self.env.process(self._carry(src, dst, nbytes, item, delivered, extra),
                          name=f"net:{src}->{dst}")
         return delivered
 
     def _carry(self, src: int, dst: int, nbytes: int, item: Any,
-               delivered: Event) -> Generator[Event, None, None]:
+               delivered: Event, extra_delay: float = 0.0
+               ) -> Generator[Event, None, None]:
+        if extra_delay > 0:
+            yield self.env.timeout(extra_delay)
         wire = self.params.wire_latency + nbytes / self.params.bandwidth
         yield from self.bus.use(wire)
         yield from self.recv_nic[dst].use(self.params.recv_overhead)

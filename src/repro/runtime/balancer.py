@@ -15,15 +15,31 @@ The same process implements the §4.3 customized selection: when the
 session has a ``selector``, the first (global) synchronization runs the
 model over the measured load and commits to the winning scheme before
 normal service resumes under that scheme.
+
+Fault tolerance (docs/FAULT_MODEL.md)
+-------------------------------------
+With ``options.fault_tolerance.enabled`` the balancer becomes a
+pull-based failure detector.  Instead of blocking forever on the next
+profile it wakes every ``liveness_timeout`` seconds and probes the
+missing members of incomplete groups with ``resend-profile`` requests
+(for a live member the probe doubles as a synchronization interrupt);
+after ``max_retries`` silent probe rounds the missing members are
+declared dead to the :class:`~repro.faults.FaultController`, which
+reclaims their unfinished iterations into the orphan pool.  The
+balancer grants the pool to a surviving group member at the next
+service, folds it into that member's profile so the plan rebalances it,
+and keeps answering re-sent profiles with cached instructions (lost
+INSTRUCTION recovery) until every slave has exited.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 from typing import Generator, Optional
 
 from ..core.redistribution import SyncProfile, plan_redistribution
-from ..message.messages import InstructionMsg, ProfileMsg, Tag
+from ..message.messages import ControlMsg, InstructionMsg, ProfileMsg, Tag
 from ..simulation import Event
 from .session import LoopSession
 
@@ -43,6 +59,11 @@ class CentralBalancer:
         self.group_epoch: dict[int, int] = {
             g: 0 for g in range(len(session.groups))}
         self.groups_done: set[int] = set()
+        # Fault tolerance: lost-INSTRUCTION recovery and per-node probe
+        # state (unanswered liveness probes since the node's last sign
+        # of life).
+        self._last_instruction: dict[int, InstructionMsg] = {}
+        self._probe_rounds: dict[int, int] = {}
 
     # -- helpers ------------------------------------------------------------
     def _absorb(self, msg: ProfileMsg) -> None:
@@ -75,21 +96,183 @@ class CentralBalancer:
     def run(self) -> Generator[Event, None, None]:
         session = self.session
         vm = session.vm
+        if not session.ft.enabled:
+            while len(self.groups_done) < len(session.groups):
+                msg = yield vm.recv(self.host, Tag.PROFILE)
+                assert isinstance(msg, ProfileMsg)
+                self._absorb(msg)
+                while self.ready:
+                    gid = self.ready.popleft()
+                    yield from self._serve(gid)
+            return
+        yield from self._run_hardened()
+
+    def _run_hardened(self) -> Generator[Event, None, None]:
+        session = self.session
+        vm = session.vm
+        env = session.env
+        ft = session.ft
         while len(self.groups_done) < len(session.groups):
-            msg = yield vm.recv(self.host, Tag.PROFILE)
-            assert isinstance(msg, ProfileMsg)
-            self._absorb(msg)
+            request = vm.recv(self.host, Tag.PROFILE)
+            if not request.triggered:
+                yield env.any_of(
+                    [request, env.timeout(ft.liveness_timeout)])
+            if request.triggered:
+                msg = request.value
+                yield from self._absorb_hardened(msg)
+            else:
+                vm.inbox[self.host].cancel(request)
+                yield from self._probe_silent_groups()
+            self._prune_dead()
             while self.ready:
                 gid = self.ready.popleft()
                 yield from self._serve(gid)
+        yield from self._lame_duck()
+
+    def _absorb_hardened(self, msg: ProfileMsg
+                         ) -> Generator[Event, None, None]:
+        """Absorb a profile; a stale duplicate means the sender never got
+        its instruction, so resend the cached one."""
+        gid = self.session.group_of.get(msg.src, msg.group)
+        epoch = self.group_epoch.get(gid, 0)
+        # Any profile — fresh, duplicate or stale — proves its sender is
+        # alive.  Only the *sender's* probe clock resets: a chatty
+        # waiter cannot defer the verdict on its silent group-mates.
+        self._probe_rounds.pop(msg.src, None)
+        if gid in self.groups_done or msg.epoch < epoch:
+            cached = self._last_instruction.get(msg.src)
+            if cached is not None and cached.epoch == msg.epoch:
+                yield from self.session.vm.send(cached)
+            return
+        self._absorb(msg)
+
+    def _probe_silent_groups(self) -> Generator[Event, None, None]:
+        """Pull-based heartbeat: nudge members whose profile is overdue.
+
+        For a live member the ``resend-profile`` control doubles as a
+        synchronization interrupt (it answers at its next iteration
+        boundary; a member stuck in an older epoch answers with a stale
+        profile, which still proves it is alive).  A member whose *own*
+        probe clock reaches ``max_retries`` unanswered rounds is
+        declared dead.
+        """
+        session = self.session
+        controller = session.controller
+        ft = session.ft
+        for gid in range(len(session.groups)):
+            if gid in self.groups_done:
+                continue
+            alive = {n for n in self.group_active.get(gid, set())
+                     if not session.is_dead(n)}
+            missing = alive - set(self.pending.get(gid, {}))
+            if not missing:
+                continue
+            overdue = [node for node in sorted(missing)
+                       if self._probe_rounds.get(node, 0) >= ft.max_retries]
+            for node in overdue:
+                if controller is not None:
+                    controller.declare_dead(node, by=self.host)
+                self._probe_rounds.pop(node, None)
+            probed = [node for node in sorted(missing)
+                      if node not in overdue]
+            if not probed:
+                continue  # _prune_dead completes the group bookkeeping
+            if controller is not None:
+                controller.note_retry()
+            epoch = self.group_epoch[gid]
+            for node in probed:
+                self._probe_rounds[node] = \
+                    self._probe_rounds.get(node, 0) + 1
+                yield from session.vm.send(ControlMsg(
+                    src=self.host, dst=node, epoch=epoch,
+                    kind="resend-profile"))
+
+    def _prune_dead(self) -> None:
+        """Fold death declarations into group membership and readiness."""
+        session = self.session
+        controller = session.controller
+        if controller is None or not controller.declared:
+            return
+        dead = controller.declared
+        for gid in range(len(session.groups)):
+            if gid in self.groups_done:
+                continue
+            members = self.group_active.get(gid, set())
+            alive = members - dead
+            if alive != members:
+                self.group_active[gid] = alive
+            box = self.pending.get(gid, {})
+            for node in dead & set(box):
+                # A profile from a node since declared dead: its work was
+                # reclaimed into the pool, so planning with it would
+                # double-count.
+                del box[node]
+            if not alive:
+                self.groups_done.add(gid)
+                if gid in self.ready:
+                    self.ready.remove(gid)
+                continue
+            if (set(box) >= alive and gid not in self.ready
+                    and gid not in self.groups_done):
+                self.ready.append(gid)
+
+    def _lame_duck(self) -> Generator[Event, None, None]:
+        """After the last group finishes, keep answering lost-instruction
+        retries until every slave process has exited — otherwise a node
+        whose DONE instruction was dropped would exhaust its retries
+        against a silent (exited) master."""
+        session = self.session
+        vm = session.vm
+        env = session.env
+        ft = session.ft
+
+        def slaves_alive() -> bool:
+            return any(rt.proc is not None and rt.proc.is_alive
+                       for rt in session.nodes.values())
+
+        while slaves_alive():
+            request = vm.recv(self.host, Tag.PROFILE)
+            if not request.triggered:
+                yield env.any_of(
+                    [request, env.timeout(ft.liveness_timeout)])
+            if not request.triggered:
+                vm.inbox[self.host].cancel(request)
+                continue
+            msg = request.value
+            cached = self._last_instruction.get(msg.src)
+            if cached is not None:
+                yield from vm.send(cached)
+
+    def _grant_orphans(self, profiles: list[SyncProfile]
+                       ) -> tuple[tuple[int, int], ...]:
+        """Fold the orphan pool into the lowest-numbered member's profile.
+
+        Returns the granted ranges (sent in that member's instruction);
+        the receiving node adds them to its assignment before applying
+        the plan, so reclaimed work re-enters balancing immediately.
+        """
+        controller = self.session.controller
+        if controller is None or not controller.has_orphans or not profiles:
+            return ()
+        granted = tuple(controller.claim_orphans())
+        table = self.session.table
+        extra_work = sum(table.range_work(s, e) for s, e in granted)
+        extra_count = sum(e - s for s, e in granted)
+        target = profiles[0]
+        profiles[0] = replace(
+            target, remaining_work=target.remaining_work + extra_work,
+            remaining_count=target.remaining_count + extra_count)
+        return granted
 
     def _serve(self, gid: int) -> Generator[Event, None, None]:
         session = self.session
         policy = session.policy
         vm = session.vm
+        ft_on = session.ft.enabled
         epoch = self.group_epoch[gid]
         profiles = sorted(self.pending.pop(gid, {}).values(),
                           key=lambda p: p.node)
+        granted = self._grant_orphans(profiles) if ft_on else ()
 
         selection: Optional[tuple[str, int]] = None
         if session.selector is not None and not session._selected:
@@ -111,6 +294,7 @@ class CentralBalancer:
             session.movement_cost_fn)
         session.record_plan(gid, epoch, plan)
 
+        grant_dst = profiles[0].node if granted else None
         members = sorted(self.group_active[gid])
         instructions = []
         for node in members:
@@ -118,11 +302,17 @@ class CentralBalancer:
                 src=self.host, dst=node, epoch=epoch, group=gid,
                 outgoing=plan.outgoing(node),
                 incoming=len(plan.incoming(node)),
+                incoming_srcs=tuple(t.src for t in plan.incoming(node))
+                if ft_on else (),
+                grant=granted if node == grant_dst else (),
                 retire=node in plan.retire,
                 done=plan.done,
                 active=plan.active,
                 select_scheme=selection[0] if selection else "",
                 select_group_size=selection[1] if selection else 0))
+        if ft_on:
+            for instr in instructions:
+                self._last_instruction[instr.dst] = instr
         yield from vm.multicast(instructions)
 
         if selection is not None:
@@ -139,6 +329,8 @@ class CentralBalancer:
         else:
             self.group_active[gid] = set(plan.active)
             self.group_epoch[gid] = epoch + 1
+            for node in plan.active:
+                self._probe_rounds.pop(node, None)
 
     def _reconfigure_after_selection(self, globally_active: tuple[int, ...]
                                      ) -> None:
@@ -153,3 +345,4 @@ class CentralBalancer:
         self.group_epoch = {g: 1 for g in range(len(session.groups))}
         self.groups_done = {g for g, mem in self.group_active.items()
                             if not mem}
+        self._probe_rounds = {}

@@ -8,16 +8,24 @@ continuously across stages.
 
 After every loop the executor verifies the fundamental DLB invariant:
 **every iteration executed exactly once** — redistribution must neither
-lose nor duplicate work.
+lose nor duplicate work.  The invariant is *also* enforced under fault
+injection: pass a :class:`~repro.faults.FaultPlan` and the executor
+installs a :class:`~repro.faults.FaultController`, enables the hardened
+protocol, and — after the surviving processes finish — runs a salvage
+pass that executes any orphaned iterations on the lowest-numbered
+survivor, so the loop degrades gracefully instead of losing work.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Optional, Union
 
 from ..apps.workload import ApplicationSpec, LoopSpec, SequentialStage
 from ..core.strategies.base import StrategySpec
 from ..core.strategies.registry import get_strategy
+from ..faults.controller import FaultController
+from ..faults.plan import FaultPlan
 from ..machine.cluster import ClusterSpec
 from ..machine.workstation import Workstation
 from ..message.messages import DataMsg, Tag
@@ -62,6 +70,52 @@ def _verify_coverage(session: LoopSession) -> None:
             f"lost iterations: executed {merged}, expected {expected}")
 
 
+def _salvage(session: LoopSession, controller: FaultController) -> None:
+    """Execute every orphaned iteration on the lowest-id survivor.
+
+    This is the last line of the graceful-degradation guarantee: after
+    the protocol-level reclaim/redistribute machinery has done what it
+    can, any iteration still unexecuted (stranded parcels, unconsumed
+    WORK in dead mailboxes, late reclaims) is run — and charged its
+    simulated compute time — on one surviving workstation, so
+    :func:`_verify_coverage` holds for every plan with a survivor.
+    """
+    orphans = controller.sweep_orphans()
+    if not orphans:
+        return
+    ranges = merge_ranges(orphans)
+    survivors = controller.survivors()
+    if not survivors:  # unreachable: FaultPlan.validate_for guarantees one
+        raise SimulationError("no survivor left to salvage orphaned work")
+    node = survivors[0]
+    env = session.env
+    table = session.table
+    work = sum(table.range_work(s, e) for s, e in ranges)
+    count = sum(e - s for s, e in ranges)
+
+    def runner():
+        ws = session.stations[node]
+        t_end = ws.time_to_complete(env.now, work)
+        yield env.timeout(t_end - env.now)
+        session.record_executed(node, ranges)
+
+    env.run(env.process(runner(), name=f"salvage{node}"))
+    controller.salvaged_iterations += count
+
+
+def _copy_fault_stats(session: LoopSession,
+                      controller: FaultController) -> None:
+    stats = session.stats
+    stats.crashed_nodes = tuple(sorted(controller.crashed))
+    stats.fenced_nodes = tuple(sorted(controller.fenced))
+    stats.declared_dead = tuple(sorted(controller.declared))
+    stats.dropped_messages = controller.dropped_messages
+    stats.delayed_messages = controller.delayed_messages
+    stats.fault_retries = controller.retries
+    stats.reclaimed_iterations = controller.reclaimed_iterations
+    stats.salvaged_iterations = controller.salvaged_iterations
+
+
 def _scatter(session: LoopSession):
     """Initial distribution of array blocks from the master (optional)."""
     vm = session.vm
@@ -99,14 +153,30 @@ def run_loop_stage(env: Environment, vm: VirtualMachine,
                    stations: list[Workstation], loop: LoopSpec,
                    strategy: StrategyLike,
                    options: Optional[RunOptions] = None,
-                   selector: Optional[Callable] = None) -> LoopRunStats:
+                   selector: Optional[Callable] = None,
+                   fault_plan: Optional[FaultPlan] = None) -> LoopRunStats:
     """Run one loop on an existing environment (advanced entry point)."""
     options = options or RunOptions()
     spec = _resolve(strategy)
     if spec.is_dlb and spec.code != "NONE" and len(stations) < 2:
         raise ValueError("dynamic load balancing needs at least 2 processors")
+    if fault_plan is not None and fault_plan.empty:
+        fault_plan = None
+    if fault_plan is not None:
+        if spec.code == "WS":
+            raise ValueError(
+                "fault injection is not supported for the work-stealing "
+                "baseline (no timeout/reclaim protocol)")
+        if not options.fault_tolerance.enabled:
+            options = options.but(fault_tolerance=replace(
+                options.fault_tolerance, enabled=True))
     session = LoopSession(env, vm, stations, loop, spec, options,
                           selector=selector)
+    controller: Optional[FaultController] = None
+    if fault_plan is not None:
+        controller = FaultController(session, fault_plan)
+        session.controller = controller
+        controller.install()
     msg_before = dict(vm.sent_by_tag)
     net_before = (vm.network.stats.messages, vm.network.stats.bytes)
     session.stats.start_time = env.now
@@ -133,6 +203,11 @@ def run_loop_stage(env: Environment, vm: VirtualMachine,
             env.run(proc)
     if lb is not None and lb.is_alive:
         env.run(lb)
+
+    if controller is not None:
+        _salvage(session, controller)
+        _copy_fault_stats(session, controller)
+        controller.uninstall()
 
     if options.include_staging:
         gather = env.process(_gather(session), name="master-gather")
@@ -190,7 +265,8 @@ def _scatter_then_run(session: LoopSession):
 
 def run_loop(loop: LoopSpec, cluster: ClusterSpec, strategy: StrategyLike,
              options: Optional[RunOptions] = None,
-             selector: Optional[Callable] = None) -> LoopRunStats:
+             selector: Optional[Callable] = None,
+             fault_plan: Optional[FaultPlan] = None) -> LoopRunStats:
     """Run a single loop on a fresh simulated cluster.
 
     Parameters
@@ -207,6 +283,10 @@ def run_loop(loop: LoopSpec, cluster: ClusterSpec, strategy: StrategyLike,
     selector:
         Strategy selector for the customized scheme; defaults to the
         model-based selector when strategy is "CUSTOM" and none given.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` to inject (crashes,
+        slowdowns, message drops/delays).  Supplying one automatically
+        enables the hardened fault-tolerant protocol.
     """
     options = options or RunOptions()
     spec = _resolve(strategy)
@@ -216,14 +296,21 @@ def run_loop(loop: LoopSpec, cluster: ClusterSpec, strategy: StrategyLike,
     env = Environment()
     stations = cluster.build()
     vm = VirtualMachine(env, cluster.n_processors, options.network)
-    return run_loop_stage(env, vm, stations, loop, spec, options, selector)
+    return run_loop_stage(env, vm, stations, loop, spec, options, selector,
+                          fault_plan=fault_plan)
 
 
 def run_application(app: ApplicationSpec, cluster: ClusterSpec,
                     strategy: StrategyLike,
                     options: Optional[RunOptions] = None,
-                    selector: Optional[Callable] = None) -> AppRunStats:
-    """Run a full application (loops + sequential stages) end to end."""
+                    selector: Optional[Callable] = None,
+                    fault_plan: Optional[FaultPlan] = None) -> AppRunStats:
+    """Run a full application (loops + sequential stages) end to end.
+
+    A ``fault_plan`` applies to the *first* loop stage only: each stage
+    builds a fresh session, and replaying the same crash schedule
+    against later stages would implicitly revive dead processors.
+    """
     options = options or RunOptions()
     spec = _resolve(strategy)
     if spec.code == "CUSTOM" and selector is None:
@@ -234,10 +321,13 @@ def run_application(app: ApplicationSpec, cluster: ClusterSpec,
     vm = VirtualMachine(env, cluster.n_processors, options.network)
     stats = AppRunStats(app_name=app.name, strategy=spec.name,
                         n_processors=cluster.n_processors)
+    pending_plan = fault_plan
     for stage in app.stages:
         if isinstance(stage, LoopSpec):
             stats.stages.append(run_loop_stage(
-                env, vm, stations, stage, spec, options, selector))
+                env, vm, stations, stage, spec, options, selector,
+                fault_plan=pending_plan))
+            pending_plan = None
         elif isinstance(stage, SequentialStage):
             stats.stages.append(_run_sequential(env, vm, stations, stage,
                                                 options))

@@ -21,6 +21,21 @@ boundaries, initiates a synchronization when it runs out of work
 according to the redistribution plan — through the central balancer in
 the centralized schemes, or via replicated deterministic planning in
 the distributed ones.
+
+Fault tolerance (docs/FAULT_MODEL.md)
+-------------------------------------
+When ``options.fault_tolerance.enabled`` the same protocol is hardened:
+every blocking receive carries a timeout; on expiry the waiter sends a
+``resend-profile`` / ``resend-work`` control request and backs off
+exponentially; after ``max_retries`` unanswered requests the peer is
+*declared dead* to the session's :class:`~repro.faults.FaultController`
+(which fences it, reclaiming its unfinished iteration ranges into the
+orphan pool).  Syncing survivors claim pooled ranges before profiling
+so reclaimed work re-enters the normal redistribution flow.  A
+``resend-profile`` request addressed to a node that has not reached the
+requested epoch doubles as a synchronization interrupt — which is also
+how a *dropped* interrupt heals.  With fault tolerance disabled (the
+default) none of these paths allocate a single extra event.
 """
 
 from __future__ import annotations
@@ -30,6 +45,7 @@ from typing import Generator, Optional
 
 from ..core.redistribution import SyncProfile, plan_redistribution
 from ..message.messages import (
+    ControlMsg,
     InstructionMsg,
     InterruptMsg,
     Message,
@@ -38,7 +54,7 @@ from ..message.messages import (
     TransferOrder,
     WorkMsg,
 )
-from ..simulation import Event, Interrupt, Process
+from ..simulation import Event, Interrupt, Process, RetryExhaustedError
 from .assignment import Assignment
 from .session import LoopSession
 
@@ -72,25 +88,78 @@ class NodeRuntime:
         # the lowest-numbered active group member is the clock.
         self.periodic = session.options.sync_mode == "periodic"
         self.next_deadline = session.env.now + session.options.sync_period
+        # Fault tolerance: caches that answer resend requests.
+        self._profile_cache: dict[int, ProfileMsg] = {}
+        self._work_cache: dict[tuple[int, int], WorkMsg] = {}
 
         session.nodes[node_id] = self
         session.vm.inbox[node_id].notify = self._on_message
 
+    @property
+    def ft_enabled(self) -> bool:
+        return self.session.ft.enabled
+
     # -- interrupt wiring ---------------------------------------------------
     def _on_message(self, msg: Message) -> None:
-        """Mailbox hook: break out of compute when a sync interrupt lands."""
+        """Mailbox hook: interrupts, plus resend service under faults."""
         if (msg.tag is Tag.INTERRUPT and msg.epoch == self.epoch
                 and self.computing and self.proc is not None
                 and self.proc.is_alive):
             self.computing = False
             self.proc.interrupt("sync")
+        elif self.ft_enabled and msg.tag is Tag.CONTROL \
+                and isinstance(msg, ControlMsg):
+            self._serve_control(msg)
+
+    def _serve_control(self, msg: ControlMsg) -> None:
+        """Answer a peer's resend request (runs inside the delivery hook,
+        so actual sends are detached helper processes)."""
+        env = self.session.env
+        if msg.kind == "resend-profile":
+            if (msg.epoch == self.epoch and self.computing
+                    and self.proc is not None and self.proc.is_alive):
+                # We have not synchronized this epoch yet: the request
+                # doubles as a (possibly lost) synchronization interrupt.
+                self.computing = False
+                self.proc.interrupt("sync")
+            elif msg.epoch in self._profile_cache:
+                cached = replace(self._profile_cache[msg.epoch], dst=msg.src)
+                env.process(self._oneshot_send(cached),
+                            name=f"resend-profile{self.me}->{msg.src}")
+            elif self._profile_cache:
+                # Probed for an epoch we have not reached (we are stuck
+                # applying an older instruction, e.g. awaiting work from
+                # a dead peer).  Our latest profile carries no data for
+                # that epoch, but resending it proves we are alive so
+                # the prober does not fence us.
+                latest = self._profile_cache[max(self._profile_cache)]
+                cached = replace(latest, dst=msg.src)
+                env.process(self._oneshot_send(cached),
+                            name=f"resend-profile{self.me}->{msg.src}")
+        elif msg.kind == "resend-work":
+            cached = self._work_cache.get((msg.src, msg.epoch))
+            if cached is not None:
+                env.process(self._oneshot_send(cached),
+                            name=f"resend-work{self.me}->{msg.src}")
+            else:
+                # Our plan never ordered a transfer to this peer (plan
+                # divergence under partial failure): tell it to stop
+                # waiting rather than let it declare us dead.
+                reply = ControlMsg(src=self.me, dst=msg.src, epoch=msg.epoch,
+                                   kind="no-work")
+                env.process(self._oneshot_send(reply),
+                            name=f"no-work{self.me}->{msg.src}")
+
+    def _oneshot_send(self, msg: Message) -> Generator[Event, None, None]:
+        yield from self.session.vm.send(msg)
 
     def steal(self, duration: float) -> bool:
         """Pause this node's computation for ``duration`` seconds.
 
         Called by a co-located central balancer to model the context
         switch between the balancer and the computation slave (§6.2's
-        LCDLB overhead).  Returns False when the node is not computing.
+        LCDLB overhead), and by the fault injector to model transient
+        slowdowns/freezes.  Returns False when the node is not computing.
         """
         if self.computing and self.proc is not None and self.proc.is_alive:
             self.computing = False
@@ -102,11 +171,74 @@ class NodeRuntime:
         return self.session.vm.inbox[self.me].peek(
             lambda m: m.tag is Tag.INTERRUPT and m.epoch == self.epoch)
 
+    # -- fault-tolerant receive ----------------------------------------------
+    def _recv_timed(self, tag: Optional[Tag], epoch: Optional[int] = None,
+                    match=None, timeout: Optional[float] = None
+                    ) -> Generator[Event, None, Optional[Message]]:
+        """Receive with an optional timeout; ``None`` means it expired.
+
+        A timed-out get request is withdrawn from the mailbox so it can
+        never swallow a later message.  With ``timeout=None`` this is
+        exactly the legacy blocking receive.
+        """
+        vm = self.session.vm
+        request = vm.recv(self.me, tag, epoch=epoch, match=match)
+        if timeout is None or request.triggered:
+            msg = yield request
+            return msg
+        env = self.session.env
+        yield env.any_of([request, env.timeout(timeout)])
+        if request.triggered:
+            return request.value
+        vm.inbox[self.me].cancel(request)
+        return None
+
+    def _declare_dead(self, peer: int) -> None:
+        controller = self.session.controller
+        if controller is not None:
+            controller.declare_dead(peer, by=self.me)
+        self.active.discard(peer)
+
+    def _claim_orphans(self) -> int:
+        """Absorb reclaimed orphan ranges before profiling (distributed
+        schemes; the central balancer grants the pool explicitly)."""
+        controller = self.session.controller
+        if controller is None or not controller.has_orphans:
+            return 0
+        ranges = controller.claim_orphans()
+        self.assignment.add(ranges)
+        return sum(e - s for s, e in ranges)
+
+    def _drain_stale(self) -> None:
+        """Clear superseded traffic; absorb late WORK from past epochs."""
+        inbox = self.session.vm.inbox[self.me]
+        epoch = self.epoch
+        inbox.drain(
+            lambda m: m.tag is Tag.INTERRUPT and m.epoch <= epoch)
+        if not self.ft_enabled:
+            return
+        inbox.drain(
+            lambda m: m.tag in (Tag.CONTROL, Tag.PROFILE, Tag.INSTRUCTION)
+            and m.epoch < epoch)
+        controller = self.session.controller
+        late = inbox.drain(
+            lambda m: m.tag is Tag.WORK and m.epoch < epoch)
+        for msg in late:
+            if controller is None:
+                self.assignment.add(msg.ranges)
+                continue
+            ranges = controller.try_consume(msg.src, self.me, msg.epoch)
+            if ranges is None:
+                continue  # duplicate of something already absorbed
+            self.assignment.add(ranges if ranges else msg.ranges)
+
     # -- main loop ----------------------------------------------------------
     def run(self) -> Generator[Event, None, None]:
         """The node's top-level simulated process."""
         session = self.session
         env = session.env
+        if session.is_crashed(self.me):
+            return  # crashed during staging, before the loop began
         if not session.strategy.is_dlb:
             # Static baseline: compute the initial block, then stop.
             yield from self._compute()
@@ -117,6 +249,8 @@ class NodeRuntime:
             others = sorted(self.active - {self.me})
             if status == "finished" and not others \
                     and not session.centralized:
+                if self._claim_orphans():
+                    continue  # reclaimed a dead peer's work: keep going
                 # Lone distributed node: nothing to exchange with.
                 self.more_work = False
                 break
@@ -124,6 +258,7 @@ class NodeRuntime:
                 proceed = yield from self._periodic_trigger(status, others)
                 if not proceed:
                     continue
+                others = sorted(self.active - {self.me})
             elif status == "finished":
                 if others and self._pending_interrupt() is None:
                     # Receiver-initiated sync: interrupt the group (§3.1).
@@ -149,6 +284,7 @@ class NodeRuntime:
         """
         session = self.session
         env = session.env
+        ft = session.ft
         if status == "deadline" or (status == "finished"
                                     and self._is_clock()):
             # The clock waits out the rest of the period (it may have
@@ -165,10 +301,45 @@ class NodeRuntime:
             # A non-clock finisher idles until the next periodic sync —
             # precisely the utilization loss the paper's interrupt-based
             # scheme avoids.
-            if self._pending_interrupt() is None:
+            if self._pending_interrupt() is not None:
+                return True
+            if not ft.enabled:
                 yield session.vm.recv(self.me, Tag.INTERRUPT,
                                       epoch=self.epoch)
+                return True
+            # Hardened: the clock itself may be dead.  Wait with the
+            # retry schedule; give up by declaring the clock dead and
+            # (possibly) inheriting its duty.
+            attempt = 0
+            while True:
+                msg = yield from self._recv_timed(
+                    Tag.INTERRUPT, epoch=self.epoch,
+                    timeout=max(ft.timeout_for(attempt),
+                                session.options.sync_period))
+                if msg is not None:
+                    return True
+                clock = min(self.active)
+                if clock == self.me:
+                    return True  # actives shifted: we are the clock now
+                if attempt >= ft.max_retries:
+                    self._declare_dead(clock)
+                    if self.active and self._is_clock():
+                        remaining = sorted(self.active - {self.me})
+                        yield from session.vm.multicast(
+                            InterruptMsg(src=self.me, dst=o,
+                                         epoch=self.epoch, group=self.gid)
+                            for o in remaining)
+                    return True
+                if self.session.controller is not None:
+                    self.session.controller.note_retry()
+                yield from self._oneshot_request(clock, "resend-profile")
+                attempt += 1
         return True
+
+    def _oneshot_request(self, peer: int, kind: str
+                         ) -> Generator[Event, None, None]:
+        yield from self.session.vm.send(ControlMsg(
+            src=self.me, dst=peer, epoch=self.epoch, kind=kind))
 
     # -- computing ------------------------------------------------------------
     def _compute(self) -> Generator[Event, None, str]:
@@ -254,15 +425,26 @@ class NodeRuntime:
             self.win_work = 0.0
             self.win_busy = 0.0
 
+    def _cache_profile(self, profile: ProfileMsg) -> None:
+        if not self.ft_enabled:
+            return
+        self._profile_cache[profile.epoch] = profile
+        for old in [e for e in self._profile_cache if e < profile.epoch - 1]:
+            del self._profile_cache[old]
+
     def _synchronize(self) -> Generator[Event, None, str]:
         """One synchronization point: profile, plan, move work."""
         session = self.session
         vm = session.vm
         env = session.env
+        ft = session.ft
         epoch = self.epoch
-        # Consume this epoch's interrupt(s) and any stale ones.
-        vm.inbox[self.me].drain(
-            lambda m: m.tag is Tag.INTERRUPT and m.epoch <= epoch)
+        # Consume this epoch's interrupt(s), stale control traffic, and
+        # any late work parcels from previous epochs.
+        self._drain_stale()
+        if self.ft_enabled and not session.centralized:
+            # Reclaimed orphans re-enter balancing through our profile.
+            self._claim_orphans()
 
         remaining_work = self.assignment.work(session.table)
         profile = ProfileMsg(
@@ -270,20 +452,24 @@ class NodeRuntime:
             remaining_work=remaining_work,
             remaining_count=self.assignment.count,
             rate=self._measured_rate())
+        self._cache_profile(profile)
 
         if session.centralized:
             yield from vm.send(replace(profile, dst=session.lb_host))
-            instr = yield vm.recv(self.me, Tag.INSTRUCTION, epoch=epoch)
-            assert isinstance(instr, InstructionMsg)
+            instr = yield from self._await_instruction(profile, epoch)
             if instr.select_scheme:
                 session.apply_selection(instr.select_scheme,
                                         instr.select_group_size)
                 self.gid = session.group_of[self.me]
+            if instr.grant:
+                self.assignment.add(instr.grant)
             if instr.done:
                 self.more_work = False
                 return "done"
+            srcs = instr.incoming_srcs if self.ft_enabled else None
             yield from self._apply(instr.outgoing, instr.incoming,
-                                   instr.active, instr.retire, epoch)
+                                   instr.active, instr.retire, epoch,
+                                   incoming_srcs=srcs)
             if instr.retire:
                 self.more_work = False
                 return "retired"
@@ -293,11 +479,7 @@ class NodeRuntime:
             profiles = {self.me: SyncProfile(
                 node=self.me, remaining_work=remaining_work,
                 remaining_count=self.assignment.count, rate=self.rate)}
-            while len(profiles) < len(others) + 1:
-                msg = yield vm.recv(self.me, Tag.PROFILE, epoch=epoch)
-                profiles[msg.src] = SyncProfile(
-                    node=msg.src, remaining_work=msg.remaining_work,
-                    remaining_count=msg.remaining_count, rate=msg.rate)
+            yield from self._gather_profiles(profiles, set(others), epoch)
             # Replicated new-distribution calculation (delta), slowed by
             # this node's current external load.
             t_end = self.ws.time_to_complete(
@@ -309,12 +491,27 @@ class NodeRuntime:
                 session.movement_cost_fn)
             session.record_plan(self.gid, epoch, plan)
             if plan.done:
+                if self.ft_enabled and self._claim_orphans():
+                    # Orphans surfaced after everyone else profiled zero
+                    # work.  "Done" is a group consensus — every peer
+                    # that computed this plan is terminating — so there
+                    # is nobody left to rebalance with: finish the
+                    # reclaimed ranges alone instead of interrupting
+                    # peers that will never answer with fresh profiles.
+                    self.active = {self.me}
+                    self.epoch += 1
+                    self._reset_window()
+                    return "continue"
                 self.more_work = False
                 return "done"
             retire_me = self.me in plan.retire
+            srcs = None
+            if self.ft_enabled:
+                srcs = tuple(t.src for t in plan.incoming(self.me))
             yield from self._apply(plan.outgoing(self.me),
                                    len(plan.incoming(self.me)),
-                                   plan.active, retire_me, epoch)
+                                   plan.active, retire_me, epoch,
+                                   incoming_srcs=srcs)
             if retire_me:
                 self.more_work = False
                 return "retired"
@@ -322,13 +519,102 @@ class NodeRuntime:
         self._reset_window()
         return "continue"
 
+    def _await_instruction(self, profile: ProfileMsg, epoch: int
+                           ) -> Generator[Event, None, InstructionMsg]:
+        """Receive the balancer's instruction, re-sending the profile on
+        timeout.  The master is reliable by assumption, so exhaustion
+        here is unrecoverable rather than a declaration."""
+        session = self.session
+        ft = session.ft
+        attempt = 0
+        while True:
+            timeout = ft.timeout_for(attempt) if self.ft_enabled else None
+            instr = yield from self._recv_timed(Tag.INSTRUCTION, epoch=epoch,
+                                                timeout=timeout)
+            if instr is not None:
+                assert isinstance(instr, InstructionMsg)
+                return instr
+            if attempt >= ft.max_retries:
+                raise RetryExhaustedError(self.me, session.lb_host,
+                                          "instruction", attempt + 1)
+            if session.controller is not None:
+                session.controller.note_retry()
+            yield from session.vm.send(
+                replace(profile, dst=session.lb_host))
+            attempt += 1
+
+    def _gather_profiles(self, profiles: dict[int, SyncProfile],
+                         missing: set[int], epoch: int
+                         ) -> Generator[Event, None, None]:
+        """Collect the group's profiles (distributed schemes).
+
+        Hardened mode nudges silent peers — which doubles as a lost
+        interrupt — and, after a per-peer retry budget, declares them
+        dead so the plan is computed over the survivors.  A *stale*
+        profile (the peer is stuck applying an older instruction, e.g.
+        waiting for work a dead node will never send) carries no data
+        but proves the peer is alive, so only truly silent peers burn
+        their budget.
+        """
+        session = self.session
+        ft = session.ft
+        if not self.ft_enabled:
+            while missing:
+                msg = yield from self._recv_timed(
+                    Tag.PROFILE, epoch=epoch,
+                    match=lambda m: m.src in missing, timeout=None)
+                profiles[msg.src] = SyncProfile(
+                    node=msg.src, remaining_work=msg.remaining_work,
+                    remaining_count=msg.remaining_count, rate=msg.rate)
+                missing.discard(msg.src)
+            return
+        rounds: dict[int, int] = {peer: 0 for peer in missing}
+        while missing:
+            timeout = ft.timeout_for(min(rounds[p] for p in missing))
+            msg = yield from self._recv_timed(
+                Tag.PROFILE,
+                match=lambda m: m.src in missing and m.epoch <= epoch,
+                timeout=timeout)
+            if msg is not None:
+                if msg.epoch == epoch:
+                    profiles[msg.src] = SyncProfile(
+                        node=msg.src, remaining_work=msg.remaining_work,
+                        remaining_count=msg.remaining_count, rate=msg.rate)
+                    missing.discard(msg.src)
+                    rounds.pop(msg.src, None)
+                else:
+                    # Stale duplicate: liveness evidence only.
+                    rounds[msg.src] = 0
+                continue
+            dead_now = {peer for peer in missing if session.is_dead(peer)}
+            for peer in dead_now:
+                self.active.discard(peer)
+            missing -= dead_now
+            if not missing:
+                break
+            overdue = [peer for peer in sorted(missing)
+                       if rounds[peer] >= ft.max_retries]
+            for peer in overdue:
+                self._declare_dead(peer)
+                missing.discard(peer)
+                rounds.pop(peer, None)
+            if not missing:
+                break
+            if session.controller is not None:
+                session.controller.note_retry()
+            for peer in sorted(missing):
+                rounds[peer] += 1
+                yield from self._oneshot_request(peer, "resend-profile")
+
     def _apply(self, outgoing: tuple[TransferOrder, ...], incoming: int,
-               new_active: tuple[int, ...], retire: bool, epoch: int
+               new_active: tuple[int, ...], retire: bool, epoch: int,
+               incoming_srcs: Optional[tuple[int, ...]] = None
                ) -> Generator[Event, None, None]:
         """Execute a plan's work movement from this node's viewpoint."""
         session = self.session
         vm = session.vm
         table = session.table
+        controller = session.controller
         orders = list(outgoing)
         for idx, order in enumerate(orders):
             if retire and idx == len(orders) - 1:
@@ -338,13 +624,104 @@ class NodeRuntime:
             else:
                 ranges, count = self.assignment.take_tail_work(
                     table, order.work, keep_one=not retire)
-            yield from vm.send(WorkMsg(
+            if controller is not None and session.is_dead(order.dst):
+                # The receiver was declared dead after planning: orphan
+                # the parcel instead of shipping it into the void.
+                controller.pool_ranges(ranges)
+                continue
+            msg = WorkMsg(
                 src=self.me, dst=order.dst, epoch=epoch,
                 ranges=tuple(ranges), count=count,
-                data_bytes=count * session.loop.dc_bytes))
-        for _ in range(incoming):
-            msg = yield vm.recv(self.me, Tag.WORK, epoch=epoch)
-            assert isinstance(msg, WorkMsg)
-            if msg.ranges:
-                self.assignment.add(msg.ranges)
+                data_bytes=count * session.loop.dc_bytes)
+            if controller is not None and msg.ranges:
+                controller.register_parcel(self.me, order.dst, epoch,
+                                           msg.ranges)
+            if self.ft_enabled:
+                self._work_cache[(order.dst, epoch)] = msg
+                for key in [k for k in self._work_cache
+                            if k[1] < epoch - 1]:
+                    del self._work_cache[key]
+            yield from vm.send(msg)
+        if retire and self.ft_enabled and not self.assignment.empty:
+            # Late-arriving reclaimed work on a retiring node: ship it to
+            # the lowest-numbered survivor (it is absorbed at that node's
+            # next sync), or orphan it if the group died around us.
+            yield from self._ship_leftovers(new_active, epoch)
+        if incoming_srcs is not None:
+            yield from self._receive_work_ft(incoming_srcs, epoch)
+        else:
+            for _ in range(incoming):
+                msg = yield vm.recv(self.me, Tag.WORK, epoch=epoch)
+                assert isinstance(msg, WorkMsg)
+                if msg.ranges:
+                    if controller is not None:
+                        ranges = controller.try_consume(msg.src, self.me,
+                                                        epoch)
+                        if ranges is None:
+                            continue
+                        self.assignment.add(ranges if ranges else msg.ranges)
+                    else:
+                        self.assignment.add(msg.ranges)
         self.active = set(new_active) & set(session.groups[self.gid])
+
+    def _ship_leftovers(self, new_active: tuple[int, ...], epoch: int
+                        ) -> Generator[Event, None, None]:
+        session = self.session
+        controller = session.controller
+        survivors = [n for n in sorted(new_active)
+                     if n != self.me and not session.is_dead(n)]
+        ranges = tuple(self.assignment.take_all())
+        if not ranges:
+            return
+        if not survivors:
+            if controller is not None:
+                controller.pool_ranges(ranges)
+            return
+        dst = survivors[0]
+        count = sum(e - s for s, e in ranges)
+        msg = WorkMsg(src=self.me, dst=dst, epoch=epoch, ranges=ranges,
+                      count=count,
+                      data_bytes=count * session.loop.dc_bytes)
+        if controller is not None:
+            controller.register_parcel(self.me, dst, epoch, ranges)
+        yield from session.vm.send(msg)
+
+    def _receive_work_ft(self, srcs: tuple[int, ...], epoch: int
+                         ) -> Generator[Event, None, None]:
+        """Timed receive of each expected work parcel, with retry."""
+        session = self.session
+        ft = session.ft
+        controller = session.controller
+        for src in srcs:
+            attempt = 0
+            while True:
+                def matcher(m, src=src):
+                    if m.src != src or m.epoch != epoch:
+                        return False
+                    return (m.tag is Tag.WORK
+                            or (m.tag is Tag.CONTROL
+                                and getattr(m, "kind", "") == "no-work"))
+                msg = yield from self._recv_timed(
+                    None, match=matcher, timeout=ft.timeout_for(attempt))
+                if msg is not None:
+                    if msg.tag is Tag.CONTROL:
+                        break  # "no-work": the sender never owed us this
+                    if not msg.ranges:
+                        break
+                    if controller is not None:
+                        ranges = controller.try_consume(src, self.me, epoch)
+                        if ranges is None:
+                            break  # duplicate: already absorbed
+                        self.assignment.add(ranges if ranges else msg.ranges)
+                    else:
+                        self.assignment.add(msg.ranges)
+                    break
+                if session.is_dead(src):
+                    break  # parcel was orphaned into the pool on declare
+                if attempt >= ft.max_retries:
+                    self._declare_dead(src)
+                    break
+                if controller is not None:
+                    controller.note_retry()
+                yield from self._oneshot_request(src, "resend-work")
+                attempt += 1

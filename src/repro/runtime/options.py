@@ -8,7 +8,66 @@ from typing import Callable, Optional
 from ..core.policy import DlbPolicy
 from ..network.parameters import NetworkParameters
 
-__all__ = ["RunOptions"]
+__all__ = ["RunOptions", "FaultToleranceConfig"]
+
+
+@dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Timeout/retry/detection knobs of the hardened protocol.
+
+    With ``enabled=False`` (the default) every receive in the DLB
+    protocol blocks forever, exactly as in the original reproduction —
+    the fault-free experiments are bit-for-bit unchanged.  With
+    ``enabled=True`` (implied whenever a fault plan is supplied) every
+    protocol wait carries a timeout; on expiry the waiter re-requests
+    the missing message and backs off exponentially, and after
+    ``max_retries`` unanswered attempts it declares the peer dead
+    (fencing it if it is in fact alive — see docs/FAULT_MODEL.md).
+
+    Attributes
+    ----------
+    enabled:
+        Turn the hardened protocol on.
+    request_timeout:
+        Base wait, in seconds, before the first re-request.  Should
+        comfortably exceed one iteration time plus a network round trip
+        so loaded-but-healthy peers are not falsely suspected.
+    backoff:
+        Multiplier applied to the timeout after each retry (bounded
+        exponential backoff).
+    max_retries:
+        Re-requests before the peer is declared dead.  The total
+        patience is ``request_timeout * (backoff**(max_retries+1) - 1)
+        / (backoff - 1)``.
+    liveness_timeout:
+        Central-balancer patience with a *completely silent* group
+        before it probes the members (a pull-based heartbeat: the probe
+        doubles as a synchronization interrupt for live members).  Must
+        be small enough that ``liveness_timeout * (max_retries + 1)``
+        — the master's time-to-declare — fits inside a slave's total
+        instruction-wait patience, or slaves waiting on a plan that
+        includes the dead member give up before the master does.
+    """
+
+    enabled: bool = False
+    request_timeout: float = 0.2
+    backoff: float = 2.0
+    max_retries: int = 5
+    liveness_timeout: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be at least 1")
+        if self.liveness_timeout <= 0:
+            raise ValueError("liveness_timeout must be positive")
+
+    def timeout_for(self, attempt: int) -> float:
+        """Wait before re-request number ``attempt`` (0-based)."""
+        return self.request_timeout * (self.backoff ** attempt)
 
 
 @dataclass(frozen=True)
@@ -56,6 +115,11 @@ class RunOptions:
         sync at the first iteration boundary past the deadline.
     sync_period:
         Period for ``sync_mode="periodic"``, in seconds.
+    fault_tolerance:
+        Timeout/retry/fencing knobs of the hardened protocol (see
+        :class:`FaultToleranceConfig` and docs/FAULT_MODEL.md).  Off by
+        default; automatically enabled when the executor is given a
+        fault plan.
     """
 
     policy: DlbPolicy = field(default_factory=DlbPolicy)
@@ -70,6 +134,8 @@ class RunOptions:
     initial_partition: str = "equal"
     sync_mode: str = "interrupt"
     sync_period: float = 1.0
+    fault_tolerance: FaultToleranceConfig = field(
+        default_factory=FaultToleranceConfig)
 
     def __post_init__(self) -> None:
         if self.group_formation not in ("block", "interleaved", "random"):

@@ -28,6 +28,7 @@ from .options import RunOptions
 from .stats import LoopRunStats, SyncRecord
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.controller import FaultController
     from .node import NodeRuntime
 
 __all__ = ["LoopSession"]
@@ -81,6 +82,25 @@ class LoopSession:
         self.nodes: dict[int, "NodeRuntime"] = {}
         self._recorded_plans: set[tuple[int, int]] = set()
         self._selected = False
+        #: Fault injection / recovery state; None on a fault-free run
+        #: with fault tolerance disabled (the common case).
+        self.controller: Optional["FaultController"] = None
+
+    # -- fault-model view ---------------------------------------------------
+    @property
+    def ft(self):
+        """The fault-tolerance knobs (hardened protocol iff ``ft.enabled``)."""
+        return self.options.fault_tolerance
+
+    def is_dead(self, node: int) -> bool:
+        """Whether ``node`` has been *declared* dead (detector view)."""
+        return (self.controller is not None
+                and self.controller.is_declared_dead(node))
+
+    def is_crashed(self, node: int) -> bool:
+        """Ground truth — only injection/executor code may consult this."""
+        return (self.controller is not None
+                and self.controller.is_crashed(node))
 
     # -- strategy view ------------------------------------------------------
     @property

@@ -47,10 +47,26 @@ class LoopRunStats:
     network_bytes: int = 0
     selected_scheme: Optional[str] = None
     selection_report: Optional[object] = None
+    # Fault-model bookkeeping (docs/FAULT_MODEL.md); all zero/empty on a
+    # fault-free run.
+    crashed_nodes: tuple[int, ...] = ()
+    fenced_nodes: tuple[int, ...] = ()
+    declared_dead: tuple[int, ...] = ()
+    dropped_messages: int = 0
+    delayed_messages: int = 0
+    fault_retries: int = 0
+    reclaimed_iterations: int = 0
+    salvaged_iterations: int = 0
 
     @property
     def duration(self) -> float:
         return self.end_time - self.start_time
+
+    @property
+    def faulted(self) -> bool:
+        """Whether this run experienced any injected fault."""
+        return bool(self.crashed_nodes or self.dropped_messages
+                    or self.delayed_messages)
 
     @property
     def n_syncs(self) -> int:
@@ -71,11 +87,18 @@ class LoopRunStats:
         self.syncs.append(record)
 
     def summary(self) -> str:
-        return (f"{self.loop_name} [{self.strategy}] P={self.n_processors} "
+        base = (f"{self.loop_name} [{self.strategy}] P={self.n_processors} "
                 f"K={self.group_size}: time={self.duration:.3f}s "
                 f"syncs={self.n_syncs} moves={self.n_redistributions} "
                 f"moved={self.total_work_moved:.3f}s-of-work "
                 f"msgs={self.network_messages}")
+        if self.faulted:
+            base += (f" | faults: crashed={list(self.crashed_nodes)} "
+                     f"dropped={self.dropped_messages} "
+                     f"retries={self.fault_retries} "
+                     f"reclaimed={self.reclaimed_iterations} "
+                     f"salvaged={self.salvaged_iterations}")
+        return base
 
 
 @dataclass

@@ -9,6 +9,28 @@ periodic-sync idling.
 Tracing is derived (no extra instrumentation cost): compute intervals
 are reconstructed from the workstation time math and the per-node
 executed counts, sync points from the trace records.
+
+Usage — the ``stations`` argument is the same cluster the run used
+(``ClusterSpec.build`` is seeded, so rebuilding reproduces the load
+streams the simulation saw)::
+
+    from repro import ClusterSpec, run_loop
+    from repro.apps import MxmConfig, mxm_loop
+    from repro.runtime import (render_gantt, render_sync_timeline,
+                               utilization_report)
+
+    loop = mxm_loop(MxmConfig(r=240, c=200, r2=200))
+    cluster = ClusterSpec.homogeneous(4, max_load=3, seed=7)
+    stations = cluster.build()
+
+    stats = run_loop(loop, cluster, "GDDLB")
+    print(utilization_report(stats, loop, stations).summary())
+    print(render_gantt(stats, loop, stations))     # '=' compute, '|' sync
+    print(render_sync_timeline(stats, limit=6))    # one line per sync
+
+On a faulted run (see :mod:`repro.faults`) a crashed node's lane simply
+ends at its last executed iteration — the chart is often the fastest
+way to see who picked up the orphaned work.
 """
 
 from __future__ import annotations

@@ -18,7 +18,17 @@ from .engine import (
     PRIORITY_NORMAL,
     PRIORITY_URGENT,
 )
-from .errors import Interrupt, ScheduleInPastError, SimulationError, StopProcess
+from .errors import (
+    FaultError,
+    Interrupt,
+    MessageLostError,
+    NodeCrashedError,
+    RetryExhaustedError,
+    ScheduleInPastError,
+    SimulationError,
+    StopProcess,
+    UnrecoverableFaultError,
+)
 from .mailbox import Mailbox
 from .resources import Resource
 
@@ -28,14 +38,19 @@ __all__ = [
     "Condition",
     "Environment",
     "Event",
+    "FaultError",
     "Interrupt",
     "Mailbox",
+    "MessageLostError",
+    "NodeCrashedError",
     "Process",
     "Resource",
+    "RetryExhaustedError",
     "ScheduleInPastError",
     "SimulationError",
     "StopProcess",
     "Timeout",
+    "UnrecoverableFaultError",
     "PRIORITY_LOW",
     "PRIORITY_NORMAL",
     "PRIORITY_URGENT",

@@ -1,22 +1,44 @@
 """Exception types raised by the discrete-event simulation kernel.
 
-The kernel distinguishes three failure families:
+The kernel distinguishes two *families* of exceptional condition:
 
-* :class:`SimulationError` — programming errors in the use of the kernel
-  (scheduling into the past, re-triggering events, ...).
+* **Kernel-misuse errors** (:class:`SimulationError` and subclasses) —
+  programming errors in the use of the kernel: scheduling into the
+  past, re-triggering events, yielding non-events.  These indicate a
+  bug in the caller and should never be caught by protocol code.
+* **Modeled failures** (:class:`FaultError` and subclasses) — events
+  that the simulation *deliberately models*: a workstation crashing, a
+  message being lost, a peer exceeding its retry budget.  These are
+  part of the fault model (see ``docs/FAULT_MODEL.md``) and are raised,
+  caught and recovered from by the fault-tolerant runtime in
+  :mod:`repro.faults` and :mod:`repro.runtime`.
+
+Two further control-flow exceptions complete the picture:
+
 * :class:`Interrupt` — thrown *into* a simulated process by
   :meth:`repro.simulation.engine.Process.interrupt`; carries an arbitrary
   ``cause`` so protocols can distinguish e.g. a DLB synchronization
   interrupt from a CPU-steal notification.
 * :class:`StopProcess` — internal sentinel used to abort a process from
-  the outside without treating it as a failure.
+  the outside without treating it as a failure (this is also how an
+  injected node crash halts the victim's generator).
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["SimulationError", "ScheduleInPastError", "Interrupt", "StopProcess"]
+__all__ = [
+    "SimulationError",
+    "ScheduleInPastError",
+    "Interrupt",
+    "StopProcess",
+    "FaultError",
+    "NodeCrashedError",
+    "MessageLostError",
+    "RetryExhaustedError",
+    "UnrecoverableFaultError",
+]
 
 
 class SimulationError(RuntimeError):
@@ -52,3 +74,50 @@ class Interrupt(Exception):
 
 class StopProcess(Exception):
     """Internal sentinel: terminate a process without error."""
+
+
+class FaultError(Exception):
+    """Base of the *modeled-failure* family (see docs/FAULT_MODEL.md).
+
+    Unlike :class:`SimulationError`, a :class:`FaultError` does not mean
+    the simulation was misused — it means the simulated system hit a
+    condition the fault model describes.  The fault-tolerant runtime
+    catches and recovers from most of these; only
+    :class:`UnrecoverableFaultError` is expected to escape to callers.
+    """
+
+
+class NodeCrashedError(FaultError):
+    """An operation addressed a node that has (been) crashed or fenced."""
+
+    def __init__(self, node: int, detail: str = "") -> None:
+        super().__init__(f"node {node} is crashed{': ' + detail if detail else ''}")
+        self.node = node
+
+
+class MessageLostError(FaultError):
+    """A message was dropped by the fault injector and will not arrive."""
+
+
+class RetryExhaustedError(FaultError):
+    """A timed request exceeded its bounded retry budget.
+
+    The hardened protocol normally converts this into a dead-peer
+    declaration rather than letting it propagate; it escapes only when
+    the unreachable peer is one the fault model assumes reliable (the
+    master).
+    """
+
+    def __init__(self, waiter: int, peer: int, what: str, attempts: int) -> None:
+        super().__init__(
+            f"node {waiter} gave up waiting for {what} from {peer} "
+            f"after {attempts} attempts")
+        self.waiter = waiter
+        self.peer = peer
+        self.what = what
+        self.attempts = attempts
+
+
+class UnrecoverableFaultError(FaultError):
+    """The fault load exceeded what graceful degradation can absorb
+    (e.g. every processor crashed, or the reliable master was lost)."""

@@ -78,6 +78,28 @@ class Mailbox:
         self._getters.append(request)
         return request
 
+    def cancel(self, request: Event) -> None:
+        """Withdraw a pending :meth:`get` request.
+
+        Used by timed receives: when the timeout wins the race, the
+        getter must be removed so it does not silently consume a later
+        matching deposit.  Cancelling a request that already matched (or
+        was never queued) is a no-op.
+        """
+        for idx, getter in enumerate(self._getters):
+            if getter is request:
+                del self._getters[idx]
+                return
+
+    def cancel_all(self) -> None:
+        """Withdraw every pending getter (the owner died mid-receive).
+
+        Without this, a stopped process's queued get request would still
+        match-and-consume the next deposit, delivering the item to a
+        callback-less event — i.e. silently destroying it.
+        """
+        self._getters.clear()
+
     def peek(self, predicate: Optional[Predicate] = None) -> Optional[Any]:
         """Return (without removing) the first matching queued item."""
         for item in self.items:

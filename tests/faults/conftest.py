@@ -1,0 +1,52 @@
+"""Shared fixtures for the fault-injection test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.workload import LoopSpec
+from repro.core.policy import DlbPolicy
+from repro.runtime.options import FaultToleranceConfig, RunOptions
+from repro.runtime.stats import LoopRunStats
+
+#: The four paper strategies the hardened protocol must cover uniformly.
+DLB_SCHEMES = ("GCDLB", "GDDLB", "LCDLB", "LDDLB")
+
+
+@pytest.fixture
+def ft_loop() -> LoopSpec:
+    """Small enough to keep faulted runs quick, large enough that a
+    mid-loop crash strands real work on the victim."""
+    return LoopSpec(name="ft", n_iterations=64, iteration_time=0.010,
+                    dc_bytes=800)
+
+
+@pytest.fixture
+def ft_options(fast_network) -> RunOptions:
+    """Detection knobs scaled to ``ft_loop``: a few iteration times of
+    patience, so tests spend simulated seconds, not minutes, detecting
+    deaths."""
+    return RunOptions(
+        network=fast_network, policy=DlbPolicy(),
+        fault_tolerance=FaultToleranceConfig(
+            request_timeout=0.08, backoff=2.0, max_retries=4,
+            liveness_timeout=0.24))
+
+
+def assert_exact_coverage(stats: LoopRunStats, loop: LoopSpec) -> None:
+    """Every iteration executed exactly once across all nodes.
+
+    ``run_loop`` already verifies this internally (raising
+    CoverageError otherwise); asserting here keeps the invariant the
+    test's own, visible statement.
+    """
+    executed = sorted(
+        (s, e) for ranges in stats.executed_by_node.values()
+        for s, e in ranges)
+    total = sum(e - s for s, e in executed)
+    assert total == loop.n_iterations
+    covered = 0
+    for s, e in executed:
+        assert s >= covered, f"overlap at {s}"
+        covered = max(covered, e)
+    assert covered == loop.n_iterations

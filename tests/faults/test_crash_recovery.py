@@ -1,0 +1,108 @@
+"""Crash recovery: the loop completes exactly once on the survivors.
+
+Each test parametrizes over all four paper strategies — the hardened
+protocol must be uniform across GC/GD centralized/distributed and the
+local K-group variants (docs/FAULT_MODEL.md).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.faults import CrashFault, FaultPlan
+from repro.runtime.executor import run_loop
+
+from .conftest import DLB_SCHEMES, assert_exact_coverage
+
+pytestmark = pytest.mark.faults
+
+
+def _hardened(options):
+    """The same knobs with the protocol pre-enabled, so a fault-free
+    run's sync times line up exactly with a faulted run's prefix."""
+    return options.but(fault_tolerance=replace(
+        options.fault_tolerance, enabled=True))
+
+
+@pytest.mark.parametrize("scheme", DLB_SCHEMES)
+def test_crash_before_first_sync(scheme, ft_loop, cluster4, ft_options):
+    """The victim dies while everyone is still computing the initial
+    partition; its entire block must be reclaimed."""
+    baseline = run_loop(ft_loop, cluster4, scheme,
+                        options=_hardened(ft_options))
+    assert baseline.syncs, "loop too small to sync: test is vacuous"
+    crash_time = 0.5 * baseline.syncs[0].time
+    plan = FaultPlan.single_crash(node=2, time=crash_time)
+    stats = run_loop(ft_loop, cluster4, scheme, options=ft_options,
+                     fault_plan=plan)
+    assert_exact_coverage(stats, ft_loop)
+    assert stats.crashed_nodes == (2,)
+    assert 2 in stats.declared_dead
+    assert stats.reclaimed_iterations > 0
+    assert stats.executed_count(2) < ft_loop.n_iterations // 4
+
+
+@pytest.mark.parametrize("scheme", DLB_SCHEMES)
+def test_crash_mid_redistribution(scheme, ft_loop, cluster4, ft_options):
+    """The victim dies just after the first redistribution is decided,
+    while WORK parcels are in flight; the ledger must reclaim whatever
+    it was sending or owed."""
+    baseline = run_loop(ft_loop, cluster4, scheme,
+                        options=_hardened(ft_options))
+    assert baseline.syncs
+    crash_time = baseline.syncs[0].time + 1e-4
+    plan = FaultPlan.single_crash(node=3, time=crash_time)
+    stats = run_loop(ft_loop, cluster4, scheme, options=ft_options,
+                     fault_plan=plan)
+    assert_exact_coverage(stats, ft_loop)
+    assert stats.crashed_nodes == (3,)
+    assert 3 in stats.declared_dead
+
+
+@pytest.mark.parametrize("scheme", DLB_SCHEMES)
+def test_crash_costs_time_but_not_iterations(scheme, ft_loop, cluster4,
+                                             ft_options):
+    baseline = run_loop(ft_loop, cluster4, scheme, options=ft_options)
+    plan = FaultPlan.single_crash(node=1, time=0.4 * baseline.duration)
+    stats = run_loop(ft_loop, cluster4, scheme, options=ft_options,
+                     fault_plan=plan)
+    assert_exact_coverage(stats, ft_loop)
+    # Detection timeouts and re-execution make the run slower, never
+    # cheaper, than the fault-free baseline.
+    assert stats.duration > baseline.duration
+
+
+def test_two_crashes_one_survivor_pair(ft_loop, cluster4, ft_options):
+    """Two of four nodes die; the master and one slave finish the loop."""
+    plan = FaultPlan(crashes=(CrashFault(node=1, time=0.15),
+                              CrashFault(node=3, time=0.25)))
+    stats = run_loop(ft_loop, cluster4, "GCDLB", options=ft_options,
+                     fault_plan=plan)
+    assert_exact_coverage(stats, ft_loop)
+    assert stats.crashed_nodes == (1, 3)
+
+
+@pytest.mark.parametrize("scheme", DLB_SCHEMES)
+def test_faulted_run_is_deterministic(scheme, ft_loop, cluster4,
+                                      ft_options):
+    """Same plan, same cluster seed: bit-identical runs."""
+    plan = FaultPlan.single_crash(node=2, time=0.2)
+    a = run_loop(ft_loop, cluster4, scheme, options=ft_options,
+                 fault_plan=plan)
+    b = run_loop(ft_loop, cluster4, scheme, options=ft_options,
+                 fault_plan=plan)
+    assert a.duration == b.duration
+    assert a.executed_by_node == b.executed_by_node
+    assert a.fault_retries == b.fault_retries
+    assert a.declared_dead == b.declared_dead
+
+
+def test_fault_free_runs_unchanged_by_ft_machinery(ft_loop, cluster4,
+                                                   options):
+    """With no plan and ft disabled (the default), runs stay
+    deterministic and carry no fault bookkeeping."""
+    vanilla = run_loop(ft_loop, cluster4, "GDDLB", options=options)
+    again = run_loop(ft_loop, cluster4, "GDDLB", options=options)
+    assert vanilla.duration == again.duration
+    assert not vanilla.faulted
+    assert vanilla.fault_retries == 0

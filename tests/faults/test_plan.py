@@ -1,0 +1,82 @@
+"""Fault-plan construction, validation and determinism."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    CrashFault,
+    FaultPlan,
+    MessageDelayFault,
+    MessageDropFault,
+    SlowdownFault,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def test_master_crash_rejected():
+    with pytest.raises(ValueError, match="master"):
+        CrashFault(node=0, time=1.0)
+
+
+def test_plan_rejects_duplicate_crash():
+    with pytest.raises(ValueError, match="at most once"):
+        FaultPlan(crashes=(CrashFault(1, 0.1), CrashFault(1, 0.2)))
+
+
+def test_plan_rejects_out_of_range_node():
+    plan = FaultPlan(crashes=(CrashFault(5, 0.1),))
+    with pytest.raises(ValueError, match="cluster has 4"):
+        plan.validate_for(4)
+
+
+def test_plan_validates_targets_against_cluster():
+    plan = FaultPlan(crashes=(CrashFault(1, 0.1), CrashFault(2, 0.2),
+                              CrashFault(3, 0.3)))
+    with pytest.raises(ValueError):
+        plan.validate_for(3)  # node 3 does not exist on 3 processors
+    plan.validate_for(4)      # every slave dies; the master survives
+
+
+def test_empty_plan():
+    assert FaultPlan().empty
+    assert not FaultPlan.single_crash(node=1, time=0.5).empty
+
+
+def test_slowdown_pause_seconds():
+    freeze = SlowdownFault(node=1, time=0.0, duration=2.0)
+    assert math.isinf(freeze.factor)
+    assert freeze.pause_seconds == 2.0
+    half = SlowdownFault(node=1, time=0.0, duration=2.0, factor=2.0)
+    assert half.pause_seconds == pytest.approx(1.0)
+
+
+def test_drop_fault_matching_is_case_insensitive():
+    fault = MessageDropFault(tag="WORK", src=1)
+    assert fault.matches(0.0, 1, 2, "work")
+    assert not fault.matches(0.0, 1, 2, "profile")
+    assert not fault.matches(0.0, 2, 1, "work")   # src filter
+    assert not fault.matches(0.0, 1, 2, None)      # non-message payload
+
+
+def test_delay_fault_window():
+    fault = MessageDelayFault(extra_seconds=0.5, window=(1.0, 2.0))
+    assert not fault.matches(0.5, 1, 2, "work")
+    assert fault.matches(1.5, 1, 2, "work")
+    assert not fault.matches(2.5, 1, 2, "work")
+
+
+def test_seeded_rng_reproducible():
+    a, b = FaultPlan(seed=9).rng(), FaultPlan(seed=9).rng()
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_random_plan_reproducible_and_master_safe():
+    p1 = FaultPlan.random_plan(seed=3, n_processors=4, duration_hint=1.0,
+                               n_crashes=2, drop_probability=0.2)
+    p2 = FaultPlan.random_plan(seed=3, n_processors=4, duration_hint=1.0,
+                               n_crashes=2, drop_probability=0.2)
+    assert p1 == p2
+    assert 0 not in p1.crashed_nodes
+    assert all(0.1 <= c.time <= 0.9 for c in p1.crashes)

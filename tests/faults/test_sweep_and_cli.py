@@ -1,0 +1,76 @@
+"""Fault-sweep experiment and CLI surface smoke tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.faults import (
+    FaultScenario,
+    fault_sweep,
+    render_fault_sweep,
+    standard_scenarios,
+)
+from repro.faults import FaultPlan
+from repro.runtime.executor import run_loop
+
+pytestmark = pytest.mark.faults
+
+
+def test_standard_scenarios_cover_the_taxonomy():
+    names = [s.name for s in standard_scenarios()]
+    assert names == ["crash-mid", "crash-late", "drop-storm", "freeze"]
+    for sc in standard_scenarios():
+        plan = sc.make_plan(1.0, 4, 1000)
+        plan.validate_for(4)
+        assert not plan.empty
+
+
+def test_fault_sweep_smoke():
+    """One seed, one scheme, two scenarios: full completion, slowdown
+    at least 1, counters populated."""
+    scenarios = [s for s in standard_scenarios()
+                 if s.name in ("crash-mid", "drop-storm")]
+    result = fault_sweep(schemes=("GC",), scenarios=scenarios,
+                         seeds=(1000,))
+    assert result.scenarios == ("crash-mid", "drop-storm")
+    for scenario in result.scenarios:
+        cell = result.cell(scenario, "GC")
+        assert cell.n_runs == 1
+        assert cell.completion_rate == 1.0
+        assert cell.mean_slowdown >= 1.0
+    assert result.cell("crash-mid", "GC").reclaimed > 0
+    report = render_fault_sweep(result)
+    assert "crash-mid" in report and "GC" in report
+    assert "completion rate" in report
+
+
+def test_ws_baseline_rejects_fault_plans(ft_loop, cluster4, ft_options):
+    with pytest.raises(ValueError, match="work-stealing"):
+        run_loop(ft_loop, cluster4, "WS", options=ft_options,
+                 fault_plan=FaultPlan.single_crash(node=1, time=0.1))
+
+
+def test_cli_faults_demo(capsys):
+    assert main(["faults-demo", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    for scheme in ("GCDLB", "GDDLB", "LCDLB", "LDDLB"):
+        assert scheme in out
+    assert "declared_dead=[2]" in out
+    assert "96/96 iterations" in out
+
+
+def test_cli_faults_demo_rejects_master_victim(capsys):
+    assert main(["faults-demo", "--victim", "0"]) == 2
+
+
+def test_cli_run_with_crash_flag(capsys):
+    code = main(["run", "--app", "mxm", "--size", "120x100x100",
+                 "-P", "4", "--strategy", "GDDLB",
+                 "--crash", "2:0.15", "--ft-timeout", "0.05"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "faults: crashed=[2]" in out
+
+
+def test_cli_run_rejects_bad_crash_spec(capsys):
+    assert main(["run", "--crash", "0:1.0"]) == 2
+    assert "bad fault flag" in capsys.readouterr().err
