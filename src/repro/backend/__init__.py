@@ -1,0 +1,25 @@
+"""Execution backends for the DLB protocol core.
+
+The protocol layer (:mod:`repro.protocol`) is pure; a backend decides
+what clock, timers, transport, and compute mean:
+
+* :class:`SimBackend` — the deterministic discrete-event kernel
+  (default; bit-identical to the pre-seam runtime on seeded runs).
+* :class:`ThreadBackend` — real threads, in-process queues, wall-clock
+  time, synthetic CPU-burn kernels.
+
+Select one via ``run_loop(..., backend="thread")`` or the CLI's
+``python -m repro run --backend thread``.
+"""
+
+from .base import BackendError, ExecutionBackend, get_backend
+from .sim import SimBackend
+from .thread import ThreadBackend
+
+__all__ = [
+    "BackendError",
+    "ExecutionBackend",
+    "SimBackend",
+    "ThreadBackend",
+    "get_backend",
+]

@@ -1,0 +1,82 @@
+"""The ``ExecutionBackend`` seam.
+
+A backend supplies the four execution facets the protocol layer
+(:mod:`repro.protocol`) deliberately knows nothing about:
+
+* **clock** — what "now" means (virtual event time vs. wall clock),
+* **timers** — how an :class:`~repro.protocol.commands.AwaitMessage`
+  timeout is realized (event-heap entry vs. condition-variable wait),
+* **transport** — how a :class:`~repro.protocol.commands.Send` reaches
+  the peer (simulated shared-bus Ethernet vs. in-process queues),
+* **compute** — how a compute slice burns "work" (simulated load-model
+  time vs. synthetic CPU-burn kernels).
+
+The protocol objects emit commands; the backend interprets them.  Two
+interpreters ship today: :class:`~repro.backend.sim.SimBackend` (the
+original discrete-event kernel, bit-identical to the pre-seam runtime)
+and :class:`~repro.backend.thread.ThreadBackend` (real threads, real
+queues, wall-clock time).  Future backends (async, multiprocess,
+sharded balancers) implement this same interface without touching
+protocol logic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional, TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..apps.workload import LoopSpec
+    from ..core.strategies.base import StrategySpec
+    from ..faults.plan import FaultPlan
+    from ..machine.cluster import ClusterSpec
+    from ..runtime.options import RunOptions
+    from ..runtime.stats import LoopRunStats
+
+__all__ = ["ExecutionBackend", "BackendError", "get_backend"]
+
+StrategyLike = Union[str, "StrategySpec"]
+
+
+class BackendError(ValueError):
+    """A run was requested that this backend cannot execute."""
+
+
+class ExecutionBackend(ABC):
+    """One way of executing the DLB protocol (see module docstring).
+
+    ``name`` is recorded into :attr:`LoopRunStats.backend` so runs stay
+    distinguishable post-hoc (CSV/JSON exports include it).
+    """
+
+    #: Stable identifier, also the CLI ``--backend`` value.
+    name: str = "?"
+
+    @abstractmethod
+    def run_loop(self, loop: "LoopSpec", cluster: "ClusterSpec",
+                 strategy: StrategyLike,
+                 options: Optional["RunOptions"] = None,
+                 selector: Optional[Callable] = None,
+                 fault_plan: Optional["FaultPlan"] = None) -> "LoopRunStats":
+        """Execute one load-balanced loop; return its statistics.
+
+        Implementations must uphold the exactly-once invariant (every
+        iteration executed once across all nodes) or raise; they must
+        raise :class:`BackendError` for configurations they do not
+        support rather than silently degrading.
+        """
+
+
+def get_backend(backend: Union[str, ExecutionBackend, None]
+                ) -> ExecutionBackend:
+    """Resolve a backend name (``"sim"``, ``"thread"``) or instance."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None or backend == "sim":
+        from .sim import SimBackend
+        return SimBackend()
+    if backend == "thread":
+        from .thread import ThreadBackend
+        return ThreadBackend()
+    raise BackendError(f"unknown backend {backend!r} "
+                       "(expected 'sim' or 'thread')")

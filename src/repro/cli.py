@@ -65,6 +65,15 @@ def build_parser() -> argparse.ArgumentParser:
     tab.add_argument("--seeds", type=int, default=10)
 
     run = sub.add_parser("run", help="run one loop under one strategy")
+    run.add_argument("--backend", choices=["sim", "thread"], default="sim",
+                     help="execution backend: 'sim' (deterministic "
+                          "discrete-event simulation, default) or 'thread' "
+                          "(real threads, wall-clock time, CPU-burn "
+                          "kernels)")
+    run.add_argument("--time-scale", type=float, default=1.0,
+                     help="thread backend only: scale factor on every "
+                          "iteration's nominal cost (e.g. 0.1 runs 10x "
+                          "faster without changing work ratios)")
     run.add_argument("--app", choices=["mxm", "trfd"], default="mxm")
     run.add_argument("--size", default="400x400x400",
                      help="MXM RxCxR2 dimensions")
@@ -188,6 +197,7 @@ def _build_fault_plan(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .backend.base import BackendError
     from .runtime.executor import run_application, run_loop
     from .runtime.options import FaultToleranceConfig, RunOptions
     cluster = ClusterSpec.homogeneous(
@@ -209,6 +219,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                          sync_mode=args.sync_mode,
                          sync_period=args.sync_period,
                          fault_tolerance=ft)
+    backend: object = args.backend
+    if args.backend == "thread":
+        if args.app != "mxm":
+            print("--backend thread supports single-loop apps only "
+                  "(use --app mxm)", file=sys.stderr)
+            return 2
+        from .backend import ThreadBackend
+        backend = ThreadBackend(time_scale=args.time_scale)
     if args.app == "mxm":
         try:
             r, c, r2 = (int(x) for x in args.size.lower().split("x"))
@@ -217,8 +235,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         loop = mxm_loop(MxmConfig(r, c, r2), op_seconds=4e-7)
-        stats = run_loop(loop, cluster, args.strategy, options=options,
-                         fault_plan=fault_plan)
+        try:
+            stats = run_loop(loop, cluster, args.strategy, options=options,
+                             fault_plan=fault_plan, backend=backend)
+        except BackendError as exc:
+            print(f"backend error: {exc}", file=sys.stderr)
+            return 2
         print(stats.summary())
         if stats.selected_scheme:
             print(f"customized selection: {stats.selection_report.summary()}")

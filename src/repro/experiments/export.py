@@ -13,11 +13,12 @@ import io
 import json
 from typing import Union
 
+from ..runtime.stats import LoopRunStats
 from .figures import FigureResult
 from .tables import TableResult
 
-__all__ = ["figure_to_csv", "table_to_csv", "result_to_json",
-           "write_result"]
+__all__ = ["figure_to_csv", "table_to_csv", "run_to_csv", "run_to_json",
+           "result_to_json", "write_result"]
 
 
 def figure_to_csv(result: FigureResult) -> str:
@@ -43,6 +44,50 @@ def table_to_csv(result: TableResult) -> str:
                          " ".join(row.predicted),
                          f"{row.agreement:.4f}", row.best_match])
     return buf.getvalue()
+
+
+#: Scalar columns of one loop run.  ``backend`` distinguishes simulated
+#: (virtual-second) runs from thread-backend (wall-clock) runs post-hoc.
+_RUN_FIELDS = ("loop_name", "strategy", "backend", "n_processors",
+               "group_size", "duration", "n_syncs", "n_redistributions",
+               "total_work_moved", "network_messages", "network_bytes",
+               "selected_scheme", "fault_retries", "reclaimed_iterations",
+               "salvaged_iterations")
+
+
+def _run_row(stats: LoopRunStats) -> dict:
+    row = {}
+    for name in _RUN_FIELDS:
+        value = getattr(stats, name)
+        row[name] = value.item() if hasattr(value, "item") else value
+    return row
+
+
+def run_to_csv(runs: Union[LoopRunStats, list[LoopRunStats]]) -> str:
+    """One row per loop run, including the producing backend."""
+    if isinstance(runs, LoopRunStats):
+        runs = [runs]
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(_RUN_FIELDS))
+    writer.writeheader()
+    for stats in runs:
+        writer.writerow(_run_row(stats))
+    return buf.getvalue()
+
+
+def run_to_json(stats: LoopRunStats) -> str:
+    """One run as a JSON document with per-sync and per-node detail."""
+    doc = _run_row(stats)
+    doc["kind"] = "run"
+    doc["node_finish_times"] = {
+        str(k): _jsonable(v) for k, v in stats.node_finish_times.items()}
+    doc["messages_by_tag"] = dict(stats.messages_by_tag)
+    doc["syncs"] = [
+        {"time": s.time, "group": s.group, "epoch": s.epoch,
+         "reason": s.reason, "moved_work": s.moved_work,
+         "n_transfers": s.n_transfers, "retired": list(s.retired)}
+        for s in stats.syncs]
+    return json.dumps(_jsonable(doc), indent=2, sort_keys=True)
 
 
 def result_to_json(result: Union[FigureResult, TableResult]) -> str:
@@ -102,15 +147,19 @@ def _jsonable(obj):
     return str(obj)
 
 
-def write_result(result: Union[FigureResult, TableResult], path: str
-                 ) -> None:
+def write_result(result: Union[FigureResult, TableResult, LoopRunStats],
+                 path: str) -> None:
     """Write ``result`` to ``path``; format chosen by extension
     (.csv or .json)."""
     if path.endswith(".json"):
-        text = result_to_json(result)
+        text = (run_to_json(result) if isinstance(result, LoopRunStats)
+                else result_to_json(result))
     elif path.endswith(".csv"):
-        text = (figure_to_csv(result) if isinstance(result, FigureResult)
-                else table_to_csv(result))
+        if isinstance(result, LoopRunStats):
+            text = run_to_csv(result)
+        else:
+            text = (figure_to_csv(result) if isinstance(result, FigureResult)
+                    else table_to_csv(result))
     else:
         raise ValueError(f"unsupported extension on {path!r} "
                          "(use .csv or .json)")

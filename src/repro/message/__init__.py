@@ -3,6 +3,7 @@
 from .messages import (
     ControlMsg,
     DataMsg,
+    EpochStamper,
     InstructionMsg,
     InterruptMsg,
     Message,
@@ -10,12 +11,15 @@ from .messages import (
     Tag,
     TransferOrder,
     WorkMsg,
+    is_stale,
+    stale_predicate,
 )
 from .pvm import VirtualMachine
 
 __all__ = [
     "ControlMsg",
     "DataMsg",
+    "EpochStamper",
     "InstructionMsg",
     "InterruptMsg",
     "Message",
@@ -24,4 +28,6 @@ __all__ = [
     "TransferOrder",
     "VirtualMachine",
     "WorkMsg",
+    "is_stale",
+    "stale_predicate",
 ]

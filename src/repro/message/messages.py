@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 __all__ = [
     "Tag",
@@ -27,6 +27,9 @@ __all__ = [
     "ControlMsg",
     "DataMsg",
     "TransferOrder",
+    "EpochStamper",
+    "is_stale",
+    "stale_predicate",
 ]
 
 #: Fixed per-message header (task ids, tag, epoch) in bytes.
@@ -176,6 +179,56 @@ class ControlMsg(Message):
     @property
     def nbytes(self) -> int:
         return HEADER_BYTES + 16
+
+
+class EpochStamper:
+    """Stamps ``src``/``epoch`` onto outgoing messages in one place.
+
+    Every protocol participant used to repeat ``src=self.me,
+    epoch=self.epoch`` at each construction site; a stamper is bound
+    once to the sender's identity and an epoch accessor, so call sites
+    name only what varies (message class, destination, payload)::
+
+        stamp = EpochStamper(me, lambda: self.epoch)
+        msg = stamp(InterruptMsg, dst=peer, group=gid)
+    """
+
+    def __init__(self, src: int, epoch_fn: Callable[[], int]) -> None:
+        self.src = src
+        self._epoch_fn = epoch_fn
+
+    def __call__(self, cls: type, dst: int, *,
+                 epoch: Optional[int] = None, **fields) -> "Message":
+        """Build ``cls`` with ``src`` and the current epoch filled in.
+
+        Pass ``epoch=`` explicitly only for out-of-epoch traffic (e.g.
+        answering a resend request for an older epoch).
+        """
+        stamped = self._epoch_fn() if epoch is None else epoch
+        return cls(src=self.src, dst=dst, epoch=stamped, **fields)
+
+
+def is_stale(msg: "Message", epoch: int, *, inclusive: bool = False) -> bool:
+    """Whether ``msg`` belongs to a superseded epoch.
+
+    The single point of truth for epoch-staleness: INTERRUPT traffic is
+    consumed through the end of the current epoch (``inclusive=True``)
+    while every other tag is stale only strictly before it.
+    """
+    return msg.epoch <= epoch if inclusive else msg.epoch < epoch
+
+
+def stale_predicate(epoch: int, tags: Optional[tuple["Tag", ...]] = None,
+                    *, inclusive: bool = False
+                    ) -> Callable[["Message"], bool]:
+    """A mailbox predicate selecting stale messages of the given tags."""
+
+    def pred(msg: "Message") -> bool:
+        if tags is not None and msg.tag not in tags:
+            return False
+        return is_stale(msg, epoch, inclusive=inclusive)
+
+    return pred
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,108 @@
+"""Commands emitted *by* the protocol state machines.
+
+A command is an instruction to the execution backend — send this
+message, run the current assignment, wait for these tags, charge this
+much local computation.  Commands carry no callbacks and no backend
+handles: they are plain data, so a test can assert on them directly
+and any backend (discrete-event simulator, real threads, a future
+async or multiprocess engine) can interpret them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.redistribution import RedistributionPlan
+from ..message.messages import Message, Tag
+
+__all__ = [
+    "Command",
+    "Send",
+    "StartCompute",
+    "AwaitMessage",
+    "Charge",
+    "DeclareDead",
+    "RecordSync",
+    "Done",
+]
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class for everything a protocol object may ask a backend."""
+
+
+@dataclass(frozen=True)
+class Send(Command):
+    """Transmit ``msg`` over the backend's transport."""
+
+    msg: Message
+
+
+@dataclass(frozen=True)
+class StartCompute(Command):
+    """Execute the participant's current assignment.
+
+    The backend runs iterations (simulated time, or a real CPU-burn
+    kernel) until the assignment is drained or a synchronization
+    interrupt stops it at an iteration boundary, then feeds back a
+    :class:`~repro.protocol.events.ComputeDone` event.  The backend is
+    responsible for booking executed ranges into the run statistics and
+    for reporting the busy time via ``WorkerProtocol.note_busy``.
+    """
+
+
+@dataclass(frozen=True)
+class AwaitMessage(Command):
+    """Block until a message matching the filters is delivered.
+
+    ``tags`` is the tag whitelist; ``epoch``/``srcs`` further restrict
+    when not ``None``.  ``timeout`` (fault-tolerant mode) bounds the
+    wait: on expiry the backend feeds a ``TimerFired`` event instead of
+    a message.  Exactly one ``AwaitMessage`` is outstanding at a time.
+    """
+
+    tags: tuple[Tag, ...]
+    epoch: Optional[int] = None
+    srcs: Optional[tuple[int, ...]] = None
+    timeout: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Charge(Command):
+    """Model ``seconds`` of local computation (e.g. the replicated
+    redistribution calculation).  The simulation backend advances the
+    virtual clock through the workstation's load model; a real-time
+    backend may ignore it — its planning computation costs real time.
+    """
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class DeclareDead(Command):
+    """Report ``peer`` to the failure registry (fencing / reclaim)."""
+
+    peer: int
+
+
+@dataclass(frozen=True)
+class RecordSync(Command):
+    """Record one synchronization outcome in the run statistics."""
+
+    group: int
+    epoch: int
+    plan: RedistributionPlan
+
+
+@dataclass(frozen=True)
+class Done(Command):
+    """This participant's protocol has terminated.
+
+    ``reason`` is ``"done"`` (group consensus / balancer DONE),
+    ``"retired"`` (this node was retired by a plan), or ``"lone"``
+    (a distributed node with no peers left and no work to claim).
+    """
+
+    reason: str

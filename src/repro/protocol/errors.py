@@ -1,0 +1,26 @@
+"""Protocol-level errors (backend-agnostic).
+
+The simulation backend maps these onto its own exception taxonomy
+(:mod:`repro.simulation.errors`); a real-time backend lets them
+propagate out of the worker thread.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ProtocolError", "ProtocolRetryExhausted"]
+
+
+class ProtocolError(RuntimeError):
+    """A protocol state machine was driven with an impossible event."""
+
+
+class ProtocolRetryExhausted(ProtocolError):
+    """Every retry toward a peer assumed reliable went unanswered."""
+
+    def __init__(self, me: int, peer: int, what: str, attempts: int) -> None:
+        super().__init__(
+            f"node {me}: no {what} from {peer} after {attempts} attempts")
+        self.me = me
+        self.peer = peer
+        self.what = what
+        self.attempts = attempts

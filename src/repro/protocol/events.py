@@ -1,0 +1,72 @@
+"""Events fed *into* the protocol state machines.
+
+An event is a fact about the outside world — a message arrived, a
+compute slice ended, a timer expired, a failure detector spoke.  The
+protocol machines (:class:`~repro.protocol.worker.WorkerProtocol`,
+:class:`~repro.protocol.balancer.BalancerProtocol`) consume events and
+emit :mod:`~repro.protocol.commands`; they never learn *how* the event
+was produced (simulated clock, real thread, or a hand-written test
+script).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..message.messages import Message
+
+__all__ = [
+    "ProtocolEvent",
+    "Start",
+    "ComputeDone",
+    "MessageReceived",
+    "TimerFired",
+    "PeerDead",
+]
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """Base class for everything a backend may feed a protocol object."""
+
+
+@dataclass(frozen=True)
+class Start(ProtocolEvent):
+    """The backend has scheduled this participant; begin the loop."""
+
+
+@dataclass(frozen=True)
+class ComputeDone(ProtocolEvent):
+    """A compute slice ended.
+
+    ``status`` is ``"finished"`` when the whole current assignment was
+    executed, or ``"interrupted"`` when the backend stopped at an
+    iteration boundary because a synchronization interrupt arrived.
+    """
+
+    status: str
+
+    def __post_init__(self) -> None:
+        if self.status not in ("finished", "interrupted"):
+            raise ValueError(f"bad compute status {self.status!r}")
+
+
+@dataclass(frozen=True)
+class MessageReceived(ProtocolEvent):
+    """A protocol message was delivered (already matched to the last
+    ``AwaitMessage`` command's tag filter by the backend)."""
+
+    msg: Message
+
+
+@dataclass(frozen=True)
+class TimerFired(ProtocolEvent):
+    """The timeout armed by the last ``AwaitMessage`` expired with no
+    matching message (fault-tolerant mode only)."""
+
+
+@dataclass(frozen=True)
+class PeerDead(ProtocolEvent):
+    """An external failure detector declared ``peer`` dead."""
+
+    peer: int

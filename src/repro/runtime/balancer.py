@@ -1,4 +1,4 @@
-"""The central load balancer process (GCDLB and LCDLB, §3.5).
+"""The central load balancer's discrete-event adapter (GCDLB/LCDLB, §3.5).
 
 One balancer lives on the master processor (which also computes).  It
 collects profile messages, and once a group's set is complete it
@@ -7,14 +7,16 @@ group after another, which is precisely what produces the paper's LCDLB
 delay factor (§4.2): groups whose profiles complete while the balancer
 is busy wait in its mailbox queue.
 
-Because the balancer shares its processor with a computation slave, each
-service steals CPU from the co-located node (context switch + the
-distribution calculation), modeled through :meth:`NodeRuntime.steal`.
-
-The same process implements the §4.3 customized selection: when the
-session has a ``selector``, the first (global) synchronization runs the
-model over the measured load and commits to the winning scheme before
-normal service resumes under that scheme.
+The protocol itself — profile boxes, the ready queue, group epochs,
+instruction construction, cached-instruction recovery, probe clocks —
+lives in the backend-agnostic
+:class:`~repro.protocol.balancer.BalancerProtocol`.  This adapter owns
+what only the simulation knows about: the event-heap receive loop,
+stealing CPU from the co-located compute slave (each service charges a
+context switch + the distribution calculation through
+:meth:`NodeRuntime.steal`), and the §4.3 customized selection, which
+consults the session's model before normal service resumes under the
+winning scheme.
 
 Fault tolerance (docs/FAULT_MODEL.md)
 -------------------------------------
@@ -38,8 +40,9 @@ from collections import deque
 from dataclasses import replace
 from typing import Generator, Optional
 
-from ..core.redistribution import SyncProfile, plan_redistribution
+from ..core.redistribution import SyncProfile
 from ..message.messages import ControlMsg, InstructionMsg, ProfileMsg, Tag
+from ..protocol.balancer import BalancerProtocol
 from ..simulation import Event
 from .session import LoopSession
 
@@ -52,30 +55,52 @@ class CentralBalancer:
     def __init__(self, session: LoopSession) -> None:
         self.session = session
         self.host = session.lb_host
-        self.pending: dict[int, dict[int, SyncProfile]] = {}
-        self.ready: deque[int] = deque()
-        self.group_active: dict[int, set[int]] = {
-            g: set(members) for g, members in enumerate(session.groups)}
-        self.group_epoch: dict[int, int] = {
-            g: 0 for g in range(len(session.groups))}
-        self.groups_done: set[int] = set()
-        # Fault tolerance: lost-INSTRUCTION recovery and per-node probe
-        # state (unanswered liveness probes since the node's last sign
-        # of life).
-        self._last_instruction: dict[int, InstructionMsg] = {}
-        self._probe_rounds: dict[int, int] = {}
+        self.protocol = BalancerProtocol(
+            session.lb_host, session.groups,
+            policy=session.policy,
+            mean_iteration_time=session.mean_iteration_time,
+            movement_cost_fn=session.movement_cost_fn,
+            ft=session.ft)
+
+    # -- protocol-state views ------------------------------------------------
+    @property
+    def pending(self) -> dict[int, dict[int, SyncProfile]]:
+        return self.protocol.pending
+
+    @property
+    def ready(self) -> deque[int]:
+        return self.protocol.ready
+
+    @property
+    def group_active(self) -> dict[int, set[int]]:
+        return self.protocol.group_active
+
+    @property
+    def group_epoch(self) -> dict[int, int]:
+        return self.protocol.group_epoch
+
+    @property
+    def groups_done(self) -> set[int]:
+        return self.protocol.groups_done
+
+    @groups_done.setter
+    def groups_done(self, value: set[int]) -> None:
+        self.protocol.groups_done = value
+
+    @property
+    def _last_instruction(self) -> dict[int, InstructionMsg]:
+        return self.protocol.last_instruction
+
+    @property
+    def _probe_rounds(self) -> dict[int, int]:
+        return self.protocol.probe_rounds
 
     # -- helpers ------------------------------------------------------------
     def _absorb(self, msg: ProfileMsg) -> None:
-        group = self.session.group_of.get(msg.src, msg.group)
-        box = self.pending.setdefault(group, {})
-        box[msg.src] = SyncProfile(
-            node=msg.src, remaining_work=msg.remaining_work,
-            remaining_count=msg.remaining_count, rate=msg.rate)
-        if (group not in self.groups_done
-                and set(box) >= self.group_active.get(group, set())
-                and group not in self.ready):
-            self.ready.append(group)
+        # group_of is read from the session (not the protocol) because a
+        # mid-loop CUSTOM selection rewrites the session's grouping.
+        self.protocol.absorb(
+            msg, group=self.session.group_of.get(msg.src, msg.group))
 
     def _service_wall_time(self, work_seconds: float) -> float:
         """Wall time of balancer computation on the (loaded) master."""
@@ -97,12 +122,14 @@ class CentralBalancer:
         session = self.session
         vm = session.vm
         if not session.ft.enabled:
-            while len(self.groups_done) < len(session.groups):
+            while not self.protocol.all_done:
                 msg = yield vm.recv(self.host, Tag.PROFILE)
                 assert isinstance(msg, ProfileMsg)
                 self._absorb(msg)
-                while self.ready:
-                    gid = self.ready.popleft()
+                while True:
+                    gid = self.protocol.take_ready()
+                    if gid is None:
+                        break
                     yield from self._serve(gid)
             return
         yield from self._run_hardened()
@@ -112,7 +139,7 @@ class CentralBalancer:
         vm = session.vm
         env = session.env
         ft = session.ft
-        while len(self.groups_done) < len(session.groups):
+        while not self.protocol.all_done:
             request = vm.recv(self.host, Tag.PROFILE)
             if not request.triggered:
                 yield env.any_of(
@@ -124,8 +151,10 @@ class CentralBalancer:
                 vm.inbox[self.host].cancel(request)
                 yield from self._probe_silent_groups()
             self._prune_dead()
-            while self.ready:
-                gid = self.ready.popleft()
+            while True:
+                gid = self.protocol.take_ready()
+                if gid is None:
+                    break
                 yield from self._serve(gid)
         yield from self._lame_duck()
 
@@ -138,10 +167,10 @@ class CentralBalancer:
         # Any profile — fresh, duplicate or stale — proves its sender is
         # alive.  Only the *sender's* probe clock resets: a chatty
         # waiter cannot defer the verdict on its silent group-mates.
-        self._probe_rounds.pop(msg.src, None)
+        self.protocol.note_alive(msg.src)
         if gid in self.groups_done or msg.epoch < epoch:
-            cached = self._last_instruction.get(msg.src)
-            if cached is not None and cached.epoch == msg.epoch:
+            cached = self.protocol.cached_instruction(msg.src, msg.epoch)
+            if cached is not None:
                 yield from self.session.vm.send(cached)
             return
         self._absorb(msg)
@@ -158,7 +187,7 @@ class CentralBalancer:
         """
         session = self.session
         controller = session.controller
-        ft = session.ft
+        protocol = self.protocol
         for gid in range(len(session.groups)):
             if gid in self.groups_done:
                 continue
@@ -167,12 +196,11 @@ class CentralBalancer:
             missing = alive - set(self.pending.get(gid, {}))
             if not missing:
                 continue
-            overdue = [node for node in sorted(missing)
-                       if self._probe_rounds.get(node, 0) >= ft.max_retries]
+            overdue = protocol.overdue_members(gid, alive)
             for node in overdue:
                 if controller is not None:
                     controller.declare_dead(node, by=self.host)
-                self._probe_rounds.pop(node, None)
+                protocol.note_alive(node)  # clear its probe clock
             probed = [node for node in sorted(missing)
                       if node not in overdue]
             if not probed:
@@ -181,40 +209,18 @@ class CentralBalancer:
                 controller.note_retry()
             epoch = self.group_epoch[gid]
             for node in probed:
-                self._probe_rounds[node] = \
-                    self._probe_rounds.get(node, 0) + 1
+                protocol.probe_rounds[node] = \
+                    protocol.probe_rounds.get(node, 0) + 1
                 yield from session.vm.send(ControlMsg(
                     src=self.host, dst=node, epoch=epoch,
                     kind="resend-profile"))
 
     def _prune_dead(self) -> None:
         """Fold death declarations into group membership and readiness."""
-        session = self.session
-        controller = session.controller
+        controller = self.session.controller
         if controller is None or not controller.declared:
             return
-        dead = controller.declared
-        for gid in range(len(session.groups)):
-            if gid in self.groups_done:
-                continue
-            members = self.group_active.get(gid, set())
-            alive = members - dead
-            if alive != members:
-                self.group_active[gid] = alive
-            box = self.pending.get(gid, {})
-            for node in dead & set(box):
-                # A profile from a node since declared dead: its work was
-                # reclaimed into the pool, so planning with it would
-                # double-count.
-                del box[node]
-            if not alive:
-                self.groups_done.add(gid)
-                if gid in self.ready:
-                    self.ready.remove(gid)
-                continue
-            if (set(box) >= alive and gid not in self.ready
-                    and gid not in self.groups_done):
-                self.ready.append(gid)
+        self.protocol.prune_dead(controller.declared)
 
     def _lame_duck(self) -> Generator[Event, None, None]:
         """After the last group finishes, keep answering lost-instruction
@@ -239,7 +245,7 @@ class CentralBalancer:
                 vm.inbox[self.host].cancel(request)
                 continue
             msg = request.value
-            cached = self._last_instruction.get(msg.src)
+            cached = self.protocol.cached_instruction(msg.src)
             if cached is not None:
                 yield from vm.send(cached)
 
@@ -268,11 +274,9 @@ class CentralBalancer:
         session = self.session
         policy = session.policy
         vm = session.vm
-        ft_on = session.ft.enabled
-        epoch = self.group_epoch[gid]
-        profiles = sorted(self.pending.pop(gid, {}).values(),
-                          key=lambda p: p.node)
-        granted = self._grant_orphans(profiles) if ft_on else ()
+        protocol = self.protocol
+        profiles = protocol.group_profiles(gid)
+        granted = self._grant_orphans(profiles) if session.ft.enabled else ()
 
         selection: Optional[tuple[str, int]] = None
         if session.selector is not None and not session._selected:
@@ -289,60 +293,22 @@ class CentralBalancer:
         yield from self._steal_and_work(
             policy.delta_seconds + 2.0 * policy.context_switch_seconds)
 
-        plan = plan_redistribution(
-            profiles, policy, session.mean_iteration_time,
-            session.movement_cost_fn)
-        session.record_plan(gid, epoch, plan)
+        plan = protocol.plan(profiles)
+        session.record_plan(gid, protocol.group_epoch[gid], plan)
 
         grant_dst = profiles[0].node if granted else None
-        members = sorted(self.group_active[gid])
-        instructions = []
-        for node in members:
-            instructions.append(InstructionMsg(
-                src=self.host, dst=node, epoch=epoch, group=gid,
-                outgoing=plan.outgoing(node),
-                incoming=len(plan.incoming(node)),
-                incoming_srcs=tuple(t.src for t in plan.incoming(node))
-                if ft_on else (),
-                grant=granted if node == grant_dst else (),
-                retire=node in plan.retire,
-                done=plan.done,
-                active=plan.active,
-                select_scheme=selection[0] if selection else "",
-                select_group_size=selection[1] if selection else 0))
-        if ft_on:
-            for instr in instructions:
-                self._last_instruction[instr.dst] = instr
+        instructions = protocol.build_instructions(
+            gid, plan, granted=granted, grant_dst=grant_dst,
+            selection=selection)
         yield from vm.multicast(instructions)
 
         if selection is not None:
             session.apply_selection(*selection)
-            self._reconfigure_after_selection(plan.active)
+            protocol.reconfigure_after_selection(session.groups, plan.active)
             if plan.done or not session.strategy.centralized:
                 # Work already finished, or a distributed scheme was
                 # chosen: the central balancer retires either way.
                 self.groups_done = set(range(len(session.groups)))
             return
 
-        if plan.done or not plan.active:
-            self.groups_done.add(gid)
-        else:
-            self.group_active[gid] = set(plan.active)
-            self.group_epoch[gid] = epoch + 1
-            for node in plan.active:
-                self._probe_rounds.pop(node, None)
-
-    def _reconfigure_after_selection(self, globally_active: tuple[int, ...]
-                                     ) -> None:
-        """Rebuild group bookkeeping under the newly selected scheme."""
-        session = self.session
-        self.pending.clear()
-        self.ready.clear()
-        active = set(globally_active)
-        self.group_active = {
-            g: set(members) & active
-            for g, members in enumerate(session.groups)}
-        self.group_epoch = {g: 1 for g in range(len(session.groups))}
-        self.groups_done = {g for g, mem in self.group_active.items()
-                            if not mem}
-        self._probe_rounds = {}
+        protocol.complete_group(gid, plan)

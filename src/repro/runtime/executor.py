@@ -266,15 +266,17 @@ def _scatter_then_run(session: LoopSession):
 def run_loop(loop: LoopSpec, cluster: ClusterSpec, strategy: StrategyLike,
              options: Optional[RunOptions] = None,
              selector: Optional[Callable] = None,
-             fault_plan: Optional[FaultPlan] = None) -> LoopRunStats:
-    """Run a single loop on a fresh simulated cluster.
+             fault_plan: Optional[FaultPlan] = None,
+             backend: Optional[object] = None) -> LoopRunStats:
+    """Run a single loop on a fresh cluster.
 
     Parameters
     ----------
     loop:
         The workload (e.g. from :func:`repro.apps.mxm.mxm_loop`).
     cluster:
-        The cluster description; its seed fixes the load realization.
+        The cluster description; its seed fixes the load realization
+        (simulation backend only).
     strategy:
         A :class:`StrategySpec` or a name/code ("GDDLB", "LD", "NONE",
         "CUSTOM", ...).
@@ -287,7 +289,16 @@ def run_loop(loop: LoopSpec, cluster: ClusterSpec, strategy: StrategyLike,
         Optional :class:`~repro.faults.FaultPlan` to inject (crashes,
         slowdowns, message drops/delays).  Supplying one automatically
         enables the hardened fault-tolerant protocol.
+    backend:
+        ``None``/``"sim"`` for the discrete-event simulation (default),
+        ``"thread"`` for real threads in wall-clock time, or any
+        :class:`~repro.backend.base.ExecutionBackend` instance.
     """
+    if backend is not None and backend != "sim":
+        from ..backend.base import get_backend
+        return get_backend(backend).run_loop(
+            loop, cluster, strategy, options, selector,
+            fault_plan=fault_plan)
     options = options or RunOptions()
     spec = _resolve(strategy)
     if spec.code == "CUSTOM" and selector is None:

@@ -1,4 +1,4 @@
-"""The SPMD slave protocol: compute, interrupt, profile, redistribute.
+"""The discrete-event adapter for the SPMD slave protocol.
 
 This is the run-time counterpart of the paper's Figure 3 slave loop::
 
@@ -14,13 +14,17 @@ This is the run-time counterpart of the paper's Figure 3 slave loop::
         }
     }
 
-Each node is a simulated process.  It computes its assigned iterations
-(with external load slowing it down), polls for interrupts at iteration
-boundaries, initiates a synchronization when it runs out of work
-(receiver-initiated, §3.1), exchanges profiles, and moves work
-according to the redistribution plan — through the central balancer in
-the centralized schemes, or via replicated deterministic planning in
-the distributed ones.
+The *protocol* — epochs, profiles, redistribution, the fault-tolerance
+transitions — lives in the backend-agnostic
+:class:`~repro.protocol.worker.WorkerProtocol`; ``NodeRuntime`` is the
+simulation backend's adapter around it.  It owns everything the
+discrete-event kernel cares about: the generator process, simulated
+compute slices through the workstation's load model, mailbox wiring,
+timed receives, and the mid-compute steals a co-located balancer or
+fault injector performs.  Protocol state (epoch, active set,
+assignment, performance window, resend caches) is read and written
+*only* through the protocol object, so every backend shares one
+implementation of the paper's §3 semantics.
 
 Fault tolerance (docs/FAULT_MODEL.md)
 -------------------------------------
@@ -43,17 +47,17 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Generator, Optional
 
-from ..core.redistribution import SyncProfile, plan_redistribution
+from ..core.redistribution import SyncProfile
 from ..message.messages import (
     ControlMsg,
     InstructionMsg,
     InterruptMsg,
     Message,
-    ProfileMsg,
     Tag,
     TransferOrder,
-    WorkMsg,
+    stale_predicate,
 )
+from ..protocol.worker import WorkerProtocol
 from ..simulation import Event, Interrupt, Process, RetryExhaustedError
 from .assignment import Assignment
 from .session import LoopSession
@@ -64,40 +68,83 @@ _EPS = 1e-15
 
 
 class NodeRuntime:
-    """Per-processor run-time state and protocol implementation."""
+    """Per-processor simulation adapter around the worker protocol."""
 
     def __init__(self, session: LoopSession, node_id: int,
                  assignment: Assignment) -> None:
         self.session = session
         self.me = node_id
         self.ws = session.stations[node_id]
-        self.assignment = assignment
-        self.epoch = 0
         self.gid = session.group_of[node_id]
-        self.active: set[int] = set(session.groups[self.gid])
-        self.more_work = True
+        self.protocol = WorkerProtocol(
+            node_id, session.groups[self.gid],
+            group=self.gid,
+            centralized=session.centralized,
+            lb_host=session.lb_host,
+            policy=session.policy,
+            table=session.table,
+            mean_iteration_time=session.mean_iteration_time,
+            dc_bytes=session.loop.dc_bytes,
+            movement_cost_fn=session.movement_cost_fn,
+            ft=session.ft,
+            profile_window_reset=session.options.profile_window_reset,
+            initial_rate=self.ws.speed,
+            assignment=assignment,
+            is_dlb=session.strategy.is_dlb)
         self.computing = False
         self.finish_time: Optional[float] = None
-        # Performance window (§3.2): work completed and busy seconds
-        # since the last synchronization point.
-        self.win_work = 0.0
-        self.win_busy = 0.0
-        self.rate = self.ws.speed  # optimistic prior before measurements
         self.proc: Optional[Process] = None
         # Periodic synchronization (Dome/Siegell model, §2.2 ablation):
         # the lowest-numbered active group member is the clock.
         self.periodic = session.options.sync_mode == "periodic"
         self.next_deadline = session.env.now + session.options.sync_period
-        # Fault tolerance: caches that answer resend requests.
-        self._profile_cache: dict[int, ProfileMsg] = {}
-        self._work_cache: dict[tuple[int, int], WorkMsg] = {}
 
         session.nodes[node_id] = self
         session.vm.inbox[node_id].notify = self._on_message
 
+    # -- protocol-state views ------------------------------------------------
+    # The protocol object is the single owner of epoch, membership,
+    # window, caches, and the assignment; these views keep the executor,
+    # the fault controller, and the tests on one source of truth.
     @property
     def ft_enabled(self) -> bool:
         return self.session.ft.enabled
+
+    @property
+    def epoch(self) -> int:
+        return self.protocol.epoch
+
+    @property
+    def active(self) -> set[int]:
+        return self.protocol.active
+
+    @active.setter
+    def active(self, value: set[int]) -> None:
+        self.protocol.active = value
+
+    @property
+    def assignment(self) -> Assignment:
+        return self.protocol.assignment
+
+    @property
+    def more_work(self) -> bool:
+        return self.protocol.more_work
+
+    @more_work.setter
+    def more_work(self, value: bool) -> None:
+        self.protocol.more_work = value
+
+    @property
+    def rate(self) -> float:
+        return self.protocol.rate
+
+    @property
+    def win_work(self) -> float:
+        return self.protocol.win_work
+
+    @property
+    def win_busy(self) -> float:
+        return self.protocol.win_busy
 
     # -- interrupt wiring ---------------------------------------------------
     def _on_message(self, msg: Message) -> None:
@@ -122,22 +169,16 @@ class NodeRuntime:
                 # doubles as a (possibly lost) synchronization interrupt.
                 self.computing = False
                 self.proc.interrupt("sync")
-            elif msg.epoch in self._profile_cache:
-                cached = replace(self._profile_cache[msg.epoch], dst=msg.src)
-                env.process(self._oneshot_send(cached),
-                            name=f"resend-profile{self.me}->{msg.src}")
-            elif self._profile_cache:
-                # Probed for an epoch we have not reached (we are stuck
-                # applying an older instruction, e.g. awaiting work from
-                # a dead peer).  Our latest profile carries no data for
-                # that epoch, but resending it proves we are alive so
-                # the prober does not fence us.
-                latest = self._profile_cache[max(self._profile_cache)]
-                cached = replace(latest, dst=msg.src)
-                env.process(self._oneshot_send(cached),
-                            name=f"resend-profile{self.me}->{msg.src}")
+            else:
+                # The cache answers with the exact epoch, or our latest
+                # profile as liveness evidence so the prober does not
+                # fence us while we are stuck in an older epoch.
+                cached = self.protocol.profile_reply(msg.epoch, msg.src)
+                if cached is not None:
+                    env.process(self._oneshot_send(cached),
+                                name=f"resend-profile{self.me}->{msg.src}")
         elif msg.kind == "resend-work":
-            cached = self._work_cache.get((msg.src, msg.epoch))
+            cached = self.protocol.work_reply(msg.src, msg.epoch)
             if cached is not None:
                 env.process(self._oneshot_send(cached),
                             name=f"resend-work{self.me}->{msg.src}")
@@ -145,8 +186,8 @@ class NodeRuntime:
                 # Our plan never ordered a transfer to this peer (plan
                 # divergence under partial failure): tell it to stop
                 # waiting rather than let it declare us dead.
-                reply = ControlMsg(src=self.me, dst=msg.src, epoch=msg.epoch,
-                                   kind="no-work")
+                reply = self.protocol.stamp(ControlMsg, dst=msg.src,
+                                            epoch=msg.epoch, kind="no-work")
                 env.process(self._oneshot_send(reply),
                             name=f"no-work{self.me}->{msg.src}")
 
@@ -197,7 +238,7 @@ class NodeRuntime:
         controller = self.session.controller
         if controller is not None:
             controller.declare_dead(peer, by=self.me)
-        self.active.discard(peer)
+        self.protocol.declare_peer_dead(peer)
 
     def _claim_orphans(self) -> int:
         """Absorb reclaimed orphan ranges before profiling (distributed
@@ -210,19 +251,21 @@ class NodeRuntime:
         return sum(e - s for s, e in ranges)
 
     def _drain_stale(self) -> None:
-        """Clear superseded traffic; absorb late WORK from past epochs."""
+        """Clear superseded traffic; absorb late WORK from past epochs.
+
+        Staleness is decided in one place —
+        :func:`repro.message.messages.stale_predicate` — not per call
+        site.
+        """
         inbox = self.session.vm.inbox[self.me]
         epoch = self.epoch
-        inbox.drain(
-            lambda m: m.tag is Tag.INTERRUPT and m.epoch <= epoch)
+        inbox.drain(stale_predicate(epoch, (Tag.INTERRUPT,), inclusive=True))
         if not self.ft_enabled:
             return
-        inbox.drain(
-            lambda m: m.tag in (Tag.CONTROL, Tag.PROFILE, Tag.INSTRUCTION)
-            and m.epoch < epoch)
+        inbox.drain(stale_predicate(
+            epoch, (Tag.CONTROL, Tag.PROFILE, Tag.INSTRUCTION)))
         controller = self.session.controller
-        late = inbox.drain(
-            lambda m: m.tag is Tag.WORK and m.epoch < epoch)
+        late = inbox.drain(stale_predicate(epoch, (Tag.WORK,)))
         for msg in late:
             if controller is None:
                 self.assignment.add(msg.ranges)
@@ -263,8 +306,8 @@ class NodeRuntime:
                 if others and self._pending_interrupt() is None:
                     # Receiver-initiated sync: interrupt the group (§3.1).
                     yield from session.vm.multicast(
-                        InterruptMsg(src=self.me, dst=o, epoch=self.epoch,
-                                     group=self.gid)
+                        self.protocol.stamp(InterruptMsg, dst=o,
+                                            group=self.gid)
                         for o in others)
             outcome = yield from self._synchronize()
             self.next_deadline = env.now + session.options.sync_period
@@ -294,8 +337,7 @@ class NodeRuntime:
                 yield env.timeout(self.next_deadline - env.now)
             if others and self._pending_interrupt() is None:
                 yield from session.vm.multicast(
-                    InterruptMsg(src=self.me, dst=o, epoch=self.epoch,
-                                 group=self.gid)
+                    self.protocol.stamp(InterruptMsg, dst=o, group=self.gid)
                     for o in others)
         elif status == "finished":
             # A non-clock finisher idles until the next periodic sync —
@@ -326,8 +368,8 @@ class NodeRuntime:
                     if self.active and self._is_clock():
                         remaining = sorted(self.active - {self.me})
                         yield from session.vm.multicast(
-                            InterruptMsg(src=self.me, dst=o,
-                                         epoch=self.epoch, group=self.gid)
+                            self.protocol.stamp(InterruptMsg, dst=o,
+                                                group=self.gid)
                             for o in remaining)
                     return True
                 if self.session.controller is not None:
@@ -338,8 +380,8 @@ class NodeRuntime:
 
     def _oneshot_request(self, peer: int, kind: str
                          ) -> Generator[Event, None, None]:
-        yield from self.session.vm.send(ControlMsg(
-            src=self.me, dst=peer, epoch=self.epoch, kind=kind))
+        yield from self.session.vm.send(
+            self.protocol.stamp(ControlMsg, dst=peer, kind=kind))
 
     # -- computing ------------------------------------------------------------
     def _compute(self) -> Generator[Event, None, str]:
@@ -352,6 +394,7 @@ class NodeRuntime:
         session = self.session
         env = session.env
         table = session.table
+        protocol = self.protocol
         if self.assignment.empty:
             return "finished"
         total = self.assignment.work(table)
@@ -376,7 +419,7 @@ class NodeRuntime:
                 yield env.timeout(max(target - env.now, 0.0))
             except Interrupt as it:
                 # ``computing`` was cleared by whoever interrupted us.
-                self.win_busy += env.now - sub_start
+                protocol.note_busy(env.now - sub_start)
                 consumed += self.ws.capacity(sub_start, env.now)
                 cause = it.cause
                 if isinstance(cause, tuple) and cause[0] == "steal":
@@ -384,12 +427,12 @@ class NodeRuntime:
                     continue
                 return (yield from self._stop_at_boundary(consumed))
             self.computing = False
-            self.win_busy += env.now - sub_start
+            protocol.note_busy(env.now - sub_start)
             if deadline_first:
                 consumed += self.ws.capacity(sub_start, env.now)
                 result = yield from self._stop_at_boundary(consumed)
                 return "deadline" if result == "interrupted" else result
-            self.win_work += total
+            protocol.note_work(total)
             executed = self.assignment.take_head(self.assignment.count)
             session.record_executed(self.me, executed)
             return "finished"
@@ -405,39 +448,21 @@ class NodeRuntime:
         extra = boundary_work - consumed
         if extra > _EPS:
             t_end = self.ws.time_to_complete(env.now, extra)
-            self.win_busy += t_end - env.now
+            self.protocol.note_busy(t_end - env.now)
             yield env.timeout(t_end - env.now)
         if k > 0:
-            self.win_work += boundary_work
+            self.protocol.note_work(boundary_work)
             executed = self.assignment.take_head(k)
             session.record_executed(self.me, executed)
         return "interrupted"
 
     # -- synchronizing ------------------------------------------------------
-    def _measured_rate(self) -> float:
-        """The §3.2 performance metric over the current window."""
-        if self.win_busy > 0 and self.win_work > 0:
-            self.rate = self.win_work / self.win_busy
-        return self.rate
-
-    def _reset_window(self) -> None:
-        if self.session.options.profile_window_reset:
-            self.win_work = 0.0
-            self.win_busy = 0.0
-
-    def _cache_profile(self, profile: ProfileMsg) -> None:
-        if not self.ft_enabled:
-            return
-        self._profile_cache[profile.epoch] = profile
-        for old in [e for e in self._profile_cache if e < profile.epoch - 1]:
-            del self._profile_cache[old]
-
     def _synchronize(self) -> Generator[Event, None, str]:
         """One synchronization point: profile, plan, move work."""
         session = self.session
         vm = session.vm
         env = session.env
-        ft = session.ft
+        protocol = self.protocol
         epoch = self.epoch
         # Consume this epoch's interrupt(s), stale control traffic, and
         # any late work parcels from previous epochs.
@@ -446,13 +471,8 @@ class NodeRuntime:
             # Reclaimed orphans re-enter balancing through our profile.
             self._claim_orphans()
 
-        remaining_work = self.assignment.work(session.table)
-        profile = ProfileMsg(
-            src=self.me, dst=self.me, epoch=epoch, group=self.gid,
-            remaining_work=remaining_work,
-            remaining_count=self.assignment.count,
-            rate=self._measured_rate())
-        self._cache_profile(profile)
+        profile = protocol.build_profile(group=self.gid)
+        protocol.cache_profile(profile)
 
         if session.centralized:
             yield from vm.send(replace(profile, dst=session.lb_host))
@@ -476,19 +496,14 @@ class NodeRuntime:
         else:
             others = sorted(self.active - {self.me})
             yield from vm.multicast(replace(profile, dst=o) for o in others)
-            profiles = {self.me: SyncProfile(
-                node=self.me, remaining_work=remaining_work,
-                remaining_count=self.assignment.count, rate=self.rate)}
+            profiles = {self.me: protocol.sync_profile(profile)}
             yield from self._gather_profiles(profiles, set(others), epoch)
             # Replicated new-distribution calculation (delta), slowed by
             # this node's current external load.
             t_end = self.ws.time_to_complete(
                 env.now, session.policy.delta_seconds)
             yield env.timeout(t_end - env.now)
-            plan = plan_redistribution(
-                sorted(profiles.values(), key=lambda p: p.node),
-                session.policy, session.mean_iteration_time,
-                session.movement_cost_fn)
+            plan = protocol.local_plan(profiles.values())
             session.record_plan(self.gid, epoch, plan)
             if plan.done:
                 if self.ft_enabled and self._claim_orphans():
@@ -499,8 +514,7 @@ class NodeRuntime:
                     # reclaimed ranges alone instead of interrupting
                     # peers that will never answer with fresh profiles.
                     self.active = {self.me}
-                    self.epoch += 1
-                    self._reset_window()
+                    protocol.advance_epoch()
                     return "continue"
                 self.more_work = False
                 return "done"
@@ -515,11 +529,10 @@ class NodeRuntime:
             if retire_me:
                 self.more_work = False
                 return "retired"
-        self.epoch += 1
-        self._reset_window()
+        protocol.advance_epoch()
         return "continue"
 
-    def _await_instruction(self, profile: ProfileMsg, epoch: int
+    def _await_instruction(self, profile, epoch: int
                            ) -> Generator[Event, None, InstructionMsg]:
         """Receive the balancer's instruction, re-sending the profile on
         timeout.  The master is reliable by assumption, so exhaustion
@@ -558,14 +571,13 @@ class NodeRuntime:
         """
         session = self.session
         ft = session.ft
+        protocol = self.protocol
         if not self.ft_enabled:
             while missing:
                 msg = yield from self._recv_timed(
                     Tag.PROFILE, epoch=epoch,
                     match=lambda m: m.src in missing, timeout=None)
-                profiles[msg.src] = SyncProfile(
-                    node=msg.src, remaining_work=msg.remaining_work,
-                    remaining_count=msg.remaining_count, rate=msg.rate)
+                profiles[msg.src] = protocol.sync_profile(msg)
                 missing.discard(msg.src)
             return
         rounds: dict[int, int] = {peer: 0 for peer in missing}
@@ -577,9 +589,7 @@ class NodeRuntime:
                 timeout=timeout)
             if msg is not None:
                 if msg.epoch == epoch:
-                    profiles[msg.src] = SyncProfile(
-                        node=msg.src, remaining_work=msg.remaining_work,
-                        remaining_count=msg.remaining_count, rate=msg.rate)
+                    profiles[msg.src] = protocol.sync_profile(msg)
                     missing.discard(msg.src)
                     rounds.pop(msg.src, None)
                 else:
@@ -588,7 +598,7 @@ class NodeRuntime:
                 continue
             dead_now = {peer for peer in missing if session.is_dead(peer)}
             for peer in dead_now:
-                self.active.discard(peer)
+                protocol.declare_peer_dead(peer)
             missing -= dead_now
             if not missing:
                 break
@@ -613,34 +623,23 @@ class NodeRuntime:
         """Execute a plan's work movement from this node's viewpoint."""
         session = self.session
         vm = session.vm
-        table = session.table
+        protocol = self.protocol
         controller = session.controller
         orders = list(outgoing)
         for idx, order in enumerate(orders):
-            if retire and idx == len(orders) - 1:
-                # A retiring node ships everything that is left.
-                ranges = self.assignment.take_all()
-                count = sum(e - s for s, e in ranges)
-            else:
-                ranges, count = self.assignment.take_tail_work(
-                    table, order.work, keep_one=not retire)
+            ranges, count = protocol.take_outgoing(
+                order, retire=retire,
+                ship_all=retire and idx == len(orders) - 1)
             if controller is not None and session.is_dead(order.dst):
                 # The receiver was declared dead after planning: orphan
                 # the parcel instead of shipping it into the void.
                 controller.pool_ranges(ranges)
                 continue
-            msg = WorkMsg(
-                src=self.me, dst=order.dst, epoch=epoch,
-                ranges=tuple(ranges), count=count,
-                data_bytes=count * session.loop.dc_bytes)
+            msg = protocol.make_work_msg(order.dst, epoch, ranges, count)
             if controller is not None and msg.ranges:
                 controller.register_parcel(self.me, order.dst, epoch,
                                            msg.ranges)
-            if self.ft_enabled:
-                self._work_cache[(order.dst, epoch)] = msg
-                for key in [k for k in self._work_cache
-                            if k[1] < epoch - 1]:
-                    del self._work_cache[key]
+            protocol.cache_work(msg)
             yield from vm.send(msg)
         if retire and self.ft_enabled and not self.assignment.empty:
             # Late-arriving reclaimed work on a retiring node: ship it to
@@ -652,7 +651,6 @@ class NodeRuntime:
         else:
             for _ in range(incoming):
                 msg = yield vm.recv(self.me, Tag.WORK, epoch=epoch)
-                assert isinstance(msg, WorkMsg)
                 if msg.ranges:
                     if controller is not None:
                         ranges = controller.try_consume(msg.src, self.me,
@@ -679,9 +677,7 @@ class NodeRuntime:
             return
         dst = survivors[0]
         count = sum(e - s for s, e in ranges)
-        msg = WorkMsg(src=self.me, dst=dst, epoch=epoch, ranges=ranges,
-                      count=count,
-                      data_bytes=count * session.loop.dc_bytes)
+        msg = self.protocol.make_work_msg(dst, epoch, ranges, count)
         if controller is not None:
             controller.register_parcel(self.me, dst, epoch, ranges)
         yield from session.vm.send(msg)

@@ -37,6 +37,10 @@ class LoopRunStats:
     strategy: str
     n_processors: int
     group_size: int
+    #: Which ExecutionBackend produced this run ("sim": virtual seconds
+    #: on the DES kernel; "thread": wall-clock seconds on real threads).
+    #: Exported to CSV/JSON so runs stay distinguishable post-hoc.
+    backend: str = "sim"
     start_time: float = 0.0
     end_time: float = 0.0
     syncs: list[SyncRecord] = field(default_factory=list)
@@ -87,8 +91,9 @@ class LoopRunStats:
         self.syncs.append(record)
 
     def summary(self) -> str:
+        backend = "" if self.backend == "sim" else f" backend={self.backend}"
         base = (f"{self.loop_name} [{self.strategy}] P={self.n_processors} "
-                f"K={self.group_size}: time={self.duration:.3f}s "
+                f"K={self.group_size}{backend}: time={self.duration:.3f}s "
                 f"syncs={self.n_syncs} moves={self.n_redistributions} "
                 f"moved={self.total_work_moved:.3f}s-of-work "
                 f"msgs={self.network_messages}")

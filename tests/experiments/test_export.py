@@ -89,3 +89,48 @@ def test_figure2_exports(tmp_path):
     assert all(0 <= lv <= CFG.max_load for lv in levels)
     text = figure_to_csv(result)
     assert "level" in text
+
+def _small_run(**kwargs):
+    from repro import ClusterSpec, run_loop
+    from repro.apps.mxm import mxm_loop
+    from repro.runtime.options import RunOptions
+    loop = mxm_loop(MxmConfig(48, 32, 32), op_seconds=4e-7)
+    cluster = ClusterSpec.homogeneous(4, max_load=2, persistence=1.0, seed=3)
+    return run_loop(loop, cluster, "GDDLB", RunOptions(), **kwargs)
+
+
+def test_run_csv_includes_backend():
+    from repro.experiments.export import run_to_csv
+    stats = _small_run()
+    rows = list(csv.DictReader(io.StringIO(run_to_csv(stats))))
+    assert len(rows) == 1
+    assert rows[0]["backend"] == "sim"
+    assert rows[0]["strategy"] == "GDDLB"
+    assert float(rows[0]["duration"]) == stats.duration
+
+
+def test_run_csv_many_rows():
+    from repro.experiments.export import run_to_csv
+    runs = [_small_run(), _small_run()]
+    rows = list(csv.DictReader(io.StringIO(run_to_csv(runs))))
+    assert [r["backend"] for r in rows] == ["sim", "sim"]
+
+
+def test_run_json_detail():
+    from repro.experiments.export import run_to_json
+    stats = _small_run()
+    doc = json.loads(run_to_json(stats))
+    assert doc["kind"] == "run"
+    assert doc["backend"] == "sim"
+    assert len(doc["node_finish_times"]) == 4
+    assert len(doc["syncs"]) == stats.n_syncs
+
+
+def test_write_result_accepts_run(tmp_path):
+    stats = _small_run()
+    csv_path = tmp_path / "run.csv"
+    json_path = tmp_path / "run.json"
+    write_result(stats, str(csv_path))
+    write_result(stats, str(json_path))
+    assert csv_path.read_text().startswith("loop_name")
+    assert json.loads(json_path.read_text())["backend"] == "sim"

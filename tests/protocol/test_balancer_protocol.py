@@ -1,0 +1,172 @@
+"""Scripted event traces through :class:`BalancerProtocol`.
+
+Covers the centralized strategies (GCDLB: one global group; LCDLB:
+several local groups) plus the fault-tolerance paths: lost-INSTRUCTION
+recovery from a stale duplicate profile, and death pruning mid-gather.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import DlbPolicy
+from repro.message.messages import ControlMsg, InstructionMsg, ProfileMsg, Tag
+from repro.protocol import (
+    AwaitMessage,
+    BalancerProtocol,
+    Charge,
+    Done,
+    MessageReceived,
+    PeerDead,
+    RecordSync,
+    Send,
+    Start,
+)
+from repro.runtime.options import FaultToleranceConfig
+
+from .conftest import COST, all_of, only
+
+FT = FaultToleranceConfig(enabled=True, request_timeout=0.05, backoff=2.0,
+                          max_retries=2)
+
+
+def make_balancer(groups, *, ft=None):
+    return BalancerProtocol(0, groups, policy=DlbPolicy(),
+                            mean_iteration_time=COST, ft=ft)
+
+
+def profile(src, *, epoch=0, group=0, count=16, rate=1.0):
+    return ProfileMsg(src=src, dst=0, epoch=epoch, group=group,
+                      remaining_work=count * COST / rate,
+                      remaining_count=count, rate=rate)
+
+
+def test_global_group_round(capsys=None):
+    """GCDLB shape: one group; instructions fan out once the last
+    profile lands, work moves from the slow node to the fast ones."""
+    b = make_balancer([[0, 1, 2]])
+    assert b.on_event(Start()) == (AwaitMessage(tags=(Tag.PROFILE,)),)
+
+    cmds = b.on_event(MessageReceived(profile(0, count=0)))
+    assert cmds == (AwaitMessage(tags=(Tag.PROFILE,)),)   # box incomplete
+    cmds = b.on_event(MessageReceived(profile(1, count=0)))
+    assert cmds == (AwaitMessage(tags=(Tag.PROFILE,)),)
+
+    cmds = b.on_event(MessageReceived(profile(2, count=30)))
+    charge = only(cmds, Charge)
+    policy = DlbPolicy()
+    assert charge.seconds == pytest.approx(
+        policy.delta_seconds + 2 * policy.context_switch_seconds)
+    sync = only(cmds, RecordSync)
+    assert (sync.group, sync.epoch) == (0, 0)
+    assert sync.plan.transfers           # imbalance forced movement
+    instrs = [c.msg for c in all_of(cmds, Send)]
+    assert sorted(i.dst for i in instrs) == [0, 1, 2]
+    assert all(isinstance(i, InstructionMsg) and i.epoch == 0
+               for i in instrs)
+    assert cmds[-1] == AwaitMessage(tags=(Tag.PROFILE,))
+    assert b.group_epoch[0] == 1         # next round is epoch 1
+
+
+def test_local_groups_serve_independently():
+    """LCDLB shape: two groups complete at different times; each is
+    served as soon as its own box fills, and Done only when both
+    groups report done plans."""
+    b = make_balancer([[0, 1], [2, 3]])
+    b.on_event(Start())
+
+    b.on_event(MessageReceived(profile(2, group=1, count=0)))
+    cmds = b.on_event(MessageReceived(profile(3, group=1, count=4)))
+    sync = only(cmds, RecordSync)
+    assert sync.group == 1
+    assert {c.msg.dst for c in all_of(cmds, Send)} == {2, 3}
+    assert b.group_epoch == {0: 0, 1: 1}  # group 0 still gathering
+
+    # Group 1 finishes for good while group 0 holds its first sync.
+    b.on_event(MessageReceived(profile(2, group=1, epoch=1, count=0)))
+    cmds = b.on_event(MessageReceived(profile(3, group=1, epoch=1,
+                                              count=0)))
+    assert only(cmds, RecordSync).plan.done
+    assert b.groups_done == {1}
+    assert cmds[-1] == AwaitMessage(tags=(Tag.PROFILE,))
+
+    b.on_event(MessageReceived(profile(0, count=0)))
+    cmds = b.on_event(MessageReceived(profile(1, count=0)))
+    assert only(cmds, RecordSync).plan.done
+    assert cmds[-1] == Done("done")
+
+
+def test_stale_profile_resends_cached_instruction():
+    """Lost-INSTRUCTION recovery: a duplicate epoch-0 profile after the
+    group advanced means the sender never saw its instruction — the
+    cached copy is re-sent verbatim."""
+    b = make_balancer([[0, 1]], ft=FT)
+    b.on_event(Start())
+    b.on_event(MessageReceived(profile(0, count=8)))
+    cmds = b.on_event(MessageReceived(profile(1, count=8)))
+    original = {c.msg.dst: c.msg for c in all_of(cmds, Send)}
+
+    dup = profile(1, count=8)            # epoch 0 again: 1 is stuck
+    cmds = b.on_event(MessageReceived(dup))
+    resent = only(cmds, Send).msg
+    assert resent == original[1]
+    assert cmds[-1] == AwaitMessage(tags=(Tag.PROFILE,))
+
+
+def test_non_profile_message_rearms():
+    b = make_balancer([[0, 1]], ft=FT)
+    b.on_event(Start())
+    cmds = b.on_event(MessageReceived(
+        ControlMsg(src=1, dst=0, epoch=0, kind="resend-work")))
+    assert cmds == (AwaitMessage(tags=(Tag.PROFILE,)),)
+
+
+def test_peer_death_completes_gather():
+    """A death declaration mid-gather shrinks the active set; the
+    survivors' box is then complete and the round is served without
+    the dead node's (reclaimed) work."""
+    b = make_balancer([[0, 1, 2]], ft=FT)
+    b.on_event(Start())
+    b.on_event(MessageReceived(profile(0, count=0)))
+    b.on_event(MessageReceived(profile(1, count=12)))
+
+    cmds = b.on_event(PeerDead(2))
+    sync = only(cmds, RecordSync)
+    assert 2 not in sync.plan.active
+    assert {c.msg.dst for c in all_of(cmds, Send)} == {0, 1}
+    assert b.group_active[0] == {0, 1}
+
+
+def test_dead_profile_is_discarded():
+    """A profile that raced a death declaration must not be planned
+    with — its work was reclaimed into the orphan pool."""
+    b = make_balancer([[0, 1]], ft=FT)
+    b.on_event(Start())
+    b.on_event(MessageReceived(profile(1, count=12)))
+    cmds = b.on_event(PeerDead(1))
+    assert not all_of(cmds, RecordSync)    # box emptied, 0 still missing
+    cmds = b.on_event(MessageReceived(profile(0, count=8)))
+    sync = only(cmds, RecordSync)
+    assert sync.plan.active == (0,)
+
+
+def test_whole_group_death_is_done():
+    b = make_balancer([[0, 1], [2, 3]], ft=FT)
+    b.on_event(Start())
+    b.on_event(PeerDead(2))
+    cmds = b.on_event(PeerDead(3))
+    assert b.groups_done == {1}
+    assert cmds[-1] == AwaitMessage(tags=(Tag.PROFILE,))
+
+
+def test_probe_bookkeeping():
+    """overdue_members only reports silent nodes whose probe budget is
+    spent; any sign of life resets the clock."""
+    b = make_balancer([[0, 1, 2]], ft=FT)
+    b.on_event(MessageReceived(profile(0, count=0)))
+    assert b.overdue_members(0, {0, 1, 2}) == []
+    b.probe_rounds[1] = FT.max_retries
+    b.probe_rounds[2] = FT.max_retries - 1
+    assert b.overdue_members(0, {0, 1, 2}) == [1]
+    b.note_alive(1)
+    assert b.overdue_members(0, {0, 1, 2}) == []

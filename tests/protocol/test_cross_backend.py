@@ -1,0 +1,121 @@
+"""Cross-backend determinism and equivalence.
+
+The protocol extraction must be invisible to the simulator: every
+seeded statistic below was captured from the pre-refactor tree and the
+:class:`SimBackend` must keep reproducing it bit-identically.  The
+:class:`ThreadBackend` runs the same protocol on real threads, so its
+durations are wall-clock (non-deterministic) — there we assert the
+invariants instead: exactly-once iteration coverage, termination, and
+the stats provenance tag.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterSpec, run_loop
+from repro.apps.mxm import MxmConfig, mxm_loop
+from repro.backend import BackendError, SimBackend, ThreadBackend, get_backend
+from repro.faults.plan import FaultPlan
+from repro.runtime.options import FaultToleranceConfig, RunOptions
+
+
+def _mxm():
+    return mxm_loop(MxmConfig(120, 100, 100), op_seconds=4e-7)
+
+
+def _cluster():
+    return ClusterSpec.homogeneous(4, max_load=3, persistence=1.0, seed=7)
+
+
+#: (duration, n_syncs, network_messages, network_bytes) captured from
+#: the seed tree before the protocol/backend split.
+SEED_ORACLE = {
+    "GCDLB": (0.4031058333333333, 2, 25, 9200),
+    "GDDLB": (0.375, 2, 33, 9728),
+    "LCDLB": (0.43220000000000003, 4, 19, 8120),
+    "LDDLB": (0.3698623333333333, 3, 12, 7696),
+    "CUSTOM": (0.5371101666666667, 3, 21, 9008),
+    "NONE": (0.48, 0, 0, 0),
+}
+
+
+@pytest.mark.parametrize("strategy", sorted(SEED_ORACLE))
+def test_sim_backend_bit_identical_to_seed(strategy):
+    stats = run_loop(_mxm(), _cluster(), strategy, RunOptions())
+    assert (stats.duration, stats.n_syncs, stats.network_messages,
+            stats.network_bytes) == SEED_ORACLE[strategy]
+    assert stats.backend == "sim"
+
+
+def test_sim_backend_finish_times_unchanged():
+    stats = run_loop(_mxm(), _cluster(), "GCDLB", RunOptions())
+    assert sorted(stats.node_finish_times.values()) == [
+        0.3986413333333333, 0.4011058333333333,
+        0.4021058333333333, 0.4031058333333333]
+
+
+def test_sim_backend_bit_identical_under_faults():
+    """The hardened-protocol path must also survive the extraction."""
+    options = RunOptions(
+        fault_tolerance=FaultToleranceConfig(enabled=True))
+    stats = run_loop(_mxm(), _cluster(), "GDDLB", options,
+                     fault_plan=FaultPlan.single_crash(node=2, time=0.02))
+    assert (stats.duration, stats.n_syncs, stats.network_messages,
+            stats.fault_retries, stats.reclaimed_iterations,
+            stats.salvaged_iterations) == \
+        (13.019924666666666, 3, 49, 15, 30, 0)
+
+
+def test_explicit_sim_backend_matches_default():
+    default = run_loop(_mxm(), _cluster(), "LDDLB", RunOptions())
+    routed = run_loop(_mxm(), _cluster(), "LDDLB", RunOptions(),
+                      backend="sim")
+    explicit = SimBackend().run_loop(_mxm(), _cluster(), "LDDLB",
+                                     RunOptions())
+    for stats in (routed, explicit):
+        assert stats.duration == default.duration
+        assert stats.n_syncs == default.n_syncs
+        assert stats.network_bytes == default.network_bytes
+
+
+def test_get_backend_resolution():
+    assert get_backend(None).name == "sim"
+    assert get_backend("sim").name == "sim"
+    assert get_backend("thread").name == "thread"
+    backend = ThreadBackend()
+    assert get_backend(backend) is backend
+    with pytest.raises(BackendError):
+        get_backend("mpi")
+
+
+@pytest.mark.parametrize("strategy", ["GCDLB", "GDDLB", "LCDLB", "LDDLB"])
+def test_thread_backend_exactly_once(strategy):
+    """Real threads, real queues: every iteration executed exactly
+    once, all four strategies terminate, stats carry provenance."""
+    loop = mxm_loop(MxmConfig(48, 16, 16), op_seconds=4e-7)
+    stats = run_loop(loop, _cluster(), strategy, RunOptions(),
+                     backend=ThreadBackend(time_scale=0.2))
+    assert stats.backend == "thread"
+    executed = sum(stats.executed_count(node)
+                   for node in stats.executed_by_node)
+    assert executed == loop.n_iterations
+    assert stats.duration > 0.0
+    assert len(stats.node_finish_times) == 4
+
+
+def test_thread_backend_rejects_simulation_only_features():
+    loop = mxm_loop(MxmConfig(16, 8, 8), op_seconds=4e-7)
+    backend = ThreadBackend(time_scale=0.2)
+    with pytest.raises(BackendError):
+        backend.run_loop(loop, _cluster(), "CUSTOM", RunOptions())
+    with pytest.raises(BackendError):
+        backend.run_loop(loop, _cluster(), "WS", RunOptions())
+    with pytest.raises(BackendError):
+        backend.run_loop(loop, _cluster(), "GDDLB", RunOptions(),
+                         fault_plan=FaultPlan.single_crash(node=1,
+                                                           time=0.01))
+    with pytest.raises(BackendError):
+        backend.run_loop(
+            loop, _cluster(), "GDDLB",
+            RunOptions(fault_tolerance=FaultToleranceConfig(enabled=True)))

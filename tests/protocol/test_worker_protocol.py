@@ -1,0 +1,294 @@
+"""Scripted event traces through :class:`WorkerProtocol`.
+
+One happy-path and one crash-recovery trace per strategy shape:
+GCDLB (centralized, global group), LCDLB (centralized, local group),
+GDDLB (distributed, global group), LDDLB (distributed, local group) —
+plus the static NONE baseline and the lone-node edge.  Pure state
+machine throughout: events in, commands out, no simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.message.messages import (
+    ControlMsg,
+    InstructionMsg,
+    InterruptMsg,
+    ProfileMsg,
+    Tag,
+    TransferOrder,
+    WorkMsg,
+)
+from repro.protocol import (
+    AwaitMessage,
+    Charge,
+    ComputeDone,
+    DeclareDead,
+    Done,
+    MessageReceived,
+    ProtocolRetryExhausted,
+    RecordSync,
+    Send,
+    Start,
+    StartCompute,
+    TimerFired,
+)
+from repro.runtime.options import FaultToleranceConfig
+
+from .conftest import COST, all_of, make_worker, only
+
+FT = FaultToleranceConfig(enabled=True, request_timeout=0.05, backoff=2.0,
+                          max_retries=2)
+
+
+# ---------------------------------------------------------------------------
+# Happy paths
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("members,group", [((0, 1, 2), 0),   # GCDLB shape
+                                           ((2, 3), 1)])     # LCDLB shape
+def test_centralized_happy_path(table, members, group):
+    """Compute -> interrupt group -> profile to master -> instruction ->
+    receive work -> next epoch -> done instruction -> Done."""
+    me = members[-1]
+    w = make_worker(me, members, centralized=True, table=table,
+                    ranges=[(32, 48)], group=group)
+    assert w.on_event(Start()) == (StartCompute(),)
+
+    cmds = w.on_event(ComputeDone("finished"))
+    interrupts = [c.msg for c in all_of(cmds, Send)
+                  if c.msg.tag is Tag.INTERRUPT]
+    assert sorted(m.dst for m in interrupts) == \
+        sorted(set(members) - {me})
+    assert all(isinstance(m, InterruptMsg) and m.epoch == 0
+               for m in interrupts)
+    profile = [c.msg for c in all_of(cmds, Send)
+               if c.msg.tag is Tag.PROFILE]
+    assert len(profile) == 1 and profile[0].dst == 0  # to the master
+    assert profile[0].remaining_count == 16
+    wait = only(cmds, AwaitMessage)
+    assert wait.tags == (Tag.INSTRUCTION,) and wait.epoch == 0
+    assert wait.timeout is None  # fault tolerance off: block forever
+
+    # The balancer orders us to expect one incoming transfer.
+    instr = InstructionMsg(src=0, dst=me, epoch=0, group=group,
+                           incoming=1, active=tuple(members))
+    cmds = w.on_event(MessageReceived(instr))
+    wait = only(cmds, AwaitMessage)
+    assert wait.tags == (Tag.WORK,) and wait.epoch == 0
+
+    work = WorkMsg(src=members[0], dst=me, epoch=0, ranges=((0, 4),),
+                   count=4)
+    cmds = w.on_event(MessageReceived(work))
+    assert cmds == (StartCompute(),)
+    assert w.epoch == 1                      # epoch advanced
+    assert w.assignment.count == 20          # 16 + 4 granted
+
+    # Next round: the group is globally done.
+    cmds = w.on_event(ComputeDone("finished"))
+    done = InstructionMsg(src=0, dst=me, epoch=1, group=group, done=True,
+                          active=())
+    cmds = w.on_event(MessageReceived(done))
+    assert cmds == (Done("done"),)
+    assert w.more_work is False
+
+
+@pytest.mark.parametrize("members,group", [((0, 1), 0),    # GDDLB shape
+                                           ((2, 3), 1)])   # LDDLB shape
+def test_distributed_happy_path(table, members, group):
+    """Two peers replicate the plan; work flows from loaded to idle."""
+    a, b = members
+    wa = make_worker(a, members, centralized=False, table=table,
+                     ranges=(), group=group)            # finished its block
+    wb = make_worker(b, members, centralized=False, table=table,
+                     ranges=[(32, 64)], group=group)    # 32 iterations left
+    wa.on_event(Start())
+    wb.on_event(Start())
+
+    # a finishes first: interrupts b, sends its profile, gathers.
+    cmds_a = wa.on_event(ComputeDone("finished"))
+    sends = [c.msg for c in all_of(cmds_a, Send)]
+    assert [m.tag for m in sends] == [Tag.INTERRUPT, Tag.PROFILE]
+    assert all(m.dst == b for m in sends)
+    wait = only(cmds_a, AwaitMessage)
+    assert wait.tags == (Tag.PROFILE,) and wait.srcs == (b,)
+
+    # b stops at an iteration boundary and profiles back.
+    cmds_b = wb.on_event(ComputeDone("interrupted"))
+    profile_b = only(cmds_b, Send).msg
+    assert profile_b.tag is Tag.PROFILE and profile_b.dst == a
+
+    # Deliver the profiles; both compute the same plan.
+    cmds_a = wa.on_event(MessageReceived(profile_b))
+    profile_a = [m for m in sends if m.tag is Tag.PROFILE][0]
+    cmds_b = wb.on_event(MessageReceived(profile_a))
+    plan_a = only(cmds_a, RecordSync).plan
+    plan_b = only(cmds_b, RecordSync).plan
+    assert plan_a.transfers == plan_b.transfers
+    (transfer,) = plan_a.transfers
+    assert (transfer.src, transfer.dst) == (b, a)
+    assert transfer.work == pytest.approx(0.16)
+    assert isinstance(only(cmds_a, Charge), Charge)
+
+    # b ships the tail half; a waits for exactly that parcel.
+    work = only(cmds_b, Send).msg
+    assert work.tag is Tag.WORK and work.dst == a
+    assert work.ranges == ((48, 64),)
+    assert cmds_b[-1] == StartCompute() and wb.epoch == 1
+    wait = only(cmds_a, AwaitMessage)
+    assert wait.tags == (Tag.WORK,) and wait.epoch == 0
+
+    cmds_a = wa.on_event(MessageReceived(work))
+    assert cmds_a == (StartCompute(),)
+    assert wa.epoch == 1 and wa.assignment.count == 16
+
+
+def test_static_baseline_stops_after_block(table):
+    w = make_worker(0, (0, 1), centralized=False, table=table,
+                    ranges=[(0, 32)], is_dlb=False)
+    assert w.on_event(Start()) == (StartCompute(),)
+    assert w.on_event(ComputeDone("finished")) == (Done("done"),)
+
+
+def test_lone_distributed_node_terminates(table):
+    w = make_worker(3, (3,), centralized=False, table=table,
+                    ranges=[(0, 8)], group=1)
+    w.on_event(Start())
+    assert w.on_event(ComputeDone("finished")) == (Done("lone"),)
+
+
+def test_retire_path(table):
+    """A retiring node ships everything and exits with Done('retired')."""
+    w = make_worker(1, (0, 1), centralized=True, table=table,
+                    ranges=[(60, 64)])
+    w.on_event(Start())
+    w.on_event(ComputeDone("interrupted"))
+    instr = InstructionMsg(
+        src=0, dst=1, epoch=0,
+        outgoing=(TransferOrder(src=1, dst=0, work=4 * COST),),
+        retire=True, active=(0,))
+    cmds = w.on_event(MessageReceived(instr))
+    work = only(cmds, Send).msg
+    assert work.ranges == ((60, 64),)      # ship-all on retirement
+    assert cmds[-1] == Done("retired")
+    assert w.more_work is False and w.assignment.empty
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery (hardened protocol as pure transitions)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("members,group", [((0, 1, 2), 0),   # GCDLB shape
+                                           ((2, 3), 1)])     # LCDLB shape
+def test_centralized_lost_instruction_recovery(table, members, group):
+    """Timeouts re-send the profile with backoff; exhaustion raises."""
+    me = members[-1]
+    w = make_worker(me, members, centralized=True, table=table,
+                    ranges=[(0, 8)], ft=FT, group=group)
+    w.on_event(Start())
+    cmds = w.on_event(ComputeDone("finished"))
+    wait = only(cmds, AwaitMessage)
+    assert wait.timeout == pytest.approx(FT.timeout_for(0))
+
+    for attempt in range(1, FT.max_retries + 1):
+        cmds = w.on_event(TimerFired())
+        resent = only(cmds, Send).msg
+        assert resent.tag is Tag.PROFILE and resent.dst == 0
+        wait = only(cmds, AwaitMessage)
+        assert wait.timeout == pytest.approx(FT.timeout_for(attempt))
+
+    with pytest.raises(ProtocolRetryExhausted):
+        w.on_event(TimerFired())  # the master is assumed reliable
+
+
+@pytest.mark.parametrize("members,group", [((0, 1, 2), 0),   # GDDLB shape
+                                           ((2, 3, 4), 1)])  # LDDLB shape
+def test_distributed_silent_peer_declared_dead(table, members, group):
+    """Gather probes a silent peer, then plans over the survivors."""
+    me, alive_peer, silent = members
+    w = make_worker(me, members, centralized=False, table=table,
+                    ranges=[(0, 16)], ft=FT, group=group)
+    w.on_event(Start())
+    cmds = w.on_event(ComputeDone("finished"))
+    assert only(cmds, AwaitMessage).srcs == tuple(sorted((alive_peer,
+                                                          silent)))
+
+    alive = ProfileMsg(src=alive_peer, dst=me, epoch=0, group=group,
+                       remaining_work=16 * COST, remaining_count=16,
+                       rate=1.0)
+    w.on_event(MessageReceived(alive))
+
+    # Two probe rounds against the silent peer...
+    for _ in range(FT.max_retries):
+        cmds = w.on_event(TimerFired())
+        probe = only(cmds, Send).msg
+        assert isinstance(probe, ControlMsg) and probe.dst == silent
+        assert probe.kind == "resend-profile"
+    # ...then the declaration, and a plan over the survivors.
+    cmds = w.on_event(TimerFired())
+    assert only(cmds, DeclareDead).peer == silent
+    assert silent not in w.active
+    plan = only(cmds, RecordSync).plan
+    assert silent not in plan.active
+    assert cmds[-1] in (StartCompute(),) or isinstance(cmds[-1],
+                                                       AwaitMessage)
+
+
+def test_distributed_stale_profile_is_liveness_evidence(table):
+    """A stale profile resets the sender's probe budget (it is alive,
+    just stuck in an older epoch) without contributing plan data."""
+    w = make_worker(0, (0, 1), centralized=False, table=table,
+                    ranges=[(0, 16)], ft=FT)
+    w.on_event(Start())
+    # Reach epoch 1 via a first no-op sync round.
+    w.on_event(ComputeDone("finished"))
+    fresh = ProfileMsg(src=1, dst=0, epoch=0, remaining_work=16 * COST,
+                       remaining_count=16, rate=1.0)
+    w.on_event(MessageReceived(fresh))
+    assert w.epoch == 1
+
+    w.on_event(ComputeDone("finished"))
+    w.on_event(TimerFired())               # probe round 1
+    stale = ProfileMsg(src=1, dst=0, epoch=0, remaining_work=0,
+                       remaining_count=0, rate=1.0)
+    w.on_event(MessageReceived(stale))     # resets rounds to 0
+    for _ in range(FT.max_retries):        # full budget again
+        cmds = w.on_event(TimerFired())
+        assert not all_of(cmds, DeclareDead)
+    cmds = w.on_event(TimerFired())
+    assert only(cmds, DeclareDead).peer == 1
+
+
+def test_recv_work_timeout_and_no_work_reply(table):
+    """A missing parcel is re-requested; a 'no-work' control releases
+    the waiter (plan divergence under partial failure)."""
+    w = make_worker(1, (0, 1), centralized=True, table=table,
+                    ranges=[(8, 16)], ft=FT)
+    w.on_event(Start())
+    w.on_event(ComputeDone("interrupted"))
+    instr = InstructionMsg(src=0, dst=1, epoch=0, incoming=1,
+                           incoming_srcs=(0,), active=(0, 1))
+    cmds = w.on_event(MessageReceived(instr))
+    wait = only(cmds, AwaitMessage)
+    assert wait.tags == (Tag.WORK, Tag.CONTROL) and wait.srcs == (0,)
+
+    cmds = w.on_event(TimerFired())
+    nudge = only(cmds, Send).msg
+    assert isinstance(nudge, ControlMsg) and nudge.kind == "resend-work"
+
+    release = ControlMsg(src=0, dst=1, epoch=0, kind="no-work")
+    cmds = w.on_event(MessageReceived(release))
+    assert cmds[-1] == StartCompute() and w.epoch == 1
+
+
+def test_instruction_grant_absorbs_orphans(table):
+    """Orphaned ranges granted by the balancer join the assignment
+    before the plan applies."""
+    w = make_worker(1, (0, 1), centralized=True, table=table,
+                    ranges=[(8, 16)], ft=FT)
+    w.on_event(Start())
+    w.on_event(ComputeDone("interrupted"))
+    instr = InstructionMsg(src=0, dst=1, epoch=0, grant=((48, 56),),
+                           active=(0, 1))
+    cmds = w.on_event(MessageReceived(instr))
+    assert w.assignment.count == 16       # 8 own + 8 granted
+    assert cmds[-1] == StartCompute()
