@@ -1,6 +1,6 @@
 """Figure 6: MXM normalized execution time, P = 16."""
 
-from repro.experiments.figures import figure5, figure6
+from repro.experiments.figures import figure6
 from repro.experiments.report import render_figure
 
 

@@ -11,7 +11,6 @@ Run with::
     python examples/trfd_pipeline.py
 """
 
-import numpy as np
 
 from repro import ClusterSpec, TrfdConfig, run_application, trfd_application
 from repro.apps.trfd import bitonic_pair_costs, loop2_iteration_ops

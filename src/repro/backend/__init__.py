@@ -7,18 +7,24 @@ what clock, timers, transport, and compute mean:
   (default; bit-identical to the pre-seam runtime on seeded runs).
 * :class:`ThreadBackend` — real threads, in-process queues, wall-clock
   time, synthetic CPU-burn kernels.
+* :class:`ProcessBackend` — one OS process per worker plus a balancer
+  process: queue mailboxes for control traffic, a shared-memory block
+  for iteration data (redistribution ships offsets, not arrays), true
+  multi-core parallelism, and liftable crash-fault injection.
 
-Select one via ``run_loop(..., backend="thread")`` or the CLI's
-``python -m repro run --backend thread``.
+Select one via ``run_loop(..., backend="process")`` or the CLI's
+``python -m repro run --backend process``.
 """
 
 from .base import BackendError, ExecutionBackend, get_backend
+from .process import ProcessBackend
 from .sim import SimBackend
 from .thread import ThreadBackend
 
 __all__ = [
     "BackendError",
     "ExecutionBackend",
+    "ProcessBackend",
     "SimBackend",
     "ThreadBackend",
     "get_backend",

@@ -69,7 +69,10 @@ class ExecutionBackend(ABC):
 
 def get_backend(backend: Union[str, ExecutionBackend, None]
                 ) -> ExecutionBackend:
-    """Resolve a backend name (``"sim"``, ``"thread"``) or instance."""
+    """Resolve a backend name or instance.
+
+    Known names: ``"sim"``, ``"thread"``, ``"process"``.
+    """
     if isinstance(backend, ExecutionBackend):
         return backend
     if backend is None or backend == "sim":
@@ -78,5 +81,8 @@ def get_backend(backend: Union[str, ExecutionBackend, None]
     if backend == "thread":
         from .thread import ThreadBackend
         return ThreadBackend()
+    if backend == "process":
+        from .process import ProcessBackend
+        return ProcessBackend()
     raise BackendError(f"unknown backend {backend!r} "
-                       "(expected 'sim' or 'thread')")
+                       "(expected 'sim', 'thread' or 'process')")

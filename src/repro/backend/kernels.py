@@ -1,0 +1,92 @@
+"""Synthetic CPU-burn kernels shared by the real-time backends.
+
+Two kernels realize a "compute this iteration" request:
+
+* **wall** — spin until a wall-clock deadline.  Cheap and exact, but it
+  measures *elapsed time*, not *CPU work*: N GIL-sharing threads each
+  spinning to their own deadline all finish "on time" while doing 1/N
+  of the arithmetic.  Fine for protocol exercise; useless for speedup
+  claims.
+* **ops** — execute a fixed number of floating-point operations,
+  calibrated once against this host (:func:`calibrate_ops_rate`).  This
+  is real work: N threads contending for the GIL serialize, N processes
+  on N cores do not — which is exactly the thread-vs-process speedup
+  story the paper's Figures 5–8 tell on physical workstations.
+
+Both kernels honor an optional ``should_abort`` probe between chunks so
+a failing run can tear its workers down instead of spinning until the
+watchdog (see the shutdown contract in ``thread.py``/``process.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["burn_ops", "burn_wall", "calibrate_ops_rate"]
+
+#: Operations between abort probes; small enough that aborts land within
+#: tens of microseconds, large enough that the probe cost is noise.
+CHUNK_OPS = 1024
+
+
+def burn_ops(n_ops: float,
+             should_abort: Optional[Callable[[], bool]] = None) -> float:
+    """Execute ``n_ops`` floating-point multiply-adds; return the sink.
+
+    Stops early (returning the partial sink) when ``should_abort``
+    fires between chunks.
+    """
+    x = 1.0
+    remaining = int(n_ops)
+    while remaining > 0:
+        if should_abort is not None and should_abort():
+            break
+        step = CHUNK_OPS if remaining > CHUNK_OPS else remaining
+        for _ in range(step):
+            x = x * 1.0000001 + 1e-9
+        remaining -= step
+    return x
+
+
+def burn_wall(seconds: float,
+              should_abort: Optional[Callable[[], bool]] = None) -> None:
+    """Spin until ``seconds`` of wall time elapsed (or abort fires)."""
+    if seconds <= 0:
+        return
+    end = time.perf_counter() + seconds
+    x = 1.0
+    while time.perf_counter() < end:
+        if should_abort is not None and should_abort():
+            return
+        for _ in range(64):
+            x = x * 1.0000001 + 1e-9
+
+
+_cached_rate: Optional[float] = None
+
+
+def calibrate_ops_rate(sample_ops: int = 200_000, repeats: int = 3,
+                       fresh: bool = False) -> float:
+    """Measured multiply-adds per second of :func:`burn_ops` on this host.
+
+    Takes the best of ``repeats`` short samples (minimizing scheduler
+    noise) and caches the result for the life of the process; forked
+    workers inherit the cache, so one calibration prices every backend
+    in a comparison identically — which is what makes thread-vs-process
+    wall-clock ratios meaningful even if the absolute rate drifts.
+    """
+    global _cached_rate
+    if _cached_rate is not None and not fresh:
+        return _cached_rate
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        burn_ops(sample_ops)
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0:
+            best = max(best, sample_ops / elapsed)
+    if best <= 0:  # pragma: no cover - perf_counter would have to stall
+        best = 1e7
+    _cached_rate = best
+    return best

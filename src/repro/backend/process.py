@@ -1,0 +1,898 @@
+"""True-parallel execution backend: one OS process per worker.
+
+``ProcessBackend`` drives the same protocol state machines as the
+simulator and :class:`~repro.backend.thread.ThreadBackend` —
+:class:`~repro.protocol.worker.WorkerProtocol` in each worker process,
+:class:`~repro.protocol.balancer.BalancerProtocol` in a dedicated
+balancer process — but interprets their commands against genuinely
+parallel hardware:
+
+* **clock** — ``time.perf_counter()`` (CLOCK_MONOTONIC: comparable
+  across processes on every supported platform), measured from a common
+  origin the parent stamps just before forking;
+* **timers** — bounded ``Queue.get`` polls, so fault-tolerance
+  timeouts and crash schedules fire even while blocked;
+* **transport** — one ``multiprocessing`` queue per participant.
+  Control traffic (profiles, instructions, interrupts, work *orders*)
+  crosses the pipe pickled; iteration **data** does not — see below;
+* **compute** — calibrated CPU-burn op kernels
+  (:mod:`~repro.backend.kernels`): each iteration executes a fixed
+  number of floating-point operations, so — unlike GIL-sharing threads
+  — P workers on a P-core host really do run P× as much arithmetic per
+  wall second.
+
+Data movement over shared memory
+--------------------------------
+The paper's §4 cost model charges redistribution for moving each
+iteration's ``DC`` bytes of array data.  Here the whole iteration-data
+array lives in one ``multiprocessing.shared_memory`` block (one
+``dc_bytes`` row per iteration) that every worker maps.  A
+redistribution ships only a :class:`~repro.message.messages.WorkMsg`
+with *iteration ranges* — offsets into the block — while the rows
+themselves never touch a pipe.  Both sides are measured:
+``LoopRunStats.transport_payload_bytes`` counts the bytes actually
+pickled onto queues and ``LoopRunStats.shm_data_bytes`` the iteration
+data that moved by remapping instead of copying.  After every run the
+parent audits the block: each executed iteration's row must carry the
+stamp of exactly the node the coverage ledger credits.
+
+Fault injection
+---------------
+Crash faults from a :class:`~repro.faults.plan.FaultPlan` are *lifted*
+(ThreadBackend rejects them): the victim process fail-stops via
+``os._exit`` once its wall clock passes ``time * time_scale`` — also
+mid-iteration, between op chunks — so it reports nothing further.  The
+parent detects the distinctive exit code, broadcasts peer-death notices
+(the backend's failure detector), and the surviving workers' hardened
+protocol (timed receives, resends, death declarations) reshapes the
+group exactly as on the other backends.  Iterations the victim executed
+but never reported — and those still in its assignment — are salvaged:
+re-executed by the parent and credited to the lowest-numbered survivor,
+so exactly-once coverage holds for every crash plan.  Slowdown, drop,
+and delay faults remain simulation-only (:class:`BackendError`).
+
+Deliberate non-goals (raise :class:`BackendError`), as for threads:
+the simulated external-load model, CUSTOM selection, the WS baseline,
+periodic synchronization, and staged scatter/gather.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as queue_mod
+import struct
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..apps.workload import LoopSpec, WorkTable
+from ..core.policy import DlbPolicy
+from ..core.redistribution import make_movement_cost_estimator
+from ..core.strategies.base import StrategySpec
+from ..core.strategies.registry import get_strategy
+from ..faults.plan import FaultPlan
+from ..machine.cluster import ClusterSpec, build_groups
+from ..message.messages import Message, Tag
+from ..protocol import (
+    AwaitMessage,
+    BalancerProtocol,
+    Charge,
+    ComputeDone,
+    DeclareDead,
+    Done,
+    MessageReceived,
+    PeerDead,
+    RecordSync,
+    Send,
+    Start,
+    StartCompute,
+    TimerFired,
+    WorkerProtocol,
+)
+from ..runtime.assignment import (
+    Assignment,
+    equal_block_partition,
+    merge_ranges,
+)
+from ..runtime.options import FaultToleranceConfig, RunOptions
+from ..runtime.stats import LoopRunStats, SyncRecord
+from .base import BackendError, ExecutionBackend, StrategyLike
+from .kernels import burn_ops, calibrate_ops_rate
+
+__all__ = ["ProcessBackend"]
+
+Range = tuple[int, int]
+
+#: Safety net on every blocking wait, as in the thread backend.
+WATCHDOG_SECONDS = 120.0
+
+#: Exit code of a fault-injected fail-stop; distinguishes a scheduled
+#: crash from a worker that died of a bug.
+CRASH_EXIT_CODE = 17
+
+#: Bytes of the per-iteration ownership stamp at the head of each row.
+STAMP_BYTES = 8
+
+#: Parent poll granularity while supervising children.
+POLL_SECONDS = 0.02
+
+#: Grace for a dead child's last queue records to drain before the
+#: parent gives up waiting for an explanation.
+DRAIN_GRACE_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class _PeerDeadNotice:
+    """Parent-injected failure notice, delivered through a mailbox."""
+
+    node: int
+
+
+@dataclass(frozen=True)
+class _WorkerConfig:
+    """Everything one worker process needs, in picklable form.
+
+    Protocol objects are built *inside* the child from this config, so
+    nothing with lambdas or thread state ever crosses the spawn
+    boundary.
+    """
+
+    node: int
+    members: tuple[int, ...]
+    group: int
+    centralized: bool
+    lb_host: int
+    policy: DlbPolicy
+    table: WorkTable
+    mean_iteration_time: float
+    dc_bytes: int
+    movement: Optional[tuple[float, float]]  # (latency, bandwidth)
+    ft: FaultToleranceConfig
+    profile_window_reset: bool
+    ranges: tuple[Range, ...]
+    is_dlb: bool
+    time_scale: float
+    ops_rate: float
+    shm_name: Optional[str]
+    row_bytes: int
+    crash_at: Optional[float]  # wall seconds after t0; None = reliable
+    stream_records: bool  # per-iteration exec records (fault runs)
+    fail_after: Optional[int]  # test hook: raise after N iterations
+
+
+@dataclass(frozen=True)
+class _BalancerConfig:
+    """Picklable constructor arguments of the balancer process."""
+
+    host: int
+    groups: tuple[tuple[int, ...], ...]
+    policy: DlbPolicy
+    mean_iteration_time: float
+    movement: Optional[tuple[float, float]]
+    ft: FaultToleranceConfig
+
+
+class _CrashClock:
+    """The child-local realization of a scheduled fail-stop."""
+
+    def __init__(self, crash_at: Optional[float], t0: float) -> None:
+        self.crash_at = crash_at
+        self.t0 = t0
+
+    @property
+    def armed(self) -> bool:
+        return self.crash_at is not None
+
+    def due(self) -> bool:
+        return (self.crash_at is not None
+                and time.perf_counter() - self.t0 >= self.crash_at)
+
+    def check(self) -> None:
+        """Fail-stop right now if the schedule says so."""
+        if self.due():
+            os._exit(CRASH_EXIT_CODE)
+
+
+def _attach_shm(name: str):
+    """Attach to a named shared-memory block without tracker handover.
+
+    A child that merely *attaches* must not let its resource tracker
+    unlink the block when the child exits; only the creating parent
+    unlinks.  Under ``fork`` the child shares the parent's tracker
+    process, whose registry is a set — the duplicate register from the
+    attach collapses and nothing need be done (unregistering here would
+    strip the *parent's* entry).  Under ``spawn``/``forkserver`` the
+    attach spins up a child-owned tracker that would unlink the segment
+    at child exit (the bpo-39959 footgun), so there the registration
+    must be withdrawn.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+    tracker_preexisting = getattr(
+        resource_tracker._resource_tracker, "_fd", None) is not None
+    shm = shared_memory.SharedMemory(name=name)
+    if not tracker_preexisting:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    return shm
+
+
+class _ChildMailbox:
+    """One process's inbox over its ``multiprocessing`` queue.
+
+    Messages that do not match the current :class:`AwaitMessage` are
+    buffered; INTERRUPTs never surface — they fold into an epoch set
+    polled at iteration boundaries (same contract as the simulator's
+    mailbox hook and the thread backend's flags).  Parent-injected
+    :class:`_PeerDeadNotice` objects pre-empt any wait.
+    """
+
+    def __init__(self, q, crash: _CrashClock) -> None:
+        self._q = q
+        self._crash = crash
+        self._buffer: list[Message] = []
+        self._interrupts: set[int] = set()
+        self._notices: list[_PeerDeadNotice] = []
+
+    # -- queue intake ----------------------------------------------------
+    def _absorb(self, item) -> None:
+        if isinstance(item, _PeerDeadNotice):
+            self._notices.append(item)
+        elif item.tag is Tag.INTERRUPT:
+            self._interrupts.add(item.epoch)
+        else:
+            self._buffer.append(item)
+
+    def poll(self) -> None:
+        """Drain everything currently queued, without blocking."""
+        while True:
+            try:
+                self._absorb(self._q.get_nowait())
+            except queue_mod.Empty:
+                return
+
+    def take_notices(self) -> list[_PeerDeadNotice]:
+        self.poll()
+        notices, self._notices = self._notices, []
+        return notices
+
+    # -- interrupt flags -------------------------------------------------
+    def has_interrupt(self, epoch: int) -> bool:
+        return epoch in self._interrupts
+
+    def drain_interrupts(self, up_to_epoch: int) -> None:
+        self._interrupts = {e for e in self._interrupts if e > up_to_epoch}
+
+    # -- filtered receive ------------------------------------------------
+    @staticmethod
+    def _matches(msg: Message, spec: AwaitMessage) -> bool:
+        if spec.tags is not None and msg.tag not in spec.tags:
+            return False
+        if spec.epoch is not None and msg.epoch != spec.epoch:
+            return False
+        if spec.srcs is not None and msg.src not in spec.srcs:
+            return False
+        return True
+
+    def get(self, spec: AwaitMessage):
+        """Next notice or matching message; ``None`` on spec timeout.
+
+        Raises :class:`BackendError` when an untimed wait outlives the
+        watchdog (a peer process most likely died without notice).
+        """
+        deadline = time.perf_counter() + (
+            spec.timeout if spec.timeout is not None else WATCHDOG_SECONDS)
+        while True:
+            if self._notices:
+                return self._notices.pop(0)
+            for i, msg in enumerate(self._buffer):
+                if self._matches(msg, spec):
+                    return self._buffer.pop(i)
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                if spec.timeout is None:
+                    raise BackendError(
+                        f"watchdog: no message matching {spec} within "
+                        f"{WATCHDOG_SECONDS}s — a peer process likely "
+                        "died; see the first reported error")
+                return None
+            self._crash.check()
+            try:
+                self._absorb(self._q.get(timeout=min(remaining,
+                                                     POLL_SECONDS * 2.5)))
+            except queue_mod.Empty:
+                continue
+
+
+class _ChildReporter:
+    """Child-side sink: routes messages, counts traffic, streams stats."""
+
+    def __init__(self, me, queues, balancer_q, stats_q, *,
+                 centralized: bool, lb_host: int, t0: float) -> None:
+        self.me = me
+        self._queues = queues
+        self._balancer_q = balancer_q
+        self._stats_q = stats_q
+        self._centralized = centralized
+        self._lb_host = lb_host
+        self._t0 = t0
+        self.messages = 0
+        self.bytes = 0
+        self.payload_bytes = 0
+        self.shm_bytes = 0
+        self.retries = 0
+        self.by_tag: dict[str, int] = {}
+
+    def now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def send(self, msg: Message) -> None:
+        self.messages += 1
+        self.bytes += msg.nbytes
+        self.by_tag[msg.tag.value] = self.by_tag.get(msg.tag.value, 0) + 1
+        self.payload_bytes += len(pickle.dumps(msg, pickle.HIGHEST_PROTOCOL))
+        if msg.tag is Tag.WORK:
+            # The ranges ride the pipe; the data rows stay in shm.
+            self.shm_bytes += msg.data_bytes
+        if (self._centralized and msg.tag is Tag.PROFILE
+                and msg.dst == self._lb_host):
+            self._balancer_q.put(msg)
+        else:
+            self._queues[msg.dst].put(msg)
+
+    # -- stats stream ----------------------------------------------------
+    def executed(self, ranges: Sequence[Range]) -> None:
+        self._stats_q.put(("exec", self.me, tuple(ranges)))
+
+    def sync(self, group: int, epoch: int, plan) -> None:
+        self._stats_q.put(("sync", group, epoch, {
+            "time": self.now(), "reason": plan.reason,
+            "moved_work": plan.work_to_move if plan.move else 0.0,
+            "n_transfers": len(plan.transfers),
+            "retired": tuple(plan.retire),
+            "predicted_current": plan.predicted_current,
+            "predicted_balanced": plan.predicted_balanced}))
+
+    def declared(self, peer: int) -> None:
+        self._stats_q.put(("declared", self.me, peer))
+
+    def counters(self) -> dict:
+        return {"messages": self.messages, "bytes": self.bytes,
+                "by_tag": dict(self.by_tag),
+                "payload_bytes": self.payload_bytes,
+                "shm_bytes": self.shm_bytes, "retries": self.retries}
+
+    def finish(self, kind: str = "finish") -> None:
+        self._stats_q.put((kind, self.me, self.now(), self.counters()))
+
+    def error(self, text: str) -> None:
+        self._stats_q.put(("error", self.me, text))
+
+    def flush(self) -> None:
+        """Block until the stats queue's feeder drained (pre-exit)."""
+        self._stats_q.close()
+        self._stats_q.join_thread()
+
+
+# ---------------------------------------------------------------------------
+# Child entry points (module-level: spawn start methods must import them).
+# ---------------------------------------------------------------------------
+def _compute_slice(proto: WorkerProtocol, cfg: _WorkerConfig,
+                   mailbox: _ChildMailbox, reporter: _ChildReporter,
+                   crash: _CrashClock, shm, row_pattern: bytes) -> str:
+    """Burn real CPU through the assignment, iteration by iteration."""
+    assignment = proto.assignment
+    table = proto.table
+    mailbox.drain_interrupts(proto.epoch - 1)
+    if assignment.empty:
+        return "finished"
+    probe = crash.due if crash.armed else None
+    done_batch: list[Range] = []
+    executed = 0
+    try:
+        while not assignment.empty:
+            crash.check()
+            mailbox.poll()
+            if proto.is_dlb and mailbox.has_interrupt(proto.epoch):
+                return "interrupted"
+            taken = assignment.take_head(1)
+            start, _end = taken[0]
+            cost = table.range_work(start, start + 1)
+            t0 = time.perf_counter()
+            burn_ops(cost * cfg.time_scale * cfg.ops_rate,
+                     should_abort=probe)
+            crash.check()  # fail-stop before the iteration is recorded
+            proto.note_busy(time.perf_counter() - t0)
+            proto.note_work(cost)
+            if shm is not None:
+                off = start * cfg.row_bytes
+                shm.buf[off:off + len(row_pattern)] = row_pattern
+            executed += 1
+            if cfg.fail_after is not None and executed >= cfg.fail_after:
+                raise RuntimeError(
+                    f"injected test failure on node {cfg.node} "
+                    f"after {executed} iterations")
+            if cfg.stream_records:
+                reporter.executed(taken)
+            else:
+                done_batch.extend(taken)
+        return "finished"
+    finally:
+        if done_batch:
+            reporter.executed(merge_ranges(done_batch))
+
+
+def _drive_worker(proto: WorkerProtocol, cfg: _WorkerConfig,
+                  mailbox: _ChildMailbox, reporter: _ChildReporter,
+                  crash: _CrashClock, shm, row_pattern: bytes) -> None:
+    last_await: Optional[AwaitMessage] = None
+    commands = proto.on_event(Start())
+    while True:
+        await_spec: Optional[AwaitMessage] = None
+        next_event = None
+        for cmd in commands:
+            if isinstance(cmd, Send):
+                crash.check()
+                reporter.send(cmd.msg)
+            elif isinstance(cmd, StartCompute):
+                status = _compute_slice(proto, cfg, mailbox, reporter,
+                                        crash, shm, row_pattern)
+                next_event = ComputeDone(status)
+            elif isinstance(cmd, AwaitMessage):
+                await_spec = cmd
+                last_await = cmd
+            elif isinstance(cmd, RecordSync):
+                reporter.sync(cmd.group, cmd.epoch, cmd.plan)
+            elif isinstance(cmd, Charge):
+                pass  # planning costs real time on a real backend
+            elif isinstance(cmd, DeclareDead):
+                reporter.declared(cmd.peer)
+            elif isinstance(cmd, Done):
+                reporter.finish()
+                return
+            else:  # pragma: no cover - defensive
+                raise BackendError(f"unhandled command {cmd!r}")
+        if next_event is None:
+            notices = mailbox.take_notices()
+            if notices:
+                next_event = PeerDead(notices[0].node)
+                for late in notices[1:]:
+                    mailbox._notices.append(late)
+            else:
+                if await_spec is None:
+                    # A PeerDead pump can return no commands (the death
+                    # was irrelevant to the current phase): keep the
+                    # previous wait armed.
+                    await_spec = last_await
+                if await_spec is None:  # pragma: no cover - defensive
+                    raise BackendError(
+                        "protocol yielded neither wait nor compute")
+                got = mailbox.get(await_spec)
+                if got is None:
+                    reporter.retries += 1
+                    next_event = TimerFired()
+                elif isinstance(got, _PeerDeadNotice):
+                    next_event = PeerDead(got.node)
+                else:
+                    next_event = MessageReceived(got)
+        commands = proto.on_event(next_event)
+
+
+def _movement_fn(movement: Optional[tuple[float, float]], dc_bytes: int,
+                 mean_iteration_time: float):
+    if movement is None:
+        return None
+    latency, bandwidth = movement
+    return make_movement_cost_estimator(
+        latency=latency, bandwidth=bandwidth, dc_bytes=dc_bytes,
+        mean_iteration_time=mean_iteration_time)
+
+
+def _worker_main(cfg: _WorkerConfig, queues, balancer_q, stats_q,
+                 t0: float) -> None:
+    crash = _CrashClock(cfg.crash_at, t0)
+    reporter = _ChildReporter(cfg.node, queues, balancer_q, stats_q,
+                              centralized=cfg.centralized,
+                              lb_host=cfg.lb_host, t0=t0)
+    shm = None
+    try:
+        if cfg.shm_name is not None:
+            shm = _attach_shm(cfg.shm_name)
+        row_pattern = (struct.pack("<Q", cfg.node + 1)
+                       + b"\x5a" * (cfg.row_bytes - STAMP_BYTES))
+        proto = WorkerProtocol(
+            cfg.node, cfg.members, group=cfg.group,
+            centralized=cfg.centralized, lb_host=cfg.lb_host,
+            policy=cfg.policy, table=cfg.table,
+            mean_iteration_time=cfg.mean_iteration_time,
+            dc_bytes=cfg.dc_bytes,
+            movement_cost_fn=_movement_fn(cfg.movement, cfg.dc_bytes,
+                                          cfg.mean_iteration_time),
+            ft=cfg.ft, profile_window_reset=cfg.profile_window_reset,
+            assignment=Assignment(cfg.ranges), is_dlb=cfg.is_dlb)
+        mailbox = _ChildMailbox(queues[cfg.node], crash)
+        _drive_worker(proto, cfg, mailbox, reporter, crash, shm,
+                      row_pattern)
+    except BaseException:
+        reporter.error(traceback.format_exc())
+        reporter.flush()  # os._exit skips the feeder's atexit flush
+        os._exit(1)
+    finally:
+        if shm is not None:
+            shm.close()
+
+
+def _balancer_main(cfg: _BalancerConfig, queues, balancer_q, stats_q,
+                   t0: float) -> None:
+    crash = _CrashClock(None, t0)
+    reporter = _ChildReporter(-1, queues, balancer_q, stats_q,
+                              centralized=True, lb_host=cfg.host, t0=t0)
+    try:
+        proto = BalancerProtocol(
+            cfg.host, [list(g) for g in cfg.groups], policy=cfg.policy,
+            mean_iteration_time=cfg.mean_iteration_time,
+            movement_cost_fn=_movement_fn(
+                cfg.movement, 0, cfg.mean_iteration_time),
+            ft=cfg.ft)
+        mailbox = _ChildMailbox(balancer_q, crash)
+        commands = proto.on_event(Start())
+        while True:
+            await_spec = None
+            for cmd in commands:
+                if isinstance(cmd, Send):
+                    reporter.send(cmd.msg)
+                elif isinstance(cmd, AwaitMessage):
+                    await_spec = cmd
+                elif isinstance(cmd, RecordSync):
+                    reporter.sync(cmd.group, cmd.epoch, cmd.plan)
+                elif isinstance(cmd, Charge):
+                    pass
+                elif isinstance(cmd, Done):
+                    reporter.finish(kind="bfinish")
+                    return
+                else:  # pragma: no cover - defensive
+                    raise BackendError(f"unhandled command {cmd!r}")
+            if await_spec is None:  # pragma: no cover - defensive
+                raise BackendError("balancer yielded no wait")
+            got = mailbox.get(await_spec)
+            if isinstance(got, _PeerDeadNotice):
+                commands = proto.on_event(PeerDead(got.node))
+            else:
+                commands = proto.on_event(MessageReceived(got))
+    except BaseException:
+        reporter.error(traceback.format_exc())
+        reporter.flush()
+        os._exit(1)
+
+
+# ---------------------------------------------------------------------------
+# The backend proper (parent side).
+# ---------------------------------------------------------------------------
+class ProcessBackend(ExecutionBackend):
+    """Execute the DLB protocol on real processes with shared memory."""
+
+    name = "process"
+
+    def __init__(self, *, time_scale: float = 1.0,
+                 start_method: Optional[str] = None) -> None:
+        if time_scale <= 0:
+            raise BackendError("time_scale must be positive")
+        self.time_scale = time_scale
+        self.start_method = start_method
+        #: Test hook: ``{node: n_iterations}`` after which the worker
+        #: raises, exercising the shutdown/teardown path.
+        self._fail_after: dict[int, int] = {}
+
+    def _context(self):
+        import multiprocessing
+        method = self.start_method
+        if method is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else methods[0]
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError as exc:
+            raise BackendError(f"unknown start method {method!r}") from exc
+
+    # -- validation ------------------------------------------------------
+    def _validate(self, spec: StrategySpec, n: int, options: RunOptions,
+                  selector, fault_plan: Optional[FaultPlan]) -> None:
+        if spec.code == "WS":
+            raise BackendError(
+                "the work-stealing baseline is simulation-only")
+        if spec.code == "CUSTOM" or selector is not None:
+            raise BackendError(
+                "the CUSTOM model-based selection consults the simulated "
+                "load model; pick a concrete strategy for "
+                "--backend process")
+        if fault_plan is not None and not fault_plan.empty:
+            if fault_plan.slowdowns or fault_plan.drops or fault_plan.delays:
+                raise BackendError(
+                    "the process backend lifts crash faults only; "
+                    "slowdowns, drops and delays remain simulation-only")
+        if options.sync_mode != "interrupt":
+            raise BackendError(
+                "periodic synchronization is simulation-only")
+        if options.include_staging:
+            raise BackendError("staged scatter/gather is simulation-only")
+        if spec.is_dlb and spec.code != "NONE" and n < 2:
+            raise ValueError(
+                "dynamic load balancing needs at least 2 processors")
+
+    # -- entry point -----------------------------------------------------
+    def run_loop(self, loop: LoopSpec, cluster: ClusterSpec,
+                 strategy: StrategyLike,
+                 options: Optional[RunOptions] = None,
+                 selector: Optional[Callable] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> LoopRunStats:
+        options = options or RunOptions()
+        spec = strategy if isinstance(strategy, StrategySpec) \
+            else get_strategy(strategy)
+        n = cluster.n_processors
+        if fault_plan is not None and fault_plan.empty:
+            fault_plan = None
+        self._validate(spec, n, options, selector, fault_plan)
+        ft = options.fault_tolerance
+        if fault_plan is not None:
+            fault_plan.validate_for(n)
+            if not ft.enabled:
+                from dataclasses import replace
+                ft = replace(ft, enabled=True)
+
+        table = loop.work_table()
+        mean_iteration_time = table.total_work / table.n
+        k = options.effective_group_size(n, spec.group_size)
+        if spec.global_scope or not spec.is_dlb:
+            groups: list[list[int]] = [list(range(n))]
+        else:
+            groups = build_groups(n, k, formation=options.group_formation,
+                                  seed=options.group_seed)
+        group_of = {node: g for g, members in enumerate(groups)
+                    for node in members}
+        movement = None
+        if options.policy.include_movement_cost:
+            movement = (options.network.latency, options.network.bandwidth)
+
+        stats = LoopRunStats(loop_name=loop.name, strategy=spec.name,
+                             n_processors=n, group_size=k,
+                             backend=self.name)
+        parts = equal_block_partition(loop.n_iterations, n)
+        ops_rate = calibrate_ops_rate()
+        crash_at = {c.node: c.time * self.time_scale
+                    for c in fault_plan.crashes} if fault_plan else {}
+
+        ctx = self._context()
+        from multiprocessing import shared_memory
+        row_bytes = max(STAMP_BYTES, loop.dc_bytes)
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, loop.n_iterations * row_bytes))
+        queues = [ctx.Queue() for _ in range(n)]
+        balancer_q = ctx.Queue()
+        stats_q = ctx.Queue()
+        centralized = bool(spec.is_dlb and spec.centralized)
+
+        t0 = time.perf_counter()
+        stats.start_time = 0.0
+        procs: dict[object, object] = {}
+        try:
+            for node in range(n):
+                gid = group_of[node]
+                cfg = _WorkerConfig(
+                    node=node, members=tuple(groups[gid]), group=gid,
+                    centralized=centralized, lb_host=0,
+                    policy=options.policy, table=table,
+                    mean_iteration_time=mean_iteration_time,
+                    dc_bytes=loop.dc_bytes, movement=movement, ft=ft,
+                    profile_window_reset=options.profile_window_reset,
+                    ranges=tuple(parts[node].ranges), is_dlb=spec.is_dlb,
+                    time_scale=self.time_scale, ops_rate=ops_rate,
+                    shm_name=shm.name, row_bytes=row_bytes,
+                    crash_at=crash_at.get(node),
+                    stream_records=bool(fault_plan),
+                    fail_after=self._fail_after.get(node))
+                p = ctx.Process(target=_worker_main,
+                                args=(cfg, queues, balancer_q, stats_q, t0),
+                                name=f"dlb-node{node}", daemon=True)
+                procs[node] = p
+            if centralized:
+                bcfg = _BalancerConfig(
+                    host=0,
+                    groups=tuple(tuple(g) for g in groups),
+                    policy=options.policy,
+                    mean_iteration_time=mean_iteration_time,
+                    movement=movement, ft=ft)
+                procs["balancer"] = ctx.Process(
+                    target=_balancer_main,
+                    args=(bcfg, queues, balancer_q, stats_q, t0),
+                    name="dlb-balancer", daemon=True)
+            for p in procs.values():
+                p.start()
+
+            crashed, declared = self._supervise(
+                stats, procs, queues, balancer_q, stats_q,
+                expected_crashes=set(crash_at), options=options)
+
+            for p in procs.values():
+                p.join(timeout=5.0)
+            salvaged = self._salvage(stats, loop, table, crashed,
+                                     ops_rate, shm, row_bytes)
+            stats.end_time = time.perf_counter() - t0
+            stats.crashed_nodes = tuple(sorted(crashed))
+            stats.declared_dead = tuple(sorted(declared))
+            stats.salvaged_iterations = salvaged
+            self._verify_coverage(stats, loop)
+            self._verify_shm(stats, shm, row_bytes)
+            return stats
+        finally:
+            for p in procs.values():
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=2.0)
+                if p.is_alive():  # pragma: no cover - terminate sufficed
+                    p.kill()
+                    p.join(timeout=2.0)
+            for q in (*queues, balancer_q, stats_q):
+                q.cancel_join_thread()
+                q.close()
+            shm.close()
+            shm.unlink()
+
+    # -- supervision -----------------------------------------------------
+    def _supervise(self, stats: LoopRunStats, procs, queues, balancer_q,
+                   stats_q, *, expected_crashes: set[int],
+                   options: RunOptions) -> tuple[set[int], set[int]]:
+        """Drain the stats stream and police child liveness.
+
+        Returns ``(crashed, declared_dead)``.  Raises
+        :class:`BackendError` when a child dies outside the fault plan.
+        """
+        sync_seen: set[tuple[int, int]] = set()
+        crashed: set[int] = set()
+        declared: set[int] = set()
+        finished: set = set()
+        suspect_since: dict = {}
+        pending = set(procs)
+        deadline = time.perf_counter() + WATCHDOG_SECONDS * 2
+
+        def handle(rec) -> None:
+            kind = rec[0]
+            if kind == "exec":
+                _, node, ranges = rec
+                stats.executed_by_node.setdefault(node, []).extend(ranges)
+            elif kind == "sync":
+                _, group, epoch, row = rec
+                if options.trace and (group, epoch) not in sync_seen:
+                    sync_seen.add((group, epoch))
+                    stats.record_sync(SyncRecord(
+                        time=row["time"], group=group, epoch=epoch,
+                        reason=row["reason"],
+                        moved_work=row["moved_work"],
+                        n_transfers=row["n_transfers"],
+                        retired=row["retired"],
+                        predicted_current=row["predicted_current"],
+                        predicted_balanced=row["predicted_balanced"]))
+            elif kind == "declared":
+                declared.add(rec[2])
+            elif kind in ("finish", "bfinish"):
+                _, node, now, counters = rec
+                key = "balancer" if kind == "bfinish" else node
+                finished.add(key)
+                pending.discard(key)
+                if kind == "finish":
+                    stats.node_finish_times[node] = now
+                stats.network_messages += counters["messages"]
+                stats.network_bytes += counters["bytes"]
+                stats.transport_payload_bytes += counters["payload_bytes"]
+                stats.shm_data_bytes += counters["shm_bytes"]
+                stats.fault_retries += counters["retries"]
+                for tag, count in counters["by_tag"].items():
+                    stats.messages_by_tag[tag] = \
+                        stats.messages_by_tag.get(tag, 0) + count
+            elif kind == "error":
+                raise BackendError(
+                    f"worker {rec[1]} failed:\n{rec[2]}")
+            else:  # pragma: no cover - defensive
+                raise BackendError(f"unknown stats record {rec!r}")
+
+        while pending:
+            try:
+                handle(stats_q.get(timeout=POLL_SECONDS))
+                continue
+            except queue_mod.Empty:
+                pass
+            now = time.perf_counter()
+            if now > deadline:
+                raise BackendError(
+                    f"supervision watchdog: {sorted(map(str, pending))} "
+                    "never finished")
+            for key in list(pending):
+                p = procs[key]
+                if p.is_alive() or key in finished:
+                    continue
+                code = p.exitcode
+                if code == CRASH_EXIT_CODE and key in expected_crashes:
+                    crashed.add(key)
+                    pending.discard(key)
+                    notice = _PeerDeadNotice(key)
+                    for node, q in enumerate(queues):
+                        if node != key and node not in crashed:
+                            q.put(notice)
+                    if "balancer" in procs:
+                        balancer_q.put(notice)
+                elif code == 0:
+                    # Clean exit: its finish record is still draining.
+                    continue
+                else:
+                    # Errored children report through the stats queue;
+                    # give the record a moment to surface.
+                    since = suspect_since.setdefault(key, now)
+                    if now - since > DRAIN_GRACE_SECONDS:
+                        raise BackendError(
+                            f"worker {key} died unexpectedly "
+                            f"(exit code {code})")
+        while True:  # trailing records flushed at child exit
+            try:
+                handle(stats_q.get_nowait())
+            except queue_mod.Empty:
+                return crashed, declared
+
+    # -- salvage / verification -----------------------------------------
+    def _salvage(self, stats: LoopRunStats, loop: LoopSpec,
+                 table: WorkTable, crashed: set[int], ops_rate: float,
+                 shm, row_bytes: int) -> int:
+        """Re-execute orphaned iterations; credit the lowest survivor."""
+        if not crashed:
+            return 0
+        executed = merge_ranges(
+            [r for ranges in stats.executed_by_node.values()
+             for r in ranges])
+        orphans: list[Range] = []
+        cursor = 0
+        for start, end in executed + [(loop.n_iterations,
+                                       loop.n_iterations)]:
+            if cursor < start:
+                orphans.append((cursor, start))
+            cursor = max(cursor, end)
+        if not orphans:
+            return 0
+        survivor = min(node for node in range(stats.n_processors)
+                       if node not in crashed)
+        pattern = (struct.pack("<Q", survivor + 1)
+                   + b"\x5a" * (row_bytes - STAMP_BYTES))
+        count = 0
+        for start, end in orphans:
+            work = table.range_work(start, end)
+            burn_ops(work * self.time_scale * ops_rate)
+            for i in range(start, end):
+                off = i * row_bytes
+                shm.buf[off:off + len(pattern)] = pattern
+            count += end - start
+        stats.executed_by_node.setdefault(survivor, []).extend(orphans)
+        return count
+
+    @staticmethod
+    def _verify_coverage(stats: LoopRunStats, loop: LoopSpec) -> None:
+        all_ranges = [r for ranges in stats.executed_by_node.values()
+                      for r in ranges]
+        merged = merge_ranges(all_ranges)  # raises on overlap (duplicates)
+        expected = [(0, loop.n_iterations)]
+        if merged != expected:
+            raise AssertionError(
+                f"lost iterations: executed {merged}, expected {expected}")
+
+    @staticmethod
+    def _verify_shm(stats: LoopRunStats, shm, row_bytes: int) -> None:
+        """Audit the data block: every executed row stamped by its owner."""
+        for node, ranges in stats.executed_by_node.items():
+            for start, end in ranges:
+                for i in range(start, end):
+                    off = i * row_bytes
+                    stamp = struct.unpack_from("<Q", shm.buf, off)[0]
+                    if stamp != node + 1:
+                        raise AssertionError(
+                            f"shared-memory row {i} stamped by "
+                            f"{stamp - 1}, but the coverage ledger "
+                            f"credits node {node}")

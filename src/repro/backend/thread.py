@@ -64,6 +64,7 @@ from ..runtime.assignment import equal_block_partition, merge_ranges
 from ..runtime.options import RunOptions
 from ..runtime.stats import LoopRunStats, SyncRecord
 from .base import BackendError, ExecutionBackend, StrategyLike
+from .kernels import burn_ops, burn_wall, calibrate_ops_rate
 
 __all__ = ["ThreadBackend"]
 
@@ -198,29 +199,29 @@ class _SharedStats:
             self.stats.node_finish_times[node] = self.now()
 
 
-def _burn(seconds: float) -> None:
-    """Synthetic CPU kernel: spin for ``seconds`` of wall time."""
-    if seconds <= 0:
-        return
-    end = time.perf_counter() + seconds
-    x = 1.0
-    while time.perf_counter() < end:
-        for _ in range(64):
-            x = x * 1.0000001 + 1e-9
-
-
 class ThreadBackend(ExecutionBackend):
     """Execute the DLB protocol on real threads in wall-clock time."""
 
     name = "thread"
 
-    def __init__(self, *, time_scale: float = 1.0) -> None:
+    def __init__(self, *, time_scale: float = 1.0,
+                 kernel: str = "wall") -> None:
         #: Multiplier applied to every iteration's nominal cost before
         #: burning CPU; < 1 shrinks wall time without changing the work
         #: *ratios* the balancer sees.
         if time_scale <= 0:
             raise BackendError("time_scale must be positive")
+        if kernel not in ("wall", "ops"):
+            raise BackendError(
+                f"unknown kernel {kernel!r} (expected 'wall' or 'ops')")
         self.time_scale = time_scale
+        #: ``"wall"`` spins each iteration to a wall-clock deadline
+        #: (exact timing, but GIL threads overlap "for free");
+        #: ``"ops"`` executes a calibrated op count (real CPU work that
+        #: GIL threads must serialize — the honest baseline for
+        #: thread-vs-process speedup comparisons; see kernels.py).
+        self.kernel = kernel
+        self._ops_rate: Optional[float] = None
 
     # -- validation ---------------------------------------------------------
     def _validate(self, spec: StrategySpec, n: int, options: RunOptions,
@@ -335,23 +336,40 @@ class ThreadBackend(ExecutionBackend):
                                transport, shared, errors),
                 name="dlb-balancer", daemon=True)
 
+        all_threads = threads + ([balancer_thread]
+                                 if balancer_thread is not None else [])
+        if self.kernel == "ops":
+            self._ops_rate = calibrate_ops_rate()
         stats.start_time = 0.0
         shared.t0 = time.perf_counter()
-        if balancer_thread is not None:
-            balancer_thread.start()
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=WATCHDOG_SECONDS * 2)
-            if t.is_alive():
-                raise BackendError(f"{t.name} did not finish (deadlock?)")
-        if balancer_thread is not None:
-            balancer_thread.join(timeout=WATCHDOG_SECONDS)
-            if balancer_thread.is_alive():
-                raise BackendError("balancer thread did not finish")
-        stats.end_time = shared.now()
-        if errors:
-            raise errors[0]
+        try:
+            if balancer_thread is not None:
+                balancer_thread.start()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=WATCHDOG_SECONDS * 2)
+                if t.is_alive():
+                    raise BackendError(
+                        f"{t.name} did not finish (deadlock?)")
+            if balancer_thread is not None:
+                balancer_thread.join(timeout=WATCHDOG_SECONDS)
+                if balancer_thread.is_alive():
+                    raise BackendError("balancer thread did not finish")
+            stats.end_time = shared.now()
+            if errors:
+                raise errors[0]
+        except BaseException:
+            # Shutdown contract: never leave dlb-* threads running —
+            # CI hangs on orphans.  Abort unblocks every mailbox wait
+            # and stops every compute loop at its next poll.
+            transport.abort.set()
+            for box in transport.mailboxes:
+                box.wake()
+            for t in all_threads:
+                if t.is_alive():
+                    t.join(timeout=5.0)
+            raise
 
         stats.messages_by_tag = dict(transport.by_tag)
         stats.network_messages = transport.messages
@@ -374,6 +392,7 @@ class ThreadBackend(ExecutionBackend):
                       shared: _SharedStats,
                       errors: list[BaseException]) -> None:
         mailbox = transport.mailboxes[proto.me]
+        abort = transport.abort
         commands = proto.on_event(Start())
         while True:
             await_spec: Optional[AwaitMessage] = None
@@ -382,7 +401,7 @@ class ThreadBackend(ExecutionBackend):
                 if isinstance(cmd, Send):
                     transport.post(cmd.msg)
                 elif isinstance(cmd, StartCompute):
-                    status = self._compute(proto, mailbox, shared)
+                    status = self._compute(proto, mailbox, shared, abort)
                     next_event = ComputeDone(status)
                 elif isinstance(cmd, AwaitMessage):
                     await_spec = cmd
@@ -442,7 +461,7 @@ class ThreadBackend(ExecutionBackend):
 
     # -- compute ------------------------------------------------------------
     def _compute(self, proto: WorkerProtocol, mailbox: _Mailbox,
-                 shared: _SharedStats) -> str:
+                 shared: _SharedStats, abort: threading.Event) -> str:
         """Burn CPU through the assignment, iteration by iteration.
 
         Honors synchronization interrupts at iteration boundaries (the
@@ -455,13 +474,20 @@ class ThreadBackend(ExecutionBackend):
         if assignment.empty:
             return "finished"
         while not assignment.empty:
+            if abort.is_set():
+                raise BackendError("aborted: a peer thread failed")
             if proto.is_dlb and mailbox.has_interrupt(proto.epoch):
                 return "interrupted"
             taken = assignment.take_head(1)
             start, _end = taken[0]
             cost = table.range_work(start, start + 1)
             t0 = time.perf_counter()
-            _burn(cost * self.time_scale)
+            if self.kernel == "ops":
+                burn_ops(cost * self.time_scale * self._ops_rate,
+                         should_abort=abort.is_set)
+            else:
+                burn_wall(cost * self.time_scale,
+                          should_abort=abort.is_set)
             proto.note_busy(time.perf_counter() - t0)
             proto.note_work(cost)
             shared.record_executed(proto.me, taken)

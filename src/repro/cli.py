@@ -65,15 +65,22 @@ def build_parser() -> argparse.ArgumentParser:
     tab.add_argument("--seeds", type=int, default=10)
 
     run = sub.add_parser("run", help="run one loop under one strategy")
-    run.add_argument("--backend", choices=["sim", "thread"], default="sim",
+    run.add_argument("--backend", choices=["sim", "thread", "process"],
+                     default="sim",
                      help="execution backend: 'sim' (deterministic "
-                          "discrete-event simulation, default) or 'thread' "
+                          "discrete-event simulation, default), 'thread' "
                           "(real threads, wall-clock time, CPU-burn "
-                          "kernels)")
+                          "kernels) or 'process' (one OS process per "
+                          "worker, shared-memory data movement, true "
+                          "multi-core parallelism)")
     run.add_argument("--time-scale", type=float, default=1.0,
-                     help="thread backend only: scale factor on every "
-                          "iteration's nominal cost (e.g. 0.1 runs 10x "
-                          "faster without changing work ratios)")
+                     help="thread/process backends only: scale factor on "
+                          "every iteration's nominal cost (e.g. 0.1 runs "
+                          "10x faster without changing work ratios)")
+    run.add_argument("--start-method",
+                     choices=["fork", "spawn", "forkserver"], default=None,
+                     help="process backend only: multiprocessing start "
+                          "method (default: fork where available)")
     run.add_argument("--app", choices=["mxm", "trfd"], default="mxm")
     run.add_argument("--size", default="400x400x400",
                      help="MXM RxCxR2 dimensions")
@@ -220,13 +227,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
                          sync_period=args.sync_period,
                          fault_tolerance=ft)
     backend: object = args.backend
-    if args.backend == "thread":
+    if args.backend in ("thread", "process"):
         if args.app != "mxm":
-            print("--backend thread supports single-loop apps only "
-                  "(use --app mxm)", file=sys.stderr)
+            print(f"--backend {args.backend} supports single-loop apps "
+                  "only (use --app mxm)", file=sys.stderr)
             return 2
-        from .backend import ThreadBackend
-        backend = ThreadBackend(time_scale=args.time_scale)
+        if args.backend == "thread":
+            from .backend import ThreadBackend
+            backend = ThreadBackend(time_scale=args.time_scale)
+        else:
+            from .backend import ProcessBackend
+            backend = ProcessBackend(time_scale=args.time_scale,
+                                     start_method=args.start_method)
     if args.app == "mxm":
         try:
             r, c, r2 = (int(x) for x in args.size.lower().split("x"))

@@ -13,7 +13,7 @@ scalar or NumPy-array environments, and human-readable printing.
 from __future__ import annotations
 
 from numbers import Real
-from typing import Iterable, Mapping, Union
+from typing import Mapping, Union
 
 import numpy as np
 

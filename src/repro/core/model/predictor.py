@@ -21,7 +21,7 @@ of the last group to finish.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ...apps.workload import LoopSpec
@@ -36,7 +36,7 @@ from ..redistribution import (
 )
 from ..strategies.base import StrategySpec
 from ..strategies.registry import ALL_DLB_STRATEGIES, NO_DLB
-from .costs import SyncCosts, default_comm_model, strategy_sync_costs
+from .costs import default_comm_model, strategy_sync_costs
 
 __all__ = ["StrategyPrediction", "predict_strategy", "rank_strategies",
            "predict_no_dlb"]

@@ -51,6 +51,7 @@ def table_to_csv(result: TableResult) -> str:
 _RUN_FIELDS = ("loop_name", "strategy", "backend", "n_processors",
                "group_size", "duration", "n_syncs", "n_redistributions",
                "total_work_moved", "network_messages", "network_bytes",
+               "transport_payload_bytes", "shm_data_bytes",
                "selected_scheme", "fault_retries", "reclaimed_iterations",
                "salvaged_iterations")
 

@@ -11,11 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..apps.mxm import MxmConfig, mxm_loop
+from ..apps.mxm import mxm_loop
 from ..apps.trfd import TrfdConfig, trfd_loop1, trfd_loop2
 from .config import DEFAULT_CONFIG, ExperimentConfig, MXM_SIZES, \
     TABLE_SCHEMES, TRFD_SIZES
-from .runner import Measurement, measured_order, order_agreement, \
+from .runner import measured_order, order_agreement, \
     predicted_order
 
 __all__ = ["OrderRow", "TableResult", "table1", "table2"]

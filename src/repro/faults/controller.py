@@ -30,7 +30,7 @@ plan with at least one surviving processor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from ..message.messages import Message, WorkMsg

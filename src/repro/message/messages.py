@@ -13,7 +13,7 @@ wire representation would occupy, which is what the network layer charges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Optional
 

@@ -58,6 +58,7 @@ __all__ = [
     "ProtocolRetryExhausted",
     "RecordSync",
     "Send",
+    "Start",
     "StartCompute",
     "TimerFired",
     "WorkerProtocol",

@@ -14,7 +14,6 @@ message-size model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 __all__ = ["DlbArray", "Distribution"]
 

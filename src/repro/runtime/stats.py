@@ -49,6 +49,11 @@ class LoopRunStats:
     messages_by_tag: dict[str, int] = field(default_factory=dict)
     network_messages: int = 0
     network_bytes: int = 0
+    # Transport-vs-shared-memory split (process backend; zero elsewhere):
+    # bytes actually pickled onto inter-process queues, and iteration
+    # data that moved by shared-memory remapping instead of copying.
+    transport_payload_bytes: int = 0
+    shm_data_bytes: int = 0
     selected_scheme: Optional[str] = None
     selection_report: Optional[object] = None
     # Fault-model bookkeeping (docs/FAULT_MODEL.md); all zero/empty on a

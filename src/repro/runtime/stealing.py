@@ -16,7 +16,7 @@ mutual stealing deadlock-free.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 import numpy as np
 

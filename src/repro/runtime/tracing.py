@@ -35,7 +35,7 @@ way to see who picked up the orphaned work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..apps.workload import LoopSpec

@@ -15,7 +15,7 @@ or, equivalently, ``yield from bus.use(transmit_time)``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Generator, Optional
+from typing import Generator
 
 from .engine import Environment, Event
 from .errors import SimulationError

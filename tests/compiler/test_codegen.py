@@ -1,7 +1,6 @@
 """Unit tests for code generation helpers."""
 
 import numpy as np
-import pytest
 
 from repro.compiler.ast_nodes import ArrayRef, BinOp, Num, Var
 from repro.compiler.codegen import expr_to_python, poly_to_python

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.compiler.symbolic import Poly, const, sym
+from repro.compiler.symbolic import const, sym
 
 
 def test_symbol_and_constant():

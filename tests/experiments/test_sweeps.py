@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.workload import LoopSpec
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.sweeps import KNOBS, sweep
+from repro.experiments.sweeps import sweep
 
 
 CFG = ExperimentConfig(n_seeds=2, base_seed=8, persistence=0.5)

@@ -5,8 +5,7 @@ import pytest
 from repro.apps.workload import LoopSpec
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import render_table
-from repro.experiments.runner import measured_order, predicted_order, \
-    order_agreement
+from repro.experiments.runner import measured_order, predicted_order
 from repro.experiments.tables import OrderRow, TableResult, _order_row
 
 

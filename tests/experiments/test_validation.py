@@ -1,6 +1,5 @@
 """Tests for the claim-validation engine (fast, 2 seeds)."""
 
-import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.validation import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro.cli import main
 from repro.experiments.faults import (
-    FaultScenario,
     fault_sweep,
     render_fault_sweep,
     standard_scenarios,

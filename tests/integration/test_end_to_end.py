@@ -6,7 +6,6 @@ import pytest
 from repro import (
     ClusterSpec,
     DlbPolicy,
-    RunOptions,
     TrfdConfig,
     run_application,
     run_loop,

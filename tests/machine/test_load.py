@@ -1,13 +1,11 @@
 """Unit and property tests for the external load functions (Figure 2)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.machine.load import (
     ConstantLoad,
     DiscreteRandomLoad,
-    LoadFunction,
     TraceLoad,
 )
 

@@ -5,7 +5,6 @@ import pytest
 from repro.message.messages import InterruptMsg, ProfileMsg, Tag
 from repro.message.pvm import VirtualMachine
 from repro.network.parameters import NetworkParameters
-from repro.simulation import Environment
 
 
 PARAMS = NetworkParameters(send_overhead=1e-3, recv_overhead=1e-3,

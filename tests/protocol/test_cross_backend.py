@@ -15,7 +15,13 @@ import pytest
 
 from repro import ClusterSpec, run_loop
 from repro.apps.mxm import MxmConfig, mxm_loop
-from repro.backend import BackendError, SimBackend, ThreadBackend, get_backend
+from repro.backend import (
+    BackendError,
+    ProcessBackend,
+    SimBackend,
+    ThreadBackend,
+    get_backend,
+)
 from repro.faults.plan import FaultPlan
 from repro.runtime.options import FaultToleranceConfig, RunOptions
 
@@ -83,20 +89,29 @@ def test_get_backend_resolution():
     assert get_backend(None).name == "sim"
     assert get_backend("sim").name == "sim"
     assert get_backend("thread").name == "thread"
+    assert get_backend("process").name == "process"
     backend = ThreadBackend()
     assert get_backend(backend) is backend
     with pytest.raises(BackendError):
         get_backend("mpi")
 
 
+def _real_backend(name):
+    if name == "thread":
+        return ThreadBackend(time_scale=0.2)
+    return ProcessBackend(time_scale=0.2)
+
+
+@pytest.mark.parametrize("backend_name", ["thread", "process"])
 @pytest.mark.parametrize("strategy", ["GCDLB", "GDDLB", "LCDLB", "LDDLB"])
-def test_thread_backend_exactly_once(strategy):
-    """Real threads, real queues: every iteration executed exactly
-    once, all four strategies terminate, stats carry provenance."""
+def test_real_backend_exactly_once(backend_name, strategy):
+    """Real threads/processes, real queues: every iteration executed
+    exactly once, all four strategies terminate, stats carry
+    provenance."""
     loop = mxm_loop(MxmConfig(48, 16, 16), op_seconds=4e-7)
     stats = run_loop(loop, _cluster(), strategy, RunOptions(),
-                     backend=ThreadBackend(time_scale=0.2))
-    assert stats.backend == "thread"
+                     backend=_real_backend(backend_name))
+    assert stats.backend == backend_name
     executed = sum(stats.executed_count(node)
                    for node in stats.executed_by_node)
     assert executed == loop.n_iterations

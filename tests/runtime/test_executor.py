@@ -3,10 +3,8 @@
 import pytest
 
 from repro.apps.workload import ApplicationSpec, LoopSpec, SequentialStage
-from repro.core.policy import DlbPolicy
 from repro.machine.cluster import ClusterSpec
 from repro.runtime.executor import run_application, run_loop
-from repro.runtime.options import RunOptions
 
 
 ALL_SCHEMES = ("NONE", "GCDLB", "GDDLB", "LCDLB", "LDDLB")

@@ -6,7 +6,6 @@ from repro.apps.workload import LoopSpec
 from repro.core.policy import DlbPolicy
 from repro.machine.cluster import ClusterSpec
 from repro.runtime.executor import run_loop
-from repro.runtime.options import RunOptions
 
 
 def test_receiver_initiated_sync(small_loop, options):

@@ -6,7 +6,6 @@ from repro.simulation import (
     AllOf,
     AnyOf,
     Environment,
-    Event,
     Interrupt,
     ScheduleInPastError,
     SimulationError,

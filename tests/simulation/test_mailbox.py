@@ -1,6 +1,6 @@
 """Unit tests for predicate-matched mailboxes."""
 
-from repro.simulation import Environment, Mailbox
+from repro.simulation import Mailbox
 
 
 def test_put_then_get(env):

@@ -10,7 +10,6 @@ from repro.core.strategies import (
     LCDLB,
     LDDLB,
     NO_DLB,
-    StrategySpec,
     get_strategy,
 )
 

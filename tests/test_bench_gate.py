@@ -1,0 +1,93 @@
+"""Unit tests for tools/bench_gate.py (loaded by file path — tools/ is
+deliberately not a package)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "bench_gate", REPO_ROOT / "tools" / "bench_gate.py")
+bench_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_gate)
+
+
+def _process_doc(wall: float, speedup: float) -> dict:
+    return {"best_speedup": speedup,
+            "strategies": {"GCDLB": {"process_wall_seconds": wall}}}
+
+
+def _backend_doc(wall: float) -> dict:
+    return {"strategies": {"GCDLB": {"thread_wall_seconds": wall}}}
+
+
+def _write(directory, process=None, backend=None):
+    if process is not None:
+        (directory / "BENCH_process.json").write_text(json.dumps(process))
+    if backend is not None:
+        (directory / "BENCH_backend.json").write_text(json.dumps(backend))
+
+
+def _run(base, fresh, threshold=0.25):
+    return bench_gate.main(["--baseline-dir", str(base),
+                            "--fresh-dir", str(fresh),
+                            "--threshold", str(threshold)])
+
+
+def test_resolve_fans_out_wildcards():
+    doc = {"strategies": {"A": {"w": 1.5}, "B": {"w": 2.5, "skip": "text"}}}
+    assert bench_gate.resolve(doc, "strategies.*.w") == {
+        "strategies.A.w": 1.5, "strategies.B.w": 2.5}
+    assert bench_gate.resolve(doc, "strategies.B.skip") == {}
+    assert bench_gate.resolve(doc, "missing.path") == {}
+
+
+def test_within_threshold_passes(tmp_path):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+    _write(base, _process_doc(1.0, 2.0), _backend_doc(1.0))
+    _write(fresh, _process_doc(1.2, 1.8), _backend_doc(0.9))
+    assert _run(base, fresh) == 0
+
+
+def test_slower_wall_time_fails(tmp_path):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+    _write(base, _process_doc(1.0, 2.0), _backend_doc(1.0))
+    _write(fresh, _process_doc(1.4, 2.0), _backend_doc(1.0))
+    assert _run(base, fresh) == 1
+
+
+def test_lower_speedup_fails(tmp_path, capsys):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+    _write(base, _process_doc(1.0, 2.0), _backend_doc(1.0))
+    _write(fresh, _process_doc(1.0, 1.2), _backend_doc(1.0))
+    assert _run(base, fresh) == 1
+    assert "best_speedup regressed" in capsys.readouterr().err
+
+
+def test_missing_baseline_is_tolerated(tmp_path, capsys):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+    _write(fresh, _process_doc(1.0, 2.0), _backend_doc(1.0))
+    assert _run(base, fresh) == 0
+    assert "no baseline" in capsys.readouterr().out
+
+
+def test_missing_fresh_results_fail(tmp_path, capsys):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+    _write(base, _process_doc(1.0, 2.0), _backend_doc(1.0))
+    assert _run(base, fresh) == 1
+    assert "fresh results missing" in capsys.readouterr().err
+
+
+def test_custom_threshold(tmp_path):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+    _write(base, _process_doc(1.0, 2.0), _backend_doc(1.0))
+    _write(fresh, _process_doc(1.4, 2.0), _backend_doc(1.0))
+    assert _run(base, fresh, threshold=0.5) == 0

@@ -1,0 +1,99 @@
+"""CLI smoke tests: argument wiring for every execution backend.
+
+These are deliberately shallow — the strategies and backends have their
+own suites — but they run the *real* ``main(argv)`` entry point so CI
+catches the breakage unit tests cannot: renamed flags, bad defaults,
+handler-table typos, backend routing mistakes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL_RUN = ["run", "--size", "48x16x16", "-P", "4", "--seed", "1"]
+
+
+def test_run_backend_sim(capsys):
+    assert main(SMALL_RUN + ["--strategy", "GCDLB"]) == 0
+    out = capsys.readouterr().out
+    assert "mxm [GCDLB]" in out
+    assert "backend=" not in out  # sim is the unadorned default
+
+
+def test_run_backend_thread(capsys):
+    assert main(SMALL_RUN + ["--strategy", "GDDLB", "--backend", "thread",
+                             "--time-scale", "0.1"]) == 0
+    assert "backend=thread" in capsys.readouterr().out
+
+
+def test_run_backend_process(capsys):
+    assert main(SMALL_RUN + ["--strategy", "LDDLB", "--backend", "process",
+                             "--time-scale", "0.1"]) == 0
+    assert "backend=process" in capsys.readouterr().out
+
+
+def test_run_backend_process_with_crash(capsys):
+    assert main(SMALL_RUN + ["--strategy", "GCDLB", "--backend", "process",
+                             "--time-scale", "0.1",
+                             "--crash", "1:0.001"]) == 0
+    out = capsys.readouterr().out
+    assert "backend=process" in out
+    assert "crashed=[1]" in out
+
+
+def test_run_rejects_simulation_only_on_real_backends(capsys):
+    # CUSTOM consults the simulated load model: both real backends
+    # refuse (exit 2 + diagnostic), they do not silently degrade.
+    for backend in ("thread", "process"):
+        code = main(SMALL_RUN + ["--strategy", "CUSTOM",
+                                 "--backend", backend,
+                                 "--time-scale", "0.1"])
+        assert code == 2
+        assert "backend error" in capsys.readouterr().err
+
+
+def test_run_rejects_multiloop_app_on_real_backends(capsys):
+    for backend in ("thread", "process"):
+        code = main(["run", "--app", "trfd", "--n", "4",
+                     "--backend", backend])
+        assert code == 2
+        assert "single-loop apps only" in capsys.readouterr().err
+
+
+def test_run_bad_size_exits_2(capsys):
+    assert main(["run", "--size", "not-a-size"]) == 2
+    assert "bad --size" in capsys.readouterr().err
+
+
+def test_run_bad_crash_flag_exits_2(capsys):
+    assert main(SMALL_RUN + ["--crash", "zero:way"]) == 2
+    assert "bad fault flag" in capsys.readouterr().err
+
+
+def test_start_method_flag_parses():
+    args = build_parser().parse_args(
+        SMALL_RUN + ["--backend", "process", "--start-method", "spawn"])
+    assert args.start_method == "spawn"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            SMALL_RUN + ["--start-method", "threads-please"])
+
+
+def test_unknown_backend_choice_exits():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(SMALL_RUN + ["--backend", "mpi"])
+
+
+def test_faults_demo(capsys):
+    assert main(["faults-demo", "--victim", "1", "-P", "3",
+                 "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "fault-injection demo" in out
+    assert "LDDLB" in out
+
+
+def test_faults_demo_bad_victim_exits_2(capsys):
+    assert main(["faults-demo", "--victim", "0"]) == 2
+    assert "reliable master" in capsys.readouterr().err

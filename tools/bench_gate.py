@@ -1,0 +1,138 @@
+"""Benchmark regression gate.
+
+Compares freshly generated ``BENCH_*.json`` documents (written by the
+``benchmarks/`` suite) against the committed baselines and fails when a
+gated metric regressed by more than the threshold (default 25%).
+
+Usage::
+
+    python tools/bench_gate.py --baseline-dir baselines --fresh-dir .
+    python tools/bench_gate.py --threshold 0.4   # looser, noisy runners
+
+Only stdlib, so it runs anywhere CI can run Python.  Wall-clock metrics
+on shared runners are inherently noisy — this gate is wired as a
+non-blocking (``continue-on-error``) CI job: a red result is a prompt
+to look, not a merge blocker.  Missing baselines (first run of a new
+benchmark) are reported and tolerated; missing *fresh* files fail,
+because that means the benchmark suite itself broke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Gated metrics per benchmark document.  Paths are dot-separated; a "*"
+# segment fans out over every key of a dict.  Direction "lower" means
+# smaller is better (wall times), "higher" the opposite (speedups).
+GATES: dict[str, dict[str, str]] = {
+    "BENCH_backend.json": {
+        "strategies.*.thread_wall_seconds": "lower",
+    },
+    "BENCH_process.json": {
+        "strategies.*.process_wall_seconds": "lower",
+        "best_speedup": "higher",
+    },
+}
+
+
+def resolve(doc: object, path: str) -> dict[str, float]:
+    """Expand a dotted path (with "*" fan-out) to {concrete_path: value}."""
+    out: dict[str, float] = {}
+
+    def walk(node: object, segments: list[str], trail: list[str]) -> None:
+        if not segments:
+            if isinstance(node, (int, float)) and not isinstance(node, bool):
+                out[".".join(trail)] = float(node)
+            return
+        head, rest = segments[0], segments[1:]
+        if not isinstance(node, dict):
+            return
+        keys = sorted(node) if head == "*" else ([head] if head in node else [])
+        for key in keys:
+            walk(node[key], rest, trail + [key])
+
+    walk(doc, path.split("."), [])
+    return out
+
+
+def compare(name: str, baseline: dict, fresh: dict, threshold: float) -> list[str]:
+    """Return a list of regression descriptions for one document."""
+    regressions: list[str] = []
+    for path, direction in GATES[name].items():
+        base_vals = resolve(baseline, path)
+        fresh_vals = resolve(fresh, path)
+        for key, base in sorted(base_vals.items()):
+            if key not in fresh_vals:
+                regressions.append(f"{name}:{key} vanished from fresh run")
+                continue
+            new = fresh_vals[key]
+            if base <= 0:
+                continue  # degenerate baseline; nothing to gate against
+            ratio = new / base
+            if direction == "lower" and ratio > 1 + threshold:
+                regressions.append(
+                    f"{name}:{key} regressed: {base:.4g} -> {new:.4g} "
+                    f"(+{(ratio - 1) * 100:.0f}%, limit +{threshold * 100:.0f}%)"
+                )
+            elif direction == "higher" and ratio < 1 - threshold:
+                regressions.append(
+                    f"{name}:{key} regressed: {base:.4g} -> {new:.4g} "
+                    f"(-{(1 - ratio) * 100:.0f}%, limit -{threshold * 100:.0f}%)"
+                )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the freshly generated BENCH_*.json",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional regression tolerance (0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    regressions: list[str] = []
+    checked = 0
+    for name in sorted(GATES):
+        fresh_path = args.fresh_dir / name
+        base_path = args.baseline_dir / name
+        if not fresh_path.exists():
+            regressions.append(f"{name}: fresh results missing at {fresh_path}")
+            continue
+        if not base_path.exists():
+            print(f"[bench-gate] {name}: no baseline at {base_path}; skipping")
+            continue
+        baseline = json.loads(base_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        found = compare(name, baseline, fresh, args.threshold)
+        checked += 1
+        if found:
+            regressions.extend(found)
+        else:
+            print(f"[bench-gate] {name}: ok (threshold {args.threshold:.0%})")
+
+    for line in regressions:
+        print(f"[bench-gate] REGRESSION: {line}", file=sys.stderr)
+    if not regressions and checked == 0:
+        print("[bench-gate] nothing compared (no baselines yet)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
