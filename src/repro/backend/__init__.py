@@ -11,6 +11,10 @@ what clock, timers, transport, and compute mean:
   process: queue mailboxes for control traffic, a shared-memory block
   for iteration data (redistribution ships offsets, not arrays), true
   multi-core parallelism, and liftable crash-fault injection.
+* :class:`SocketBackend` — the protocol over real TCP: a hub routes
+  length-prefixed JSON frames (docs/WIRE_PROTOCOL.md) between asyncio
+  worker peers, with elastic membership (join / planned leave / crash)
+  and ping/pong liveness feeding the death-declaration path.
 
 Select one via ``run_loop(..., backend="process")`` or the CLI's
 ``python -m repro run --backend process``.
@@ -19,6 +23,7 @@ Select one via ``run_loop(..., backend="process")`` or the CLI's
 from .base import BackendError, ExecutionBackend, get_backend
 from .process import ProcessBackend
 from .sim import SimBackend
+from .socket import SocketBackend
 from .thread import ThreadBackend
 
 __all__ = [
@@ -26,6 +31,7 @@ __all__ = [
     "ExecutionBackend",
     "ProcessBackend",
     "SimBackend",
+    "SocketBackend",
     "ThreadBackend",
     "get_backend",
 ]

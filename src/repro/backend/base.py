@@ -23,7 +23,7 @@ protocol logic.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Optional, TYPE_CHECKING, Union
+from typing import Callable, Iterable, Optional, TYPE_CHECKING, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..apps.workload import LoopSpec
@@ -33,7 +33,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.options import RunOptions
     from ..runtime.stats import LoopRunStats
 
-__all__ = ["ExecutionBackend", "BackendError", "get_backend"]
+__all__ = ["ExecutionBackend", "BackendError", "get_backend",
+           "join_or_terminate"]
 
 StrategyLike = Union[str, "StrategySpec"]
 
@@ -71,7 +72,7 @@ def get_backend(backend: Union[str, ExecutionBackend, None]
                 ) -> ExecutionBackend:
     """Resolve a backend name or instance.
 
-    Known names: ``"sim"``, ``"thread"``, ``"process"``.
+    Known names: ``"sim"``, ``"thread"``, ``"process"``, ``"socket"``.
     """
     if isinstance(backend, ExecutionBackend):
         return backend
@@ -84,5 +85,37 @@ def get_backend(backend: Union[str, ExecutionBackend, None]
     if backend == "process":
         from .process import ProcessBackend
         return ProcessBackend()
+    if backend == "socket":
+        from .socket import SocketBackend
+        return SocketBackend()
     raise BackendError(f"unknown backend {backend!r} "
-                       "(expected 'sim', 'thread' or 'process')")
+                       "(expected 'sim', 'thread', 'process' or 'socket')")
+
+
+def join_or_terminate(participants: Iterable, *, timeout: float = 5.0,
+                      terminate: Optional[Callable] = None,
+                      kill: Optional[Callable] = None) -> list[str]:
+    """Join every still-live participant, escalating stragglers.
+
+    The one shutdown path shared by the real-time backends: threads
+    (no ``terminate``/``kill`` — they stop at their next abort poll),
+    worker processes (``terminate`` then ``kill``), and socket worker
+    subprocesses.  A participant is anything with ``is_alive()`` and
+    ``join(timeout)``.  Escalation per participant: optional
+    ``terminate``, join, optional ``kill``, join again.  Returns the
+    names of participants that survived everything — the caller decides
+    whether leftovers are an error; an empty list is a clean shutdown.
+    """
+    stragglers: list[str] = []
+    for p in participants:
+        if not p.is_alive():
+            continue
+        if terminate is not None:
+            terminate(p)
+        p.join(timeout)
+        if p.is_alive() and kill is not None:
+            kill(p)
+            p.join(timeout)
+        if p.is_alive():
+            stragglers.append(getattr(p, "name", None) or repr(p))
+    return stragglers

@@ -98,7 +98,12 @@ from ..runtime.assignment import (
 )
 from ..runtime.options import FaultToleranceConfig, RunOptions
 from ..runtime.stats import LoopRunStats, SyncRecord
-from .base import BackendError, ExecutionBackend, StrategyLike
+from .base import (
+    BackendError,
+    ExecutionBackend,
+    StrategyLike,
+    join_or_terminate,
+)
 from .kernels import burn_ops, calibrate_ops_rate
 
 __all__ = ["ProcessBackend"]
@@ -727,13 +732,9 @@ class ProcessBackend(ExecutionBackend):
             self._verify_shm(stats, shm, row_bytes)
             return stats
         finally:
-            for p in procs.values():
-                if p.is_alive():
-                    p.terminate()
-                    p.join(timeout=2.0)
-                if p.is_alive():  # pragma: no cover - terminate sufficed
-                    p.kill()
-                    p.join(timeout=2.0)
+            join_or_terminate(procs.values(), timeout=2.0,
+                              terminate=lambda p: p.terminate(),
+                              kill=lambda p: p.kill())
             for q in (*queues, balancer_q, stats_q):
                 q.cancel_join_thread()
                 q.close()

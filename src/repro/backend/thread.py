@@ -63,7 +63,12 @@ from ..protocol import (
 from ..runtime.assignment import equal_block_partition, merge_ranges
 from ..runtime.options import RunOptions
 from ..runtime.stats import LoopRunStats, SyncRecord
-from .base import BackendError, ExecutionBackend, StrategyLike
+from .base import (
+    BackendError,
+    ExecutionBackend,
+    StrategyLike,
+    join_or_terminate,
+)
 from .kernels import burn_ops, burn_wall, calibrate_ops_rate
 
 __all__ = ["ThreadBackend"]
@@ -366,9 +371,7 @@ class ThreadBackend(ExecutionBackend):
             transport.abort.set()
             for box in transport.mailboxes:
                 box.wake()
-            for t in all_threads:
-                if t.is_alive():
-                    t.join(timeout=5.0)
+            join_or_terminate(all_threads, timeout=5.0)
             raise
 
         stats.messages_by_tag = dict(transport.by_tag)

@@ -17,6 +17,12 @@ Commands
     Seeded fault-injection demo: crash one of four nodes mid-loop under
     each strategy and report recovery; optionally the full robustness
     sweep (see docs/FAULT_MODEL.md).
+``balancer`` / ``worker``
+    The socket backend's two halves as long-running commands: a hub
+    that listens on a TCP port and waits for workers to register, and a
+    worker that dials it.  Run them in separate terminals to watch the
+    wire protocol (docs/WIRE_PROTOCOL.md) on localhost; late workers
+    join mid-run, ``worker --leave-after N`` departs cleanly.
 
 Examples
 --------
@@ -27,9 +33,12 @@ Examples
     python -m repro run --app mxm --size 400x400x400 -P 4 --strategy CUSTOM
     python -m repro run --app trfd --n 30 -P 16 --strategy LDDLB
     python -m repro run --app mxm -P 4 --strategy GDDLB --crash 2:1.5
+    python -m repro run --app mxm -P 4 --strategy GCDLB --backend socket
     python -m repro characterize --max-procs 16
     python -m repro compile examples_src/mxm.dlb
     python -m repro faults-demo --sweep
+    python -m repro balancer -P 2 --strategy GCDLB --port 7070
+    python -m repro worker --port 7070
 """
 
 from __future__ import annotations
@@ -65,22 +74,31 @@ def build_parser() -> argparse.ArgumentParser:
     tab.add_argument("--seeds", type=int, default=10)
 
     run = sub.add_parser("run", help="run one loop under one strategy")
-    run.add_argument("--backend", choices=["sim", "thread", "process"],
+    run.add_argument("--backend",
+                     choices=["sim", "thread", "process", "socket"],
                      default="sim",
                      help="execution backend: 'sim' (deterministic "
                           "discrete-event simulation, default), 'thread' "
                           "(real threads, wall-clock time, CPU-burn "
-                          "kernels) or 'process' (one OS process per "
+                          "kernels), 'process' (one OS process per "
                           "worker, shared-memory data movement, true "
-                          "multi-core parallelism)")
+                          "multi-core parallelism) or 'socket' (the "
+                          "protocol over real TCP on localhost; see "
+                          "docs/WIRE_PROTOCOL.md)")
     run.add_argument("--time-scale", type=float, default=1.0,
-                     help="thread/process backends only: scale factor on "
-                          "every iteration's nominal cost (e.g. 0.1 runs "
-                          "10x faster without changing work ratios)")
+                     help="thread/process/socket backends only: scale "
+                          "factor on every iteration's nominal cost "
+                          "(e.g. 0.1 runs 10x faster without changing "
+                          "work ratios)")
     run.add_argument("--start-method",
                      choices=["fork", "spawn", "forkserver"], default=None,
-                     help="process backend only: multiprocessing start "
-                          "method (default: fork where available)")
+                     help="process/socket backends only: multiprocessing "
+                          "start method (default: fork where available)")
+    run.add_argument("--workers", choices=["tasks", "procs"],
+                     default="tasks",
+                     help="socket backend only: run workers as asyncio "
+                          "tasks in-process (default) or as one OS "
+                          "process per worker")
     run.add_argument("--app", choices=["mxm", "trfd"], default="mxm")
     run.add_argument("--size", default="400x400x400",
                      help="MXM RxCxR2 dimensions")
@@ -154,6 +172,38 @@ def build_parser() -> argparse.ArgumentParser:
                           "(scenarios x strategies)")
     fde.add_argument("--sweep-seeds", type=int, default=1,
                      help="seeds per cell in the --sweep table")
+
+    bal = sub.add_parser(
+        "balancer",
+        help="socket-backend hub: listen and wait for workers")
+    bal.add_argument("-P", "--processors", type=int, default=2,
+                     help="workers to wait for before the run starts "
+                          "(later connections join mid-run)")
+    bal.add_argument("--strategy", default="GCDLB",
+                     help="NONE, GCDLB, GDDLB, LCDLB, LDDLB")
+    bal.add_argument("--host", default="127.0.0.1")
+    bal.add_argument("--port", type=int, default=7070)
+    bal.add_argument("--size", default="200x200x200",
+                     help="MXM RxCxR2 dimensions")
+    bal.add_argument("--seed", type=int, default=0)
+    bal.add_argument("--max-load", type=int, default=5)
+    bal.add_argument("--persistence", type=float, default=5.0)
+    bal.add_argument("--group-size", type=int, default=0)
+    bal.add_argument("--time-scale", type=float, default=1.0)
+    bal.add_argument("--ft-timeout", type=float, default=0.2,
+                     help="base request timeout before the first retry")
+    bal.add_argument("--ft-retries", type=int, default=5,
+                     help="retries before a silent peer is declared dead")
+
+    wrk = sub.add_parser(
+        "worker",
+        help="socket-backend worker: dial a balancer hub")
+    wrk.add_argument("--host", default="127.0.0.1")
+    wrk.add_argument("--port", type=int, default=7070)
+    wrk.add_argument("--leave-after", type=int, default=None,
+                     metavar="N",
+                     help="depart cleanly after N iterations, handing "
+                          "unfinished work back to the hub")
     return parser
 
 
@@ -227,7 +277,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                          sync_period=args.sync_period,
                          fault_tolerance=ft)
     backend: object = args.backend
-    if args.backend in ("thread", "process"):
+    if args.backend in ("thread", "process", "socket"):
         if args.app != "mxm":
             print(f"--backend {args.backend} supports single-loop apps "
                   "only (use --app mxm)", file=sys.stderr)
@@ -235,10 +285,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.backend == "thread":
             from .backend import ThreadBackend
             backend = ThreadBackend(time_scale=args.time_scale)
-        else:
+        elif args.backend == "process":
             from .backend import ProcessBackend
             backend = ProcessBackend(time_scale=args.time_scale,
                                      start_method=args.start_method)
+        else:
+            from .backend import SocketBackend
+            backend = SocketBackend(time_scale=args.time_scale,
+                                    workers=args.workers,
+                                    start_method=args.start_method)
     if args.app == "mxm":
         try:
             r, c, r2 = (int(x) for x in args.size.lower().split("x"))
@@ -361,6 +416,62 @@ def _cmd_faults_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_balancer(args: argparse.Namespace) -> int:
+    from .backend import SocketBackend
+    from .backend.base import BackendError
+    from .runtime.options import FaultToleranceConfig, RunOptions
+    try:
+        r, c, r2 = (int(x) for x in args.size.lower().split("x"))
+    except ValueError:
+        print(f"bad --size {args.size!r}; expected RxCxR2", file=sys.stderr)
+        return 2
+    loop = mxm_loop(MxmConfig(r, c, r2), op_seconds=4e-7)
+    cluster = ClusterSpec.homogeneous(
+        args.processors, max_load=args.max_load,
+        persistence=args.persistence, seed=args.seed)
+    ft = FaultToleranceConfig(request_timeout=args.ft_timeout,
+                              max_retries=args.ft_retries)
+    options = RunOptions(group_size=args.group_size, fault_tolerance=ft)
+    backend = SocketBackend(time_scale=args.time_scale, host=args.host)
+
+    def on_ready(port: int) -> None:
+        print(f"balancer listening on {args.host}:{port}; waiting for "
+              f"{args.processors} workers "
+              f"(python -m repro worker --host {args.host} --port {port})",
+              flush=True)
+
+    try:
+        stats = backend.serve(loop, cluster, args.strategy,
+                              options=options, port=args.port,
+                              on_ready=on_ready)
+    except BackendError as exc:
+        print(f"backend error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot listen on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(stats.summary())
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .backend.base import BackendError
+    from .backend.socket import run_worker
+    try:
+        reason = run_worker(args.host, args.port,
+                            leave_after=args.leave_after)
+    except BackendError as exc:
+        print(f"worker error: {exc}", file=sys.stderr)
+        return 2
+    except ConnectionError as exc:
+        print(f"cannot reach balancer at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"worker done: {reason}")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .experiments.validation import render_validation, validate
     results = validate(ExperimentConfig(n_seeds=args.seeds))
@@ -374,7 +485,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                "run": _cmd_run, "characterize": _cmd_characterize,
                "compile": _cmd_compile, "sweep": _cmd_sweep,
                "validate": _cmd_validate,
-               "faults-demo": _cmd_faults_demo}[args.command]
+               "faults-demo": _cmd_faults_demo,
+               "balancer": _cmd_balancer,
+               "worker": _cmd_worker}[args.command]
     return handler(args)
 
 

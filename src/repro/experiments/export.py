@@ -51,15 +51,24 @@ def table_to_csv(result: TableResult) -> str:
 _RUN_FIELDS = ("loop_name", "strategy", "backend", "n_processors",
                "group_size", "duration", "n_syncs", "n_redistributions",
                "total_work_moved", "network_messages", "network_bytes",
-               "transport_payload_bytes", "shm_data_bytes",
-               "selected_scheme", "fault_retries", "reclaimed_iterations",
-               "salvaged_iterations")
+               "transport_payload_bytes", "payload_by_frame",
+               "shm_data_bytes", "selected_scheme", "fault_retries",
+               "reclaimed_iterations", "salvaged_iterations")
+
+
+def _frame_column(payload_by_frame: dict) -> str:
+    """Flatten the socket backend's per-frame-type byte counts into one
+    CSV cell (``MSG=2724;PING=40;...``); empty on in-process backends."""
+    return ";".join(f"{name}={count}"
+                    for name, count in sorted(payload_by_frame.items()))
 
 
 def _run_row(stats: LoopRunStats) -> dict:
     row = {}
     for name in _RUN_FIELDS:
         value = getattr(stats, name)
+        if name == "payload_by_frame":
+            value = _frame_column(value)
         row[name] = value.item() if hasattr(value, "item") else value
     return row
 
@@ -83,6 +92,11 @@ def run_to_json(stats: LoopRunStats) -> str:
     doc["node_finish_times"] = {
         str(k): _jsonable(v) for k, v in stats.node_finish_times.items()}
     doc["messages_by_tag"] = dict(stats.messages_by_tag)
+    # JSON keeps the per-frame-type transport split structured (the CSV
+    # cell flattens it); empty dict on the in-process backends.
+    doc["payload_by_frame"] = dict(stats.payload_by_frame)
+    doc["joined_nodes"] = list(stats.joined_nodes)
+    doc["left_nodes"] = list(stats.left_nodes)
     doc["syncs"] = [
         {"time": s.time, "group": s.group, "epoch": s.epoch,
          "reason": s.reason, "moved_work": s.moved_work,

@@ -24,6 +24,7 @@ onto the paper's assumptions are documented in ``docs/FAULT_MODEL.md``.
 """
 
 from .controller import FaultController, WorkParcel
+from .liveness import HeartbeatMonitor
 from .plan import (
     CrashFault,
     FaultPlan,
@@ -36,6 +37,7 @@ __all__ = [
     "CrashFault",
     "FaultController",
     "FaultPlan",
+    "HeartbeatMonitor",
     "MessageDelayFault",
     "MessageDropFault",
     "SlowdownFault",

@@ -1,0 +1,91 @@
+"""Socket-transport liveness: ping/pong bookkeeping → PeerDead.
+
+Over real TCP the failure signal of docs/FAULT_MODEL.md has two
+sources: the kernel (a reset or EOF on the peer's connection) and
+silence.  :class:`HeartbeatMonitor` covers the second — the hub probes
+idle peers with PING frames and a peer that stays silent past its
+patience is declared dead, feeding the same
+:class:`~repro.protocol.events.PeerDead` path the other backends use.
+
+The patience is derived from the run's
+:class:`~repro.runtime.options.FaultToleranceConfig` exactly as the
+central balancer's pull-based detector: ``liveness_timeout *
+(max_retries + 1)`` — the master's time-to-declare.  A PONG (or any
+other frame) resets the peer's clock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.options import FaultToleranceConfig
+
+__all__ = ["HeartbeatMonitor"]
+
+
+class HeartbeatMonitor:
+    """Last-seen tracking for a set of socket peers.
+
+    Pure bookkeeping — the caller supplies ``now`` (any monotonic
+    clock) and acts on the returned peer lists, so the monitor is
+    trivially testable without a network.
+    """
+
+    def __init__(self, *, interval: float, patience: float) -> None:
+        if interval <= 0 or patience <= 0:
+            raise ValueError("interval and patience must be positive")
+        #: Seconds of silence before a probe is sent.
+        self.interval = interval
+        #: Seconds of silence before the peer is declared dead.
+        self.patience = patience
+        self._last_seen: dict[int, float] = {}
+        self._last_probe: dict[int, float] = {}
+
+    @classmethod
+    def from_ft(cls, ft: FaultToleranceConfig,
+                interval: Optional[float] = None) -> "HeartbeatMonitor":
+        """Derive probe cadence and patience from the FT config."""
+        patience = ft.liveness_timeout * (ft.max_retries + 1)
+        return cls(interval=interval if interval is not None
+                   else ft.liveness_timeout, patience=patience)
+
+    # -- membership ------------------------------------------------------
+    def watch(self, peer: int, now: float) -> None:
+        """Start (or restart) watching ``peer``."""
+        self._last_seen[peer] = now
+        self._last_probe.pop(peer, None)
+
+    def forget(self, peer: int) -> None:
+        """Stop watching ``peer`` (finished, departed, or declared)."""
+        self._last_seen.pop(peer, None)
+        self._last_probe.pop(peer, None)
+
+    @property
+    def watched(self) -> tuple[int, ...]:
+        return tuple(sorted(self._last_seen))
+
+    # -- signals ---------------------------------------------------------
+    def note_alive(self, peer: int, now: float) -> None:
+        """Any frame from ``peer`` is liveness evidence."""
+        if peer in self._last_seen:
+            self._last_seen[peer] = now
+            self._last_probe.pop(peer, None)
+
+    def due_probes(self, now: float) -> list[int]:
+        """Peers silent past ``interval`` that deserve a PING now.
+
+        Marks the returned peers as probed, so each silence window
+        produces one probe per ``interval`` (not one per poll).
+        """
+        due = []
+        for peer, seen in sorted(self._last_seen.items()):
+            anchor = max(seen, self._last_probe.get(peer, seen))
+            if now - anchor >= self.interval:
+                self._last_probe[peer] = now
+                due.append(peer)
+        return due
+
+    def overdue(self, now: float) -> list[int]:
+        """Peers silent past ``patience`` — declare these dead."""
+        return [peer for peer, seen in sorted(self._last_seen.items())
+                if now - seen >= self.patience]

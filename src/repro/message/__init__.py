@@ -1,5 +1,14 @@
 """PVM-like message layer (substrate S4)."""
 
+from .frames import (
+    FrameDecoder,
+    FrameError,
+    FrameType,
+    decode_frame,
+    encode_frame,
+    message_from_wire,
+    message_to_wire,
+)
 from .messages import (
     ControlMsg,
     DataMsg,
@@ -20,6 +29,9 @@ __all__ = [
     "ControlMsg",
     "DataMsg",
     "EpochStamper",
+    "FrameDecoder",
+    "FrameError",
+    "FrameType",
     "InstructionMsg",
     "InterruptMsg",
     "Message",
@@ -28,6 +40,10 @@ __all__ = [
     "TransferOrder",
     "VirtualMachine",
     "WorkMsg",
+    "decode_frame",
+    "encode_frame",
     "is_stale",
+    "message_from_wire",
+    "message_to_wire",
     "stale_predicate",
 ]

@@ -35,8 +35,11 @@ from .commands import (
 from .errors import ProtocolError, ProtocolRetryExhausted
 from .events import (
     ComputeDone,
+    LeaveRequested,
     MessageReceived,
     PeerDead,
+    PeerJoined,
+    PeerLeft,
     ProtocolEvent,
     Start,
     TimerFired,
@@ -51,8 +54,11 @@ __all__ = [
     "ComputeDone",
     "DeclareDead",
     "Done",
+    "LeaveRequested",
     "MessageReceived",
     "PeerDead",
+    "PeerJoined",
+    "PeerLeft",
     "ProtocolError",
     "ProtocolEvent",
     "ProtocolRetryExhausted",

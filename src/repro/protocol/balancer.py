@@ -93,6 +93,31 @@ class BalancerProtocol:
         """Any message from ``node`` resets its probe clock."""
         self.probe_rounds.pop(node, None)
 
+    def admit(self, node: int, gid: int = 0) -> int:
+        """Elastic membership: accept ``node`` into group ``gid``.
+
+        Returns the group's current epoch — the joiner's starting
+        epoch.  The joiner counts toward the group's profile quorum
+        from now on; with no work assigned it synchronizes immediately
+        (a joiner *is* the paper's "processor with no work left"), so
+        the next plan reshapes the iteration range onto the new set.
+        """
+        if not 0 <= gid < len(self.groups):
+            raise ProtocolError(f"cannot admit {node} to group {gid}")
+        if gid in self.groups_done:
+            raise ProtocolError(
+                f"cannot admit {node}: group {gid} already finished")
+        if node not in self.group_of:
+            self.groups[gid].append(node)
+            self.group_of[node] = gid
+        self.group_active.setdefault(gid, set()).add(node)
+        # The quorum grew: a group marked ready on the old active set
+        # must wait for the joiner's profile too.
+        if gid in self.ready and \
+                not set(self.pending.get(gid, {})) >= self.group_active[gid]:
+            self.ready.remove(gid)
+        return self.group_epoch.setdefault(gid, 0)
+
     def cached_instruction(self, node: int, epoch: Optional[int] = None
                            ) -> Optional[InstructionMsg]:
         """The last instruction sent to ``node`` (lost-INSTRUCTION
@@ -213,6 +238,15 @@ class BalancerProtocol:
             return self._pump_message(event.msg)
         if isinstance(event, E.PeerDead):
             self.prune_dead({event.peer})
+            return self._serve_ready()
+        if isinstance(event, E.PeerLeft):
+            # Planned departure: same pruning as a death — the departed
+            # node's residual work is re-granted by the backend, not
+            # planned over.
+            self.prune_dead({event.peer})
+            return self._serve_ready()
+        if isinstance(event, E.PeerJoined):
+            self.admit(event.peer, event.group)
             return self._serve_ready()
         raise ProtocolError(f"balancer cannot handle {event!r}")
 

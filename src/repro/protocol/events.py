@@ -22,6 +22,9 @@ __all__ = [
     "MessageReceived",
     "TimerFired",
     "PeerDead",
+    "PeerJoined",
+    "PeerLeft",
+    "LeaveRequested",
 ]
 
 
@@ -70,3 +73,41 @@ class PeerDead(ProtocolEvent):
     """An external failure detector declared ``peer`` dead."""
 
     peer: int
+
+
+@dataclass(frozen=True)
+class PeerJoined(ProtocolEvent):
+    """Elastic membership: a registrar admitted ``peer`` to ``group``.
+
+    Backends that support mid-run joins (the socket backend) feed this
+    at an epoch fence, so every member of the group admits the joiner
+    at the same synchronization point and the replicated redistribution
+    plans stay consistent (see docs/WIRE_PROTOCOL.md, join handshake).
+    """
+
+    peer: int
+    group: int = 0
+
+
+@dataclass(frozen=True)
+class PeerLeft(ProtocolEvent):
+    """Elastic membership: ``peer`` departed on purpose.
+
+    Unlike :class:`PeerDead` this is a *planned* departure — the peer
+    handed its residual work back before disconnecting — but the
+    surviving protocol transitions are the same: drop the peer from the
+    active set and stop waiting on it.
+    """
+
+    peer: int
+
+
+@dataclass(frozen=True)
+class LeaveRequested(ProtocolEvent):
+    """The backend asks this worker to retire voluntarily, now.
+
+    Only legal between compute iterations (the planned-departure
+    analogue of a synchronization interrupt): the worker takes all
+    remaining work off its assignment, ships it to the membership
+    registrar in a ``leave`` control message, and terminates.
+    """

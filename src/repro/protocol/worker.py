@@ -85,7 +85,8 @@ class WorkerProtocol:
                  profile_window_reset: bool = True,
                  initial_rate: float = 1.0,
                  assignment: Optional[Assignment] = None,
-                 is_dlb: bool = True) -> None:
+                 is_dlb: bool = True,
+                 initial_epoch: int = 0) -> None:
         self.me = me
         self.members = tuple(members)
         self.group = group
@@ -101,7 +102,9 @@ class WorkerProtocol:
         self.is_dlb = is_dlb
 
         # -- protocol state (shared by both API tiers) ---------------------
-        self.epoch = 0
+        # ``initial_epoch`` is non-zero only for an elastic joiner, which
+        # enters the group at its current synchronization epoch.
+        self.epoch = initial_epoch
         self.active: set[int] = set(self.members)
         self.assignment: Assignment = assignment or Assignment()
         self.more_work = True
@@ -155,6 +158,17 @@ class WorkerProtocol:
 
     def declare_peer_dead(self, peer: int) -> None:
         self.active.discard(peer)
+
+    def admit_peer(self, peer: int) -> None:
+        """Elastic membership: accept ``peer`` into members and active.
+
+        Called at an epoch fence (see :class:`~repro.protocol.events.
+        PeerJoined`), so the next interrupt/profile exchange addresses
+        the joiner like any other member.
+        """
+        if peer not in self.members:
+            self.members = tuple(sorted((*self.members, peer)))
+        self.active.add(peer)
 
     # -- profiles ----------------------------------------------------------
     def build_profile(self, group: Optional[int] = None) -> ProfileMsg:
@@ -271,6 +285,14 @@ class WorkerProtocol:
             return self._pump_timeout()
         if isinstance(event, E.PeerDead):
             return self._pump_peer_dead(event.peer)
+        if isinstance(event, E.PeerJoined):
+            return self._pump_peer_joined(event.peer)
+        if isinstance(event, E.PeerLeft):
+            # A planned departure needs the same surviving transitions
+            # as a death: drop the peer, stop waiting on it.
+            return self._pump_peer_dead(event.peer)
+        if isinstance(event, E.LeaveRequested):
+            return self._pump_leave()
         raise ProtocolError(f"unknown event {event!r}")
 
     @property
@@ -503,6 +525,38 @@ class WorkerProtocol:
             return tuple(self._finish_sync())
         return ()
 
+    # -- elastic membership -------------------------------------------------
+    def _pump_peer_joined(self, peer: int) -> tuple[C.Command, ...]:
+        """Admit a joiner announced by the membership registrar.
+
+        Backends deliver this at an epoch fence, normally while the
+        worker is computing (no commands needed — the next sync simply
+        includes the joiner); mid-wait delivery just re-arms the wait.
+        """
+        self.admit_peer(peer)
+        if self._phase == "computing":
+            return ()
+        return self._rearm()
+
+    def _pump_leave(self) -> tuple[C.Command, ...]:
+        """Planned departure: hand all remaining work to the registrar.
+
+        The backend honors a leave request only at an iteration
+        boundary of the compute slice, so the in-flight iteration is
+        finished (never duplicated) and everything still assigned ships
+        back in one ``leave`` control message for re-granting.
+        """
+        if self._phase != "computing":
+            raise ProtocolError(
+                f"LeaveRequested while in phase {self._phase!r} "
+                "(planned departures happen at iteration boundaries)")
+        ranges = tuple(self.assignment.take_all())
+        self.more_work = False
+        self._phase = "done"
+        return (C.Send(self.stamp(ControlMsg, dst=self.lb_host,
+                                  kind="leave", payload=ranges)),
+                C.Done("left"))
+
     # -- plan application --------------------------------------------------
     def _do_plan(self) -> list[C.Command]:
         plan = self.local_plan(self._profiles.values())
@@ -528,6 +582,12 @@ class WorkerProtocol:
             msg = self.make_work_msg(order.dst, self.epoch, ranges, count)
             self.cache_work(msg)
             cmds.append(C.Send(msg))
+        # Elastic membership: a plan's active set may name nodes that
+        # joined after this worker's construction — admit them before
+        # intersecting, so only nodes *removed* by the plan drop out.
+        for node in new_active:
+            if node not in self.members:
+                self.members = tuple(sorted((*self.members, node)))
         self.active = set(new_active) & set(self.members)
         self._retiring = retire
         if self.ft_enabled and incoming_srcs:

@@ -54,6 +54,14 @@ class LoopRunStats:
     # data that moved by shared-memory remapping instead of copying.
     transport_payload_bytes: int = 0
     shm_data_bytes: int = 0
+    # Socket backend: transport_payload_bytes broken down by wire-frame
+    # type (MSG, PING, STAT, ... — see docs/WIRE_PROTOCOL.md); empty on
+    # the in-process backends.
+    payload_by_frame: dict[str, int] = field(default_factory=dict)
+    # Elastic membership (socket backend): nodes that registered
+    # mid-run and nodes that departed on purpose (planned leave).
+    joined_nodes: tuple[int, ...] = ()
+    left_nodes: tuple[int, ...] = ()
     selected_scheme: Optional[str] = None
     selection_report: Optional[object] = None
     # Fault-model bookkeeping (docs/FAULT_MODEL.md); all zero/empty on a
@@ -108,6 +116,9 @@ class LoopRunStats:
                      f"retries={self.fault_retries} "
                      f"reclaimed={self.reclaimed_iterations} "
                      f"salvaged={self.salvaged_iterations}")
+        if self.joined_nodes or self.left_nodes:
+            base += (f" | membership: joined={list(self.joined_nodes)} "
+                     f"left={list(self.left_nodes)}")
         return base
 
 

@@ -90,6 +90,7 @@ def test_get_backend_resolution():
     assert get_backend("sim").name == "sim"
     assert get_backend("thread").name == "thread"
     assert get_backend("process").name == "process"
+    assert get_backend("socket").name == "socket"
     backend = ThreadBackend()
     assert get_backend(backend) is backend
     with pytest.raises(BackendError):

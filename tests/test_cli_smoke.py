@@ -34,6 +34,12 @@ def test_run_backend_process(capsys):
     assert "backend=process" in capsys.readouterr().out
 
 
+def test_run_backend_socket(capsys):
+    assert main(SMALL_RUN + ["--strategy", "GCDLB", "--backend", "socket",
+                             "--time-scale", "0.1"]) == 0
+    assert "backend=socket" in capsys.readouterr().out
+
+
 def test_run_backend_process_with_crash(capsys):
     assert main(SMALL_RUN + ["--strategy", "GCDLB", "--backend", "process",
                              "--time-scale", "0.1",
@@ -44,9 +50,9 @@ def test_run_backend_process_with_crash(capsys):
 
 
 def test_run_rejects_simulation_only_on_real_backends(capsys):
-    # CUSTOM consults the simulated load model: both real backends
+    # CUSTOM consults the simulated load model: the real backends
     # refuse (exit 2 + diagnostic), they do not silently degrade.
-    for backend in ("thread", "process"):
+    for backend in ("thread", "process", "socket"):
         code = main(SMALL_RUN + ["--strategy", "CUSTOM",
                                  "--backend", backend,
                                  "--time-scale", "0.1"])
@@ -55,7 +61,7 @@ def test_run_rejects_simulation_only_on_real_backends(capsys):
 
 
 def test_run_rejects_multiloop_app_on_real_backends(capsys):
-    for backend in ("thread", "process"):
+    for backend in ("thread", "process", "socket"):
         code = main(["run", "--app", "trfd", "--n", "4",
                      "--backend", backend])
         assert code == 2
@@ -84,6 +90,16 @@ def test_start_method_flag_parses():
 def test_unknown_backend_choice_exits():
     with pytest.raises(SystemExit):
         build_parser().parse_args(SMALL_RUN + ["--backend", "mpi"])
+
+
+def test_balancer_worker_flags_parse():
+    args = build_parser().parse_args(
+        ["balancer", "-P", "3", "--strategy", "LDDLB", "--port", "7171"])
+    assert (args.processors, args.strategy, args.port) == (3, "LDDLB", 7171)
+    args = build_parser().parse_args(
+        ["worker", "--port", "7171", "--leave-after", "20"])
+    assert (args.host, args.port, args.leave_after) == \
+        ("127.0.0.1", 7171, 20)
 
 
 def test_faults_demo(capsys):
