@@ -1,0 +1,64 @@
+"""Topology benchmark: strategies across network graphs.
+
+Runs the :func:`repro.experiments.sweeps.topology_sweep` matrix — the
+eq.-3 global/local direct schemes plus diffusion on bus, ring, mesh and
+torus — and lands the per-cell mean simulated durations in
+``BENCH_topology.json`` for the regression gate.  The gated metrics are
+*virtual* (simulated) seconds: deterministic given the seeds, so any
+gate trip is a genuine model/protocol change, not runner noise.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.apps.mxm import MxmConfig, mxm_loop
+from repro.experiments.sweeps import topology_sweep
+
+CONFIG = MxmConfig(120, 100, 100)
+N_PROCESSORS = 8
+TOPOLOGIES = ("bus", "ring", "mesh", "torus")
+SCHEMES = ("GD", "LD", "DIFF")
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_topology.json"
+
+
+def _run(bench_config):
+    loop = mxm_loop(CONFIG, op_seconds=4e-7)
+    t0 = time.perf_counter()
+    result = topology_sweep(loop, N_PROCESSORS, topologies=TOPOLOGIES,
+                            schemes=SCHEMES, config=bench_config)
+    wall = time.perf_counter() - t0
+    doc = {
+        "config": f"mxm {CONFIG.r}x{CONFIG.c}x{CONFIG.r2}",
+        "n_processors": N_PROCESSORS,
+        "seeds": bench_config.n_seeds,
+        "wall_seconds": wall,
+        "topologies": {
+            p.label: {s: p.means[s] for s in SCHEMES}
+            for p in result.points
+        },
+    }
+    return doc, result
+
+
+def test_bench_topology(benchmark, bench_config):
+    doc, result = benchmark.pedantic(
+        lambda: _run(bench_config), rounds=1, iterations=1)
+
+    print()
+    print("  " + result.render().replace("\n", "\n  "))
+    for topology, row in doc["topologies"].items():
+        # Simulated durations: positive and finite for every cell.
+        assert all(v > 0 for v in row.values()), (topology, row)
+    # Diffusion's transfers are single-hop by construction, so its cost
+    # penalty relative to the winning direct scheme must stay bounded
+    # on every graph (a factor regression here means the planner or the
+    # transport charging broke).
+    for topology, row in doc["topologies"].items():
+        best_direct = min(row["GD"], row["LD"])
+        assert row["DIFF"] < 10 * best_direct, (topology, row)
+
+    OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"  wrote {OUT_PATH.name} ({doc['wall_seconds']:.1f}s sweep)")

@@ -33,6 +33,7 @@ from .apps import (
 from .core import (
     ALL_DLB_STRATEGIES,
     CUSTOMIZED,
+    DIFFUSION,
     DlbPolicy,
     GCDLB,
     GDDLB,
@@ -42,10 +43,12 @@ from .core import (
     STRATEGY_ORDER,
     StrategySpec,
     get_strategy,
+    strategies_for_topology,
 )
 from .core.model import predict_strategy, rank_strategies
 from .machine import ClusterSpec, DiscreteRandomLoad, Workstation
-from .network import NetworkParameters, characterize_network
+from .network import NetworkParameters, Topology, \
+    characterize_network
 from .runtime import RunOptions, run_application, run_loop
 
 __version__ = "1.0.0"
@@ -55,6 +58,7 @@ __all__ = [
     "ApplicationSpec",
     "CUSTOMIZED",
     "ClusterSpec",
+    "DIFFUSION",
     "DiscreteRandomLoad",
     "DlbPolicy",
     "GCDLB",
@@ -69,6 +73,7 @@ __all__ = [
     "STRATEGY_ORDER",
     "SequentialStage",
     "StrategySpec",
+    "Topology",
     "TrfdConfig",
     "WorkTable",
     "Workstation",
@@ -80,5 +85,6 @@ __all__ = [
     "rank_strategies",
     "run_application",
     "run_loop",
+    "strategies_for_topology",
     "trfd_application",
 ]

@@ -1369,6 +1369,11 @@ class SocketBackend(ExecutionBackend):
                 "periodic synchronization is simulation-only")
         if options.include_staging:
             raise BackendError("staged scatter/gather is simulation-only")
+        if options.topology is not None or spec.code == "DIFF":
+            raise BackendError(
+                "graph topologies (and the diffusion strategy) run on the "
+                "sim and thread backends; the socket transport is a flat "
+                "TCP mesh")
         if spec.is_dlb and spec.code != "NONE" and n < 2:
             raise ValueError(
                 "dynamic load balancing needs at least 2 processors")

@@ -39,7 +39,11 @@ import time
 from typing import Callable, Optional
 
 from ..apps.workload import LoopSpec
-from ..core.redistribution import make_movement_cost_estimator
+from ..core.diffusion import make_diffusion_planner
+from ..core.redistribution import (
+    make_movement_cost_estimator,
+    make_topology_movement_cost_estimator,
+)
 from ..core.strategies.base import StrategySpec
 from ..core.strategies.registry import get_strategy
 from ..faults.plan import FaultPlan
@@ -60,6 +64,7 @@ from ..protocol import (
     TimerFired,
     WorkerProtocol,
 )
+from ..network.topology import Topology, resolve_topology
 from ..runtime.assignment import equal_block_partition, merge_ranges
 from ..runtime.options import RunOptions
 from ..runtime.stats import LoopRunStats, SyncRecord
@@ -277,13 +282,30 @@ class ThreadBackend(ExecutionBackend):
                                   seed=options.group_seed)
         group_of = {node: g for g, members in enumerate(groups)
                     for node in members}
+        # Threads share one address space, so the topology is *logical*
+        # here: it shapes the planner (where work may flow) and the
+        # movement-cost estimate, not the transport.
+        topology = None
+        if options.topology is not None:
+            topology = resolve_topology(options.topology, n)
         movement_cost_fn = None
         if options.policy.include_movement_cost:
-            movement_cost_fn = make_movement_cost_estimator(
-                latency=options.network.latency,
-                bandwidth=options.network.bandwidth,
-                dc_bytes=loop.dc_bytes,
-                mean_iteration_time=mean_iteration_time)
+            if topology is not None and not topology.shared_medium:
+                movement_cost_fn = make_topology_movement_cost_estimator(
+                    options.network, topology,
+                    dc_bytes=loop.dc_bytes,
+                    mean_iteration_time=mean_iteration_time)
+            else:
+                movement_cost_fn = make_movement_cost_estimator(
+                    latency=options.network.latency,
+                    bandwidth=options.network.bandwidth,
+                    dc_bytes=loop.dc_bytes,
+                    mean_iteration_time=mean_iteration_time)
+        planner = None
+        if spec.code == "DIFF":
+            planner = make_diffusion_planner(
+                topology if topology is not None else Topology.bus(n),
+                options.policy, mean_iteration_time, movement_cost_fn)
 
         stats = LoopRunStats(loop_name=loop.name, strategy=spec.name,
                              n_processors=n, group_size=k,
@@ -304,6 +326,7 @@ class ThreadBackend(ExecutionBackend):
                 mean_iteration_time=mean_iteration_time,
                 dc_bytes=loop.dc_bytes,
                 movement_cost_fn=movement_cost_fn,
+                planner=planner,
                 profile_window_reset=options.profile_window_reset,
                 assignment=parts[node],
                 is_dlb=spec.is_dlb))
@@ -335,7 +358,8 @@ class ThreadBackend(ExecutionBackend):
             balancer = BalancerProtocol(
                 0, groups, policy=options.policy,
                 mean_iteration_time=mean_iteration_time,
-                movement_cost_fn=movement_cost_fn)
+                movement_cost_fn=movement_cost_fn,
+                planner=planner)
             balancer_thread = threading.Thread(
                 target=guarded(self._drive_balancer, balancer,
                                transport, shared, errors),

@@ -63,7 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
-    fig.add_argument("number", choices=["2", "4", "5", "6", "7", "8"])
+    fig.add_argument("number",
+                     choices=["2", "4", "5", "6", "7", "8", "topology"])
     fig.add_argument("--seeds", type=int, default=10,
                      help="load realizations per data point")
     fig.add_argument("--bars", action="store_true",
@@ -105,7 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--n", type=int, default=30, help="TRFD parameter N")
     run.add_argument("-P", "--processors", type=int, default=4)
     run.add_argument("--strategy", default="CUSTOM",
-                     help="NONE, GCDLB, GDDLB, LCDLB, LDDLB, WS, CUSTOM")
+                     help="NONE, GCDLB, GDDLB, LCDLB, LDDLB, WS, DIFF, "
+                          "CUSTOM")
+    run.add_argument("--topology", default=None, metavar="SPEC",
+                     help="network graph: bus (default), complete, ring, "
+                          "mesh, torus, or file:<adjacency.json> (see "
+                          "docs/TOPOLOGY.md); sim and thread backends")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--max-load", type=int, default=5)
     run.add_argument("--persistence", type=float, default=5.0)
@@ -137,6 +143,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="off-line network characterization (Fig 4)")
     cha.add_argument("--max-procs", type=int, default=16)
     cha.add_argument("--probe-bytes", type=int, default=64)
+    cha.add_argument("--topology", default=None, metavar="SPEC",
+                     help="characterize the patterns on a network graph "
+                          "(adds the NX neighbor-exchange fit)")
+    cha.add_argument("--probe", action="store_true",
+                     help="also estimate per-link latency/bandwidth from "
+                          "seeded point-to-point probes")
+    cha.add_argument("--probe-seed", type=int, default=0)
 
     com = sub.add_parser("compile",
                          help="compile an annotated source file")
@@ -212,7 +225,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from .experiments.report import render_bars, render_figure
     config = ExperimentConfig(n_seeds=args.seeds)
     fn = {"2": F.figure2, "4": F.figure4, "5": F.figure5,
-          "6": F.figure6, "7": F.figure7, "8": F.figure8}[args.number]
+          "6": F.figure6, "7": F.figure7, "8": F.figure8,
+          "topology": F.figure_topology}[args.number]
     result = fn(config)
     print(render_bars(result) if args.bars else render_figure(result))
     return 0
@@ -272,10 +286,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     ft = FaultToleranceConfig(request_timeout=args.ft_timeout,
                               max_retries=args.ft_retries)
-    options = RunOptions(group_size=args.group_size,
-                         sync_mode=args.sync_mode,
-                         sync_period=args.sync_period,
-                         fault_tolerance=ft)
+    try:
+        options = RunOptions(group_size=args.group_size,
+                             topology=args.topology,
+                             sync_mode=args.sync_mode,
+                             sync_period=args.sync_period,
+                             fault_tolerance=ft)
+    except ValueError as exc:
+        print(f"bad --topology: {exc}", file=sys.stderr)
+        return 2
     backend: object = args.backend
     if args.backend in ("thread", "process", "socket"):
         if args.app != "mxm":
@@ -309,6 +328,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"backend error: {exc}", file=sys.stderr)
             return 2
         print(stats.summary())
+        if args.topology:
+            print(f"topology={args.topology}")
         if stats.selected_scheme:
             print(f"customized selection: {stats.selection_report.summary()}")
     else:
@@ -316,6 +337,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         stats = run_application(app, cluster, args.strategy,
                                 options=options, fault_plan=fault_plan)
         print(stats.summary())
+        if args.topology:
+            print(f"topology={args.topology}")
         for ls in stats.loop_stats:
             if ls.selected_scheme:
                 print(f"{ls.loop_name} selection: "
@@ -324,17 +347,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    from .network import characterize_network
+    from .network import characterize_network, probe_link_parameters
     model = characterize_network(
         proc_counts=tuple(range(2, args.max_procs + 1)),
-        probe_bytes=args.probe_bytes)
+        probe_bytes=args.probe_bytes,
+        topology=args.topology)
     print(f"latency {model.latency * 1e6:.1f} us, "
           f"bandwidth {model.bandwidth / 1e6:.2f} MB/s")
-    for pattern in ("OA", "AO", "AA"):
+    for pattern in sorted(model.fits):
         fit = model.fits[pattern]
         coeffs = ", ".join(f"{c:.4e}" for c in fit.coefficients)
         print(f"{pattern}: fit [{coeffs}] over "
               f"P=2..{args.max_procs} (rms {fit.residual_rms():.2e} s)")
+    if args.probe:
+        est = probe_link_parameters(topology=args.topology,
+                                    n_hosts=args.max_procs,
+                                    seed=args.probe_seed)
+        print(f"probe ({len(est.samples)} samples, seed {est.seed}): "
+              f"latency {est.latency * 1e6:.1f} us, "
+              f"bandwidth {est.bandwidth / 1e6:.2f} MB/s, "
+              f"mean hops {est.mean_hops:.2f}")
     return 0
 
 

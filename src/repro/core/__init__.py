@@ -9,16 +9,20 @@
 """
 
 from .decision import SelectionReport, model_based_selector
+from .diffusion import diffusion_alpha, make_diffusion_planner, plan_diffusion
 from .policy import DlbPolicy
 from .redistribution import (
+    PlannerFn,
     RedistributionPlan,
     SyncProfile,
     make_movement_cost_estimator,
+    make_topology_movement_cost_estimator,
     plan_redistribution,
 )
 from .strategies import (
     ALL_DLB_STRATEGIES,
     CUSTOMIZED,
+    DIFFUSION,
     GCDLB,
     GDDLB,
     LCDLB,
@@ -28,25 +32,33 @@ from .strategies import (
     StrategySpec,
     WORK_STEALING,
     get_strategy,
+    strategies_for_topology,
 )
 
 __all__ = [
     "ALL_DLB_STRATEGIES",
     "CUSTOMIZED",
+    "DIFFUSION",
     "DlbPolicy",
     "GCDLB",
     "GDDLB",
     "LCDLB",
     "LDDLB",
     "NO_DLB",
+    "PlannerFn",
     "RedistributionPlan",
     "STRATEGY_ORDER",
     "SelectionReport",
     "StrategySpec",
     "SyncProfile",
     "WORK_STEALING",
+    "diffusion_alpha",
     "get_strategy",
+    "make_diffusion_planner",
     "make_movement_cost_estimator",
+    "make_topology_movement_cost_estimator",
     "model_based_selector",
+    "plan_diffusion",
     "plan_redistribution",
+    "strategies_for_topology",
 ]

@@ -25,7 +25,7 @@ from ..machine.workstation import Workstation
 from .model.costs import default_comm_model
 from .model.predictor import StrategyPrediction, rank_strategies
 from .redistribution import SyncProfile
-from .strategies.registry import ALL_DLB_STRATEGIES, GDDLB
+from .strategies.registry import GDDLB, strategies_for_topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.session import LoopSession
@@ -101,11 +101,18 @@ def model_based_selector(session: "LoopSession",
         ic_bytes=session.loop.ic_bytes)
     cluster = ClusterSpec.heterogeneous(
         [speeds[i] for i in sorted(speeds)], max_load=0)
-    comm = default_comm_model(session.options.network)
+    # On the bus the repertoire and the comm model are exactly the seed
+    # behavior; a graph topology re-characterizes the patterns on that
+    # graph and adds diffusion to the comparison.
+    topology = session.topology
+    if topology is not None and topology.shared_medium:
+        topology = None
+    comm = default_comm_model(session.options.network, topology=topology)
     predictions = rank_strategies(
         remainder, cluster, policy=session.policy, comm=comm,
-        group_size=session.group_size, strategies=ALL_DLB_STRATEGIES,
-        stations=stations)
+        group_size=session.group_size,
+        strategies=strategies_for_topology(topology),
+        stations=stations, topology=topology)
     best = predictions[0]
     report = SelectionReport(
         chosen=best.strategy, group_size=session.group_size,

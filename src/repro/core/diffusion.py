@@ -1,0 +1,169 @@
+"""Diffusion load balancing on graph topologies.
+
+The first-order diffusion scheme (FOS) of Cybenko, in the
+indivisible-load formulation of Demirel & Sbalzarini ("Balancing
+indivisible real-valued loads in arbitrary networks"): at each
+synchronization sweep, every edge ``(u, v)`` of the topology carries a
+load flow
+
+    ``f_uv = alpha * (w_u - w_v)``,    ``alpha = 1 / (1 + max_degree)``
+
+from the heavier endpoint to the lighter one.  The choice of ``alpha``
+makes the diffusion matrix ``M = I - alpha * L`` (``L`` the graph
+Laplacian) stable: the load vector converges geometrically to uniform
+at rate ``gamma = max(|eigenvalue of M| != 1)`` (see
+:func:`repro.machine.analytics.diffusion_convergence` for the bound).
+
+Indivisibility: iterations cannot be split, so each edge flow is
+floored to a whole number of mean-cost iterations before it ships, and
+an edge whose flow rounds below the policy's minimum transfer is
+skipped.  This quantization is what makes the scheme terminate in
+finitely many sweeps — once all neighbor differences fall below the
+quantum, the plan reports convergence instead of oscillating.
+
+Integration: :func:`plan_diffusion` returns the same
+:class:`~repro.core.redistribution.RedistributionPlan` the eq.-3
+planner produces, so the existing distributed-sync protocol machinery
+— global profile exchange, replicated deterministic planning,
+fault-hardened WORK parcels, exactly-once coverage verification —
+applies unchanged.  Only the *transfers* are restricted to topology
+edges; profiles still travel all-to-all (the protocol's sync pattern),
+which is what the §4 cost model charges for strategy ``DIFF``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..message.messages import TransferOrder
+from ..network.topology import Topology
+from .policy import DlbPolicy
+from .redistribution import (
+    MovementCostFn,
+    PlannerFn,
+    RedistributionPlan,
+    SyncProfile,
+)
+
+__all__ = ["diffusion_alpha", "plan_diffusion", "make_diffusion_planner"]
+
+_TINY_WORK = 1e-12
+
+
+def diffusion_alpha(topology: Topology) -> float:
+    """The FOS diffusion constant ``alpha = 1 / (1 + max_degree)``.
+
+    The largest value guaranteed stable for every graph of this maximum
+    degree (all eigenvalues of ``I - alpha * L`` stay in ``(-1, 1]``).
+    """
+    return 1.0 / (1.0 + topology.max_degree)
+
+
+def plan_diffusion(profiles: Sequence[SyncProfile],
+                   topology: Topology,
+                   policy: DlbPolicy,
+                   mean_iteration_time: float,
+                   movement_cost_fn: Optional[MovementCostFn] = None
+                   ) -> RedistributionPlan:
+    """One diffusion sweep over the topology edges.
+
+    Deterministic pure function of the profiles (edges are processed in
+    sorted order), so replicated planners in the distributed protocol
+    agree without communication.  Nodes absent from ``profiles`` (dead
+    or retired) simply drop out of the sweep: their incident edges carry
+    no flow, and the survivors keep diffusing over the induced subgraph.
+    """
+    if not profiles:
+        raise ValueError("need at least one profile")
+    if mean_iteration_time <= 0:
+        raise ValueError("mean_iteration_time must be positive")
+    profiles = sorted(profiles, key=lambda p: p.node)
+    nodes = [p.node for p in profiles]
+    if len(set(nodes)) != len(nodes):
+        raise ValueError("duplicate node in profiles")
+    work = {p.node: p.remaining_work for p in profiles}
+    total = sum(work.values())
+
+    # -- termination: no work anywhere ----------------------------------
+    if total <= _TINY_WORK:
+        return RedistributionPlan(
+            done=True, move=False, reason="done", shares={}, transfers=(),
+            retire=tuple(nodes), active=(), predicted_current=0.0,
+            predicted_balanced=0.0, work_to_move=0.0)
+
+    # -- rates (floored as in eq. 3) for the prediction terms -----------
+    max_rate = max(p.rate for p in profiles)
+    if max_rate <= _TINY_WORK:
+        rates = {p.node: 1.0 for p in profiles}
+    else:
+        floor = max_rate * policy.rate_floor_fraction
+        rates = {p.node: max(p.rate, floor) for p in profiles}
+    predicted_current = max(work[n] / rates[n] for n in nodes)
+
+    # -- per-edge flows, floored to whole iterations --------------------
+    present = set(nodes)
+    alpha = diffusion_alpha(topology)
+    quantum = max(policy.min_transfer_iterations, 1) * mean_iteration_time
+    pending = dict(work)
+    transfers: list[TransferOrder] = []
+    for u, v in topology.edges:
+        if u not in present or v not in present:
+            continue
+        # Flows computed from the *pre-sweep* loads (simultaneous FOS),
+        # capped by what the sender still holds once earlier edges in
+        # the deterministic order have drained it.
+        flow = alpha * (work[u] - work[v])
+        src, dst = (u, v) if flow > 0 else (v, u)
+        amount = math.floor(abs(flow) / mean_iteration_time) \
+            * mean_iteration_time
+        if amount < quantum:
+            continue
+        amount = min(amount, pending[src])
+        if amount <= _TINY_WORK:
+            continue
+        pending[src] -= amount
+        pending[dst] += amount
+        transfers.append(TransferOrder(src=src, dst=dst, work=amount))
+
+    work_to_move = sum(t.work for t in transfers)
+
+    if not transfers:
+        # Converged (all neighbor differences below the quantum): idle
+        # nodes retire — nothing will ever flow to them again before the
+        # loaded nodes finish — and the rest simply keep computing.
+        idle = tuple(n for n in nodes if work[n] <= _TINY_WORK)
+        stay = tuple(n for n in nodes if n not in idle)
+        return RedistributionPlan(
+            done=False, move=False, reason="diffusion-converged",
+            shares={n: work[n] for n in stay}, transfers=(),
+            retire=idle, active=stay,
+            predicted_current=predicted_current,
+            predicted_balanced=total / sum(rates[n] for n in nodes),
+            work_to_move=0.0)
+
+    movement_cost = 0.0
+    if movement_cost_fn is not None:
+        movement_cost = movement_cost_fn(transfers)
+
+    shares = {n: max(pending[n], 0.0) for n in nodes}
+    return RedistributionPlan(
+        done=False, move=True, reason="diffused", shares=shares,
+        transfers=tuple(transfers), retire=(), active=tuple(nodes),
+        predicted_current=predicted_current,
+        predicted_balanced=total / sum(rates[n] for n in nodes),
+        work_to_move=work_to_move, movement_cost=movement_cost)
+
+
+def make_diffusion_planner(topology: Topology,
+                           policy: DlbPolicy,
+                           mean_iteration_time: float,
+                           movement_cost_fn: Optional[MovementCostFn] = None
+                           ) -> PlannerFn:
+    """Bind a topology into a :data:`PlannerFn` for the protocol layer."""
+
+    def planner(profiles: Sequence[SyncProfile]) -> RedistributionPlan:
+        return plan_diffusion(profiles, topology, policy,
+                              mean_iteration_time, movement_cost_fn)
+
+    return planner

@@ -21,21 +21,31 @@ from functools import lru_cache
 
 from ...network.characterization import CommCostModel, characterize_network
 from ...network.parameters import NetworkParameters
+from ...network.topology import Topology, TopologySpec
 from ..policy import DlbPolicy
 from ..strategies.base import StrategySpec
 
 __all__ = ["SyncCosts", "strategy_sync_costs", "default_comm_model"]
 
 
-@lru_cache(maxsize=8)
-def _characterize_cached(params: NetworkParameters) -> CommCostModel:
-    return characterize_network(params)
+@lru_cache(maxsize=16)
+def _characterize_cached(params: NetworkParameters,
+                         topology: "str | Topology | None") -> CommCostModel:
+    return characterize_network(params, topology=topology)
 
 
-def default_comm_model(params: NetworkParameters | None = None
-                       ) -> CommCostModel:
-    """The off-line characterization for ``params`` (cached)."""
-    return _characterize_cached(params or NetworkParameters())
+def default_comm_model(params: NetworkParameters | None = None,
+                       topology: TopologySpec = None) -> CommCostModel:
+    """The off-line characterization for ``params`` (cached).
+
+    ``topology`` keys the cache too: pattern costs measured on a ring
+    differ from the bus, which is how the customization decision can
+    pick differently per topology.  ``None`` and ``"bus"`` share the
+    seed behavior (the shared-bus fits, no neighbor-exchange fit).
+    """
+    if topology == "bus":
+        topology = None
+    return _characterize_cached(params or NetworkParameters(), topology)
 
 
 @dataclass(frozen=True)
@@ -81,7 +91,7 @@ class SyncCosts:
         """
         if not self.centralized or n_messages <= 0:
             return 0.0
-        return n_messages * self.comm.latency
+        return self.comm.movement_time(0.0, n_messages)
 
     def data_movement(self, transfer_works: "tuple[float, ...]",
                       dc_bytes: int, mean_iteration_time: float) -> float:
@@ -98,8 +108,7 @@ class SyncCosts:
         else:
             volume = max(transfer_works)
         iterations = volume / mean_iteration_time
-        return (gamma * self.comm.latency
-                + iterations * dc_bytes / self.comm.bandwidth)
+        return self.comm.movement_time(iterations * dc_bytes, gamma)
 
 
 def strategy_sync_costs(strategy: StrategySpec, comm: CommCostModel,

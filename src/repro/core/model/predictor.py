@@ -28,6 +28,8 @@ from ...apps.workload import LoopSpec
 from ...machine.cluster import ClusterSpec, build_groups
 from ...machine.workstation import Workstation
 from ...network.characterization import CommCostModel
+from ...network.topology import Topology
+from ..diffusion import plan_diffusion
 from ..policy import DlbPolicy
 from ..redistribution import (
     make_movement_cost_estimator,
@@ -105,16 +107,22 @@ def predict_strategy(loop: LoopSpec, cluster: ClusterSpec,
                      comm: Optional[CommCostModel] = None,
                      group_size: int = 0,
                      stations: Optional[Sequence[Workstation]] = None,
-                     movement_model: str = "overlap") -> StrategyPrediction:
+                     movement_model: str = "overlap",
+                     topology: Optional[Topology] = None
+                     ) -> StrategyPrediction:
     """Solve the model for one strategy.
 
     ``stations`` may be supplied directly (the run-time decision process
     passes forecast workstations built from measured effective loads);
     otherwise they are built from ``cluster`` so model and simulation
     see the same load realization.
+
+    ``topology`` feeds two places: the communication model (when no
+    ``comm`` is supplied, the characterization runs on that graph) and
+    the diffusion strategy's planner, whose flows follow its edges.
     """
     policy = policy or DlbPolicy()
-    comm = comm or default_comm_model()
+    comm = comm or default_comm_model(topology=topology)
     if stations is None:
         stations = cluster.build()
     n = len(stations)
@@ -136,6 +144,18 @@ def predict_strategy(loop: LoopSpec, cluster: ClusterSpec,
     if policy.include_movement_cost:
         movement_cost_fn = make_movement_cost_estimator(
             comm.latency, comm.bandwidth, loop.dc_bytes, mean_iter)
+
+    if strategy.code == "DIFF":
+        diff_topology = topology if topology is not None \
+            else Topology.bus(n)
+
+        def run_planner(profiles: Sequence[SyncProfile]):
+            return plan_diffusion(profiles, diff_topology, policy,
+                                  mean_iter, movement_cost_fn)
+    else:
+        def run_planner(profiles: Sequence[SyncProfile]):
+            return plan_redistribution(profiles, policy, mean_iter,
+                                       movement_cost_fn)
 
     groups = [_GroupState(members=m, active=list(m),
                           work={i: initial[i] for i in m})
@@ -203,8 +223,7 @@ def predict_strategy(loop: LoopSpec, cluster: ClusterSpec,
                                 if g.work[i] > 0 else 0,
                                 rate=rates[i])
                     for i in sorted(g.active)]
-        plan = plan_redistribution(profiles, policy, mean_iter,
-                                   movement_cost_fn)
+        plan = run_planner(profiles)
 
         if plan.done:
             g.now += overhead
@@ -261,7 +280,8 @@ def rank_strategies(loop: LoopSpec, cluster: ClusterSpec,
                     group_size: int = 0,
                     strategies: Sequence[StrategySpec] = ALL_DLB_STRATEGIES,
                     stations: Optional[Sequence[Workstation]] = None,
-                    movement_model: str = "overlap"
+                    movement_model: str = "overlap",
+                    topology: Optional[Topology] = None
                     ) -> list[StrategyPrediction]:
     """Predict every strategy and sort best-first (the §4.3 decision).
 
@@ -274,5 +294,6 @@ def rank_strategies(loop: LoopSpec, cluster: ClusterSpec,
         out.append(predict_strategy(loop, cluster, spec, policy=policy,
                                     comm=comm, group_size=group_size,
                                     stations=st,
-                                    movement_model=movement_model))
+                                    movement_model=movement_model,
+                                    topology=topology))
     return sorted(out)

@@ -18,13 +18,19 @@ The same pure function is called by:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, TYPE_CHECKING
 
 from ..message.messages import TransferOrder
+from ..network.parameters import transfer_seconds
 from .policy import DlbPolicy
 
-__all__ = ["SyncProfile", "RedistributionPlan", "plan_redistribution",
-           "make_movement_cost_estimator"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.parameters import NetworkParameters
+    from ..network.topology import Topology
+
+__all__ = ["SyncProfile", "RedistributionPlan", "PlannerFn",
+           "plan_redistribution", "make_movement_cost_estimator",
+           "make_topology_movement_cost_estimator"]
 
 _TINY_WORK = 1e-12
 
@@ -82,6 +88,11 @@ class RedistributionPlan:
 
 MovementCostFn = Callable[[Sequence[TransferOrder]], float]
 
+#: A redistribution calculation: profiles in, plan out.  Must be a
+#: deterministic pure function of the profiles — the distributed schemes
+#: replicate the call on every node and rely on byte-identical plans.
+PlannerFn = Callable[[Sequence[SyncProfile]], "RedistributionPlan"]
+
 
 def make_movement_cost_estimator(latency: float, bandwidth: float,
                                  dc_bytes: int, mean_iteration_time: float
@@ -100,7 +111,39 @@ def make_movement_cost_estimator(latency: float, bandwidth: float,
         total = 0.0
         for t in transfers:
             iterations = t.work / mean_iteration_time
-            total += latency + (iterations * dc_bytes) / bandwidth
+            total += transfer_seconds(latency, bandwidth,
+                                      iterations * dc_bytes)
+        return total
+
+    return estimate
+
+
+def make_topology_movement_cost_estimator(params: "NetworkParameters",
+                                          topology: "Topology",
+                                          dc_bytes: int,
+                                          mean_iteration_time: float
+                                          ) -> MovementCostFn:
+    """Movement cost on a graph topology: store-and-forward routes.
+
+    Each transfer pays the endpoint NIC overheads once plus the wire
+    time of every link on its shortest route, honoring per-link
+    parameter overrides.  Shared-medium runs keep using
+    :func:`make_movement_cost_estimator` so the seed cost arithmetic
+    stays bit-identical.
+    """
+    if mean_iteration_time <= 0:
+        raise ValueError("mean_iteration_time must be positive")
+
+    def estimate(transfers: Sequence[TransferOrder]) -> float:
+        total = 0.0
+        for t in transfers:
+            iterations = t.work / mean_iteration_time
+            nbytes = iterations * dc_bytes
+            seconds = params.send_overhead + params.recv_overhead
+            for u, v in topology.route(t.src, t.dst):
+                link = topology.params_for(u, v) or params
+                seconds += link.wire_time(nbytes)
+            total += seconds
         return total
 
     return estimate

@@ -4,6 +4,7 @@ from .base import StrategySpec
 from .registry import (
     ALL_DLB_STRATEGIES,
     CUSTOMIZED,
+    DIFFUSION,
     GCDLB,
     GDDLB,
     LCDLB,
@@ -12,11 +13,13 @@ from .registry import (
     STRATEGY_ORDER,
     WORK_STEALING,
     get_strategy,
+    strategies_for_topology,
 )
 
 __all__ = [
     "ALL_DLB_STRATEGIES",
     "CUSTOMIZED",
+    "DIFFUSION",
     "GCDLB",
     "GDDLB",
     "LCDLB",
@@ -26,4 +29,5 @@ __all__ = [
     "StrategySpec",
     "WORK_STEALING",
     "get_strategy",
+    "strategies_for_topology",
 ]

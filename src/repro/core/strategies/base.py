@@ -80,6 +80,9 @@ class StrategySpec:
         if self.code == "WS":
             return ("random-victim work stealing (receiver-initiated, "
                     "no synchronization points)")
+        if self.code == "DIFF":
+            return ("first-order diffusion: replicated planning, work "
+                    "flows only along topology edges")
         scope = "global" if self.global_scope else "local"
         place = "centralized" if self.centralized else "distributed"
         return f"{scope} {place} interrupt-based receiver-initiated DLB"

@@ -12,9 +12,11 @@ __all__ = [
     "NO_DLB",
     "CUSTOMIZED",
     "WORK_STEALING",
+    "DIFFUSION",
     "ALL_DLB_STRATEGIES",
     "STRATEGY_ORDER",
     "get_strategy",
+    "strategies_for_topology",
 ]
 
 #: Global Centralized: one balancer on the master; everyone synchronizes.
@@ -46,16 +48,39 @@ CUSTOMIZED = StrategySpec(code="CUSTOM", name="Customized", centralized=True,
 WORK_STEALING = StrategySpec(code="WS", name="WorkStealing",
                              centralized=False, global_scope=True)
 
+#: Diffusion balancing (Demirel & Sbalzarini): distributed, replicated
+#: planning like GDDLB, but work flows only along topology edges in
+#: iterative nearest-neighbor sweeps.  Degenerate on the shared bus
+#: (complete adjacency, one global wire), so it enters the
+#: customization repertoire only on graph topologies — see
+#: :func:`strategies_for_topology`.
+DIFFUSION = StrategySpec(code="DIFF", name="Diffusion",
+                         centralized=False, global_scope=True)
+
 ALL_DLB_STRATEGIES = (GCDLB, GDDLB, LCDLB, LDDLB)
 
 #: Canonical presentation order used by figures and tables.
 STRATEGY_ORDER = ("GC", "GD", "LC", "LD")
 
 _BY_KEY = {s.code: s for s in
-           (GCDLB, GDDLB, LCDLB, LDDLB, NO_DLB, CUSTOMIZED, WORK_STEALING)}
+           (GCDLB, GDDLB, LCDLB, LDDLB, NO_DLB, CUSTOMIZED, WORK_STEALING,
+            DIFFUSION)}
 _BY_KEY.update({s.name.upper(): s for s in
                 (GCDLB, GDDLB, LCDLB, LDDLB, NO_DLB, CUSTOMIZED,
-                 WORK_STEALING)})
+                 WORK_STEALING, DIFFUSION)})
+
+
+def strategies_for_topology(topology=None) -> tuple[StrategySpec, ...]:
+    """The repertoire the customization decision ranks on a topology.
+
+    On the shared bus (``None`` or a ``shared_medium`` topology) this is
+    exactly the paper's four schemes — the seed behavior.  On a graph
+    topology, diffusion joins the comparison: its edge-restricted
+    transfers can beat the eq.-3 schemes when routes are long.
+    """
+    if topology is None or getattr(topology, "shared_medium", False):
+        return ALL_DLB_STRATEGIES
+    return ALL_DLB_STRATEGIES + (DIFFUSION,)
 
 
 def get_strategy(key: str) -> StrategySpec:

@@ -27,7 +27,8 @@ from .config import DEFAULT_CONFIG, ExperimentConfig, FIGURE_SCHEMES, \
 from .runner import Measurement, measure_loop
 
 __all__ = ["FigureRow", "FigureResult", "figure2", "figure4", "figure5",
-           "figure6", "figure7", "figure8", "mxm_figure", "trfd_figure"]
+           "figure6", "figure7", "figure8", "figure_topology",
+           "mxm_figure", "trfd_figure"]
 
 
 @dataclass
@@ -168,6 +169,44 @@ def figure4(config: Optional[ExperimentConfig] = None,
                   probe_bytes=probe_bytes,
                   coefficients={k: f.coefficients
                                 for k, f in model.fits.items()}))
+
+
+def figure_topology(config: Optional[ExperimentConfig] = None,
+                    n_processors: int = 8,
+                    topologies: tuple[str, ...] = ("bus", "ring", "mesh",
+                                                   "torus"),
+                    size: Optional[MxmConfig] = None) -> FigureResult:
+    """Strategy cost across network graphs (the topology extension).
+
+    One row per topology; bars are GD / LD / DIFF normalized to the
+    static no-DLB run *on the same topology*, so each row isolates the
+    balancing benefit from the raw transport cost of its graph.  This is
+    the experiment the generalized substrate exists for: on the bus the
+    eq.-3 global schemes win (the paper's result, unchanged), while on
+    sparse graphs nearest-neighbor diffusion becomes competitive because
+    its transfers never cross more than one link.
+    """
+    config = config or DEFAULT_CONFIG
+    size = size or MxmConfig(240, 200, 200)
+    loop = mxm_loop(size, op_seconds=config.mxm_op_seconds)
+    schemes = ("NONE", "GD", "LD", "DIFF")
+    rows = []
+    for topology in topologies:
+        cells = {s: measure_loop(loop, n_processors, s, config,
+                                 topology=topology)
+                 for s in schemes}
+        base = cells["NONE"].mean
+        rows.append(FigureRow(
+            label=topology,
+            normalized={s: cells[s].mean / base for s in schemes},
+            raw=cells))
+    return FigureResult(
+        figure_id="figure_topology",
+        title=f"Strategies across topologies (MXM {size.label}, "
+              f"P={n_processors})",
+        rows=rows,
+        meta=dict(n_processors=n_processors, seeds=config.seeds,
+                  topologies=topologies))
 
 
 def figure5(config: Optional[ExperimentConfig] = None) -> FigureResult:

@@ -18,6 +18,7 @@ from ..core.model.costs import default_comm_model
 from ..core.model.predictor import predict_strategy
 from ..core.strategies.registry import get_strategy
 from ..machine.cluster import ClusterSpec
+from ..network.topology import resolve_topology
 from ..runtime.executor import run_loop
 from ..runtime.options import RunOptions
 from .config import ExperimentConfig, TABLE_SCHEMES
@@ -57,11 +58,13 @@ def _cluster(n_processors: int, seed: int,
 
 def measure_loop(loop: LoopSpec, n_processors: int, scheme: str,
                  config: ExperimentConfig,
-                 seeds: Optional[Sequence[int]] = None) -> Measurement:
+                 seeds: Optional[Sequence[int]] = None,
+                 topology: Optional[str] = None) -> Measurement:
     """Run the event simulation over all seeds for one scheme."""
     seeds = tuple(seeds) if seeds is not None else config.seeds
     options = RunOptions(policy=config.policy, network=config.network,
-                         group_size=config.group_size(n_processors))
+                         group_size=config.group_size(n_processors),
+                         topology=topology)
     out = Measurement(scheme=scheme)
     for seed in seeds:
         stats = run_loop(loop, _cluster(n_processors, seed, config),
@@ -75,10 +78,16 @@ def measure_loop(loop: LoopSpec, n_processors: int, scheme: str,
 def predict_loop(loop: LoopSpec, n_processors: int, scheme: str,
                  config: ExperimentConfig,
                  seeds: Optional[Sequence[int]] = None,
-                 movement_model: str = "overlap") -> Measurement:
+                 movement_model: str = "overlap",
+                 topology: Optional[str] = None) -> Measurement:
     """Evaluate the §4.2 model over the same seeds for one scheme."""
     seeds = tuple(seeds) if seeds is not None else config.seeds
-    comm = default_comm_model(config.network)
+    resolved = None
+    if topology is not None:
+        resolved = resolve_topology(topology, n_processors)
+        if resolved.shared_medium:
+            resolved = None
+    comm = default_comm_model(config.network, topology=resolved)
     spec = get_strategy(scheme)
     out = Measurement(scheme=scheme)
     for seed in seeds:
@@ -86,7 +95,7 @@ def predict_loop(loop: LoopSpec, n_processors: int, scheme: str,
             loop, _cluster(n_processors, seed, config), spec,
             policy=config.policy, comm=comm,
             group_size=config.group_size(n_processors),
-            movement_model=movement_model)
+            movement_model=movement_model, topology=resolved)
         out.times.append(pred.total_time)
         out.syncs.append(pred.n_syncs)
         out.moves.append(pred.n_moves)

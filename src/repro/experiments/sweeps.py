@@ -25,7 +25,7 @@ from ..runtime.executor import run_loop
 from ..runtime.options import RunOptions
 from .config import ExperimentConfig
 
-__all__ = ["SweepPoint", "SweepResult", "sweep", "KNOBS"]
+__all__ = ["SweepPoint", "SweepResult", "sweep", "topology_sweep", "KNOBS"]
 
 
 def _set_persistence(config, options, value):
@@ -67,6 +67,9 @@ class SweepPoint:
     value: float
     means: dict[str, float]
     stds: dict[str, float] = field(default_factory=dict)
+    #: Display label for non-numeric axes (e.g. a topology name);
+    #: rendered instead of ``value`` when set.
+    label: str = ""
 
     def best(self) -> str:
         return min(self.means, key=self.means.get)
@@ -83,7 +86,8 @@ class SweepResult:
                                              for s in self.schemes)
         lines = [head, "-" * len(head)]
         for p in self.points:
-            lines.append(f"{p.value:>22g}" + "".join(
+            axis = p.label or format(p.value, "g")
+            lines.append(f"{axis:>22s}" + "".join(
                 f"{p.means[s]:>10.3f}" for s in self.schemes))
         return "\n".join(lines)
 
@@ -127,3 +131,43 @@ def sweep(loop: LoopSpec, n_processors: int, knob: str,
         points.append(SweepPoint(value=float(value), means=means,
                                  stds=stds))
     return SweepResult(knob=knob, schemes=tuple(schemes), points=points)
+
+
+def topology_sweep(loop: LoopSpec, n_processors: int,
+                   topologies: Sequence[str] = ("bus", "ring", "mesh",
+                                                "torus"),
+                   schemes: Sequence[str] = ("GD", "LD", "DIFF"),
+                   config: ExperimentConfig | None = None,
+                   options: RunOptions | None = None) -> SweepResult:
+    """Sweep the network graph instead of a numeric knob.
+
+    Every scheme runs on every topology over the configured seeds — the
+    experiment behind the topology figure/table: how much the winning
+    strategy (and diffusion's competitiveness) depends on the wiring.
+    ``DIFF`` on ``bus`` runs on the complete adjacency, its degenerate
+    shared-medium case.
+    """
+    cfg = config or ExperimentConfig()
+    base_options = options or RunOptions(policy=cfg.policy,
+                                         network=cfg.network)
+    points = []
+    for i, topology in enumerate(topologies):
+        opts = base_options.but(topology=topology)
+        if not opts.group_size:
+            opts = opts.but(group_size=cfg.group_size(n_processors))
+        means = {}
+        stds = {}
+        for scheme in schemes:
+            times = []
+            for seed in cfg.seeds:
+                cluster = ClusterSpec.homogeneous(
+                    n_processors, max_load=cfg.max_load,
+                    persistence=cfg.persistence, seed=seed)
+                times.append(run_loop(loop, cluster, scheme,
+                                      options=opts).duration)
+            means[scheme] = float(np.mean(times))
+            stds[scheme] = float(np.std(times))
+        points.append(SweepPoint(value=float(i), means=means, stds=stds,
+                                 label=str(topology)))
+    return SweepResult(knob="topology", schemes=tuple(schemes),
+                       points=points)

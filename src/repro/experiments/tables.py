@@ -11,14 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..apps.mxm import mxm_loop
+from ..apps.mxm import MxmConfig, mxm_loop
 from ..apps.trfd import TrfdConfig, trfd_loop1, trfd_loop2
 from .config import DEFAULT_CONFIG, ExperimentConfig, MXM_SIZES, \
     TABLE_SCHEMES, TRFD_SIZES
-from .runner import measured_order, order_agreement, \
-    predicted_order
+from .runner import measure_loop, measured_order, order_agreement, \
+    predict_loop, predicted_order
 
-__all__ = ["OrderRow", "TableResult", "table1", "table2"]
+__all__ = ["OrderRow", "TableResult", "table1", "table2",
+           "table_topology"]
 
 
 @dataclass
@@ -95,3 +96,39 @@ def table2(config: Optional[ExperimentConfig] = None) -> TableResult:
                     loop, n_processors, config))
     return TableResult(table_id="table2",
                        title="TRFD: actual vs. predicted order", rows=rows)
+
+
+def table_topology(config: Optional[ExperimentConfig] = None,
+                   n_processors: int = 8,
+                   topologies: tuple[str, ...] = ("bus", "ring", "mesh",
+                                                  "torus"),
+                   size: Optional[MxmConfig] = None) -> TableResult:
+    """Actual vs predicted order across network graphs.
+
+    Extends the paper's Table 1 methodology with a topology axis: each
+    row ranks the global schemes plus diffusion on one graph, both by
+    simulation and by the §4.2 model evaluated with that graph's
+    characterization — the evidence that the customization decision
+    stays sound off the shared bus.
+    """
+    config = config or DEFAULT_CONFIG
+    size = size or MxmConfig(240, 200, 200)
+    loop = mxm_loop(size, op_seconds=config.mxm_op_seconds)
+    schemes = ("GC", "GD", "LD", "DIFF")
+    rows = []
+    for topology in topologies:
+        acells = {s: measure_loop(loop, n_processors, s, config,
+                                  topology=topology) for s in schemes}
+        pcells = {s: predict_loop(loop, n_processors, s, config,
+                                  topology=topology) for s in schemes}
+        actual = tuple(sorted(schemes, key=lambda s: acells[s].mean))
+        predicted = tuple(sorted(schemes, key=lambda s: pcells[s].mean))
+        rows.append(OrderRow(
+            label=f"P={n_processors} {topology}",
+            actual=actual, predicted=predicted,
+            agreement=order_agreement(actual, predicted),
+            actual_means={s: acells[s].mean for s in schemes},
+            predicted_means={s: pcells[s].mean for s in schemes}))
+    return TableResult(table_id="table_topology",
+                       title="Topologies: actual vs. predicted order",
+                       rows=rows)

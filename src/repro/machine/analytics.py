@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..apps.workload import LoopSpec
+from ..network.topology import Topology
 from .cluster import ClusterSpec
 from .workstation import Workstation
 
@@ -21,6 +22,8 @@ __all__ = [
     "expected_capacity_rate",
     "ideal_balanced_time",
     "expected_static_slowdown",
+    "diffusion_convergence_rate",
+    "diffusion_sweep_bound",
 ]
 
 
@@ -97,3 +100,48 @@ def expected_static_slowdown(n_processors: int, max_load: int,
     static = mu.max(axis=1)                   # slowest processor rules
     balanced = n_processors / (1.0 / mu).sum(axis=1)
     return float(np.mean(static / balanced))
+
+
+def diffusion_convergence_rate(topology: Topology) -> float:
+    """The geometric contraction factor ``gamma`` of first-order
+    diffusion on a topology.
+
+    With ``alpha = 1 / (1 + max_degree)`` the diffusion matrix is
+    ``M = I - alpha * L`` (``L`` the graph Laplacian).  Its eigenvalue 1
+    carries the conserved total load; every other eigenvalue has
+    magnitude ``< 1`` on a connected graph, and the imbalance contracts
+    by ``gamma = max |eigenvalue != 1|`` per sweep (Cybenko; Demirel &
+    Sbalzarini use the same spectrum for their convergence bound).
+    """
+    alpha = 1.0 / (1.0 + topology.max_degree)
+    lap = np.asarray(topology.laplacian(), dtype=float)
+    eig = np.linalg.eigvalsh(np.eye(topology.n_hosts) - alpha * lap)
+    # eigvalsh sorts ascending; the conserved eigenvalue 1 is the last.
+    if topology.n_hosts == 1:
+        return 0.0
+    return float(max(abs(eig[0]), abs(eig[-2])))
+
+
+def diffusion_sweep_bound(topology: Topology, initial_imbalance: float,
+                          quantum: float) -> int:
+    """Sweeps until every diffusion flow quantizes to zero.
+
+    The imbalance (max deviation from the mean load) decays at least
+    geometrically at rate :func:`diffusion_convergence_rate`; once it
+    falls below ``quantum / (2 * alpha)`` no edge flow reaches a whole
+    transfer quantum and the indivisible-load scheme stops moving work.
+    Returns the smallest sweep count guaranteeing that, i.e.
+    ``ceil(log(threshold / imbalance) / log(gamma))`` — the bound the
+    convergence property test checks against.
+    """
+    if initial_imbalance < 0 or quantum <= 0:
+        raise ValueError("imbalance must be >= 0 and quantum > 0")
+    alpha = 1.0 / (1.0 + topology.max_degree)
+    threshold = quantum / (2.0 * alpha)
+    if initial_imbalance <= threshold:
+        return 0
+    gamma = diffusion_convergence_rate(topology)
+    if gamma <= 0.0:
+        return 1
+    return int(np.ceil(np.log(threshold / initial_imbalance)
+                       / np.log(gamma)))

@@ -1,7 +1,16 @@
 """Shared-bus (Ethernet-like) network transport (substrate S3).
 
-Every message crosses three serialization points, mirroring PVM over a
-10 Mbit Ethernet segment:
+The paper's network is a single 10 Mbit Ethernet segment: every host
+reaches every other host, and all frames serialize through one wire.
+Since the topology generalization, that is no longer a special
+implementation — :class:`SharedBusNetwork` is the *complete graph
+through one resource* instance of :class:`~repro.network.graph.GraphNetwork`:
+``Topology.bus(P)`` makes every pair of hosts adjacent (all routes are
+one hop) and ``shared_medium=True`` maps every edge onto the single
+``ethernet-bus`` resource.
+
+Every message still crosses three serialization points, mirroring PVM
+over the shared segment:
 
 1. the **sender's NIC/protocol stack** (one outgoing message at a time,
    ``send_overhead`` each — a one-to-all broadcast therefore serializes
@@ -15,7 +24,7 @@ Every message crosses three serialization points, mirroring PVM over a
 Same-host transfers (the co-located central load balancer) skip the bus
 and cost only ``local_overhead``.
 
-The caller-facing entry point is :meth:`SharedBusNetwork.transmit`: a
+The caller-facing entry point is :meth:`GraphNetwork.transmit`: a
 generator the sending process ``yield from``-s.  It returns — after the
 *sender-side* cost only, modelling PVM's asynchronous sends — an event
 that fires when the message is delivered.
@@ -23,140 +32,19 @@ that fires when the message is delivered.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional
+from typing import Optional
 
-from ..simulation import Environment, Event, Resource
+from ..simulation import Environment
+from .graph import GraphNetwork, NetworkStats
 from .parameters import NetworkParameters
+from .topology import Topology
 
 __all__ = ["SharedBusNetwork", "NetworkStats"]
 
 
-@dataclass
-class NetworkStats:
-    """Aggregate transport statistics for a run."""
-
-    messages: int = 0
-    bytes: int = 0
-    local_messages: int = 0
-    dropped_messages: int = 0
-    delayed_messages: int = 0
-    per_host_sent: dict[int, int] = field(default_factory=dict)
-    per_host_received: dict[int, int] = field(default_factory=dict)
-
-    def record(self, src: int, dst: int, nbytes: int, local: bool) -> None:
-        self.messages += 1
-        self.bytes += nbytes
-        if local:
-            self.local_messages += 1
-        self.per_host_sent[src] = self.per_host_sent.get(src, 0) + 1
-        self.per_host_received[dst] = self.per_host_received.get(dst, 0) + 1
-
-
-class SharedBusNetwork:
+class SharedBusNetwork(GraphNetwork):
     """A fully connected set of hosts sharing one Ethernet-like bus."""
 
     def __init__(self, env: Environment, n_hosts: int,
                  params: Optional[NetworkParameters] = None) -> None:
-        if n_hosts < 1:
-            raise ValueError("need at least one host")
-        self.env = env
-        self.n_hosts = n_hosts
-        self.params = params or NetworkParameters()
-        self.bus = Resource(env, capacity=1, name="ethernet-bus")
-        self.send_nic = [Resource(env, name=f"send-nic{i}")
-                         for i in range(n_hosts)]
-        self.recv_nic = [Resource(env, name=f"recv-nic{i}")
-                         for i in range(n_hosts)]
-        self.stats = NetworkStats()
-        #: Optional hook called as ``on_deliver(dst, item)`` at delivery time.
-        self.on_deliver: Optional[Callable[[int, Any], None]] = None
-        #: Optional fault hook consulted per transfer *before* it enters
-        #: the wire: ``fault_hook(src, dst, nbytes, item)`` returns
-        #: ``None`` (deliver normally), ``"drop"`` (the message vanishes
-        #: after the sender-side cost — PVM reports no error to the
-        #: sender), or a positive float (extra seconds of delay on the
-        #: wire).  Installed by :class:`repro.faults.FaultController`.
-        self.fault_hook: Optional[Callable[[int, int, int, Any],
-                                           "None | str | float"]] = None
-        #: Optional observer for dropped messages: ``on_drop(src, dst, item)``.
-        self.on_drop: Optional[Callable[[int, int, Any], None]] = None
-
-    def _check_host(self, host: int) -> None:
-        if not 0 <= host < self.n_hosts:
-            raise ValueError(f"host {host} out of range 0..{self.n_hosts - 1}")
-
-    def transmit(self, src: int, dst: int, nbytes: int,
-                 item: Any = None) -> Generator[Event, None, Event]:
-        """Send ``nbytes`` (+ payload ``item``) from ``src`` to ``dst``.
-
-        A generator to ``yield from`` inside a simulated process.  It
-        completes once the sender-side overhead has been paid and returns
-        a *delivery event* that fires (with ``item`` as its value) when
-        the message reaches ``dst``.
-        """
-        self._check_host(src)
-        self._check_host(dst)
-        if nbytes < 0:
-            raise ValueError("nbytes must be non-negative")
-        delivered = self.env.event()
-        if src == dst:
-            # Same-host transfers never touch the wire; local delivery is
-            # assumed reliable (no fault hook consultation).
-            yield from self.send_nic[src].use(self.params.local_overhead)
-            self.stats.record(src, dst, nbytes, local=True)
-            self._deliver(dst, item, delivered)
-            return delivered
-        verdict = None
-        if self.fault_hook is not None:
-            verdict = self.fault_hook(src, dst, nbytes, item)
-        yield from self.send_nic[src].use(self.params.send_overhead)
-        if verdict == "drop":
-            # The frame is lost on the wire: the sender has paid its NIC
-            # cost (asynchronous sends report no error) and the delivery
-            # event simply never fires.
-            self.stats.dropped_messages += 1
-            if self.on_drop is not None:
-                self.on_drop(src, dst, item)
-            return delivered
-        extra = float(verdict) if isinstance(verdict, (int, float)) else 0.0
-        if extra > 0:
-            self.stats.delayed_messages += 1
-        self.env.process(self._carry(src, dst, nbytes, item, delivered, extra),
-                         name=f"net:{src}->{dst}")
-        return delivered
-
-    def _carry(self, src: int, dst: int, nbytes: int, item: Any,
-               delivered: Event, extra_delay: float = 0.0
-               ) -> Generator[Event, None, None]:
-        if extra_delay > 0:
-            yield self.env.timeout(extra_delay)
-        wire = self.params.wire_latency + nbytes / self.params.bandwidth
-        yield from self.bus.use(wire)
-        yield from self.recv_nic[dst].use(self.params.recv_overhead)
-        self.stats.record(src, dst, nbytes, local=False)
-        self._deliver(dst, item, delivered)
-
-    def _deliver(self, dst: int, item: Any, delivered: Event) -> None:
-        if self.on_deliver is not None:
-            self.on_deliver(dst, item)
-        delivered.succeed(item)
-
-    # -- convenience: fire-and-forget send -------------------------------
-    def post(self, src: int, dst: int, nbytes: int, item: Any = None) -> Event:
-        """Spawn a detached process performing :meth:`transmit`.
-
-        Returns the delivery event.  Used when the sender should not be
-        charged in-line (e.g. test harnesses); protocol code should
-        prefer ``yield from transmit(...)`` so sender cost is modeled.
-        """
-        delivered = self.env.event()
-
-        def runner() -> Generator[Event, None, None]:
-            inner = yield from self.transmit(src, dst, nbytes, item)
-            value = yield inner
-            if not delivered.triggered:
-                delivered.succeed(value)
-
-        self.env.process(runner(), name=f"post:{src}->{dst}")
-        return delivered
+        super().__init__(env, Topology.bus(n_hosts), params)

@@ -1,0 +1,220 @@
+"""Graph-topology network transport: the generalized substrate S3.
+
+:class:`GraphNetwork` carries messages over an explicit
+:class:`~repro.network.topology.Topology` instead of assuming the
+paper's shared Ethernet bus.  Every message still crosses the same three
+serialization points as the original bus model:
+
+1. the **sender's NIC/protocol stack** (``send_overhead``, one outgoing
+   message at a time);
+2. the **wire** — but now one :class:`~repro.simulation.Resource` *per
+   link*, traversed store-and-forward along the deterministic
+   shortest-path route, each hop costing that link's
+   ``wire_latency + nbytes/bandwidth``.  A ``shared_medium`` topology
+   (the bus) maps every link onto a single wire resource, so all frames
+   serialize globally exactly as before;
+3. the **receiver's NIC/protocol stack** (``recv_overhead``, paid once
+   at the final destination).
+
+Intermediate hops model cut-through switch ports: they hold the link,
+not the forwarding host, so a relay host's NICs (and its crash state —
+see docs/TOPOLOGY.md for the fault-model consequences) never gate
+traffic passing through it.
+
+For a ``shared_medium`` complete graph this reduces to *exactly* the
+resource-acquisition sequence of the original ``SharedBusNetwork``
+(same resources, created in the same order, held for the same times),
+which is what keeps the seed oracles bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional, Protocol
+
+from ..simulation import Environment, Event, Resource
+from .parameters import NetworkParameters
+from .topology import Topology, TopologySpec, resolve_topology
+
+__all__ = ["GraphNetwork", "NetworkModel", "NetworkStats", "build_network"]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transport statistics for a run."""
+
+    messages: int = 0
+    bytes: int = 0
+    local_messages: int = 0
+    dropped_messages: int = 0
+    delayed_messages: int = 0
+    per_host_sent: dict[int, int] = field(default_factory=dict)
+    per_host_received: dict[int, int] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, nbytes: int, local: bool) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+        if local:
+            self.local_messages += 1
+        self.per_host_sent[src] = self.per_host_sent.get(src, 0) + 1
+        self.per_host_received[dst] = self.per_host_received.get(dst, 0) + 1
+
+
+class NetworkModel(Protocol):
+    """What the message layer and fault controller require of a network.
+
+    Any transport with this surface can back a
+    :class:`~repro.message.VirtualMachine`: :meth:`transmit` is the
+    sender-side generator returning a delivery event, and the three
+    hooks are the observation/fault-injection points.
+    """
+
+    env: Environment
+    n_hosts: int
+    params: NetworkParameters
+    stats: NetworkStats
+    on_deliver: Optional[Callable[[int, Any], None]]
+    fault_hook: Optional[Callable[[int, int, int, Any], "None | str | float"]]
+    on_drop: Optional[Callable[[int, int, Any], None]]
+
+    def transmit(self, src: int, dst: int, nbytes: int,
+                 item: Any = None) -> Generator[Event, None, Event]: ...
+
+    def post(self, src: int, dst: int, nbytes: int,
+             item: Any = None) -> Event: ...
+
+
+class GraphNetwork:
+    """Hosts connected by an arbitrary graph of point-to-point links."""
+
+    def __init__(self, env: Environment, topology: Topology,
+                 params: Optional[NetworkParameters] = None) -> None:
+        if topology.n_hosts < 1:
+            raise ValueError("need at least one host")
+        self.env = env
+        self.topology = topology
+        self.n_hosts = topology.n_hosts
+        self.params = params or NetworkParameters()
+        # Resource creation order matters for event-queue tie-breaking:
+        # wire(s) first, then send NICs, then recv NICs — the exact order
+        # the original SharedBusNetwork used.
+        self._links: dict[tuple[int, int], Resource] = {}
+        if topology.shared_medium:
+            self.bus = Resource(env, capacity=1, name="ethernet-bus")
+            for edge in topology.edges:
+                self._links[edge] = self.bus
+        else:
+            for u, v in topology.edges:
+                self._links[(u, v)] = Resource(env, capacity=1,
+                                               name=f"link{u}-{v}")
+        self.send_nic = [Resource(env, name=f"send-nic{i}")
+                         for i in range(self.n_hosts)]
+        self.recv_nic = [Resource(env, name=f"recv-nic{i}")
+                         for i in range(self.n_hosts)]
+        self.stats = NetworkStats()
+        #: Optional hook called as ``on_deliver(dst, item)`` at delivery time.
+        self.on_deliver: Optional[Callable[[int, Any], None]] = None
+        #: Optional fault hook consulted per transfer *before* it enters
+        #: the wire: ``fault_hook(src, dst, nbytes, item)`` returns
+        #: ``None`` (deliver normally), ``"drop"`` (the message vanishes
+        #: after the sender-side cost — PVM reports no error to the
+        #: sender), or a positive float (extra seconds of delay on the
+        #: wire).  Installed by :class:`repro.faults.FaultController`.
+        self.fault_hook: Optional[Callable[[int, int, int, Any],
+                                           "None | str | float"]] = None
+        #: Optional observer for dropped messages: ``on_drop(src, dst, item)``.
+        self.on_drop: Optional[Callable[[int, int, Any], None]] = None
+
+    def _check_host(self, host: int) -> None:
+        if not 0 <= host < self.n_hosts:
+            raise ValueError(f"host {host} out of range 0..{self.n_hosts - 1}")
+
+    def link(self, u: int, v: int) -> Resource:
+        """The wire resource for the (undirected) edge ``u - v``."""
+        return self._links[(u, v) if u < v else (v, u)]
+
+    def link_params(self, u: int, v: int) -> NetworkParameters:
+        """Effective parameters on edge ``u - v`` (override or default)."""
+        return self.topology.params_for(u, v) or self.params
+
+    def transmit(self, src: int, dst: int, nbytes: int,
+                 item: Any = None) -> Generator[Event, None, Event]:
+        """Send ``nbytes`` (+ payload ``item``) from ``src`` to ``dst``.
+
+        A generator to ``yield from`` inside a simulated process.  It
+        completes once the sender-side overhead has been paid and returns
+        a *delivery event* that fires (with ``item`` as its value) when
+        the message reaches ``dst``.
+        """
+        self._check_host(src)
+        self._check_host(dst)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        delivered = self.env.event()
+        if src == dst:
+            # Same-host transfers never touch the wire; local delivery is
+            # assumed reliable (no fault hook consultation).
+            yield from self.send_nic[src].use(self.params.local_overhead)
+            self.stats.record(src, dst, nbytes, local=True)
+            self._deliver(dst, item, delivered)
+            return delivered
+        verdict = None
+        if self.fault_hook is not None:
+            verdict = self.fault_hook(src, dst, nbytes, item)
+        yield from self.send_nic[src].use(self.params.send_overhead)
+        if verdict == "drop":
+            # The frame is lost on the wire: the sender has paid its NIC
+            # cost (asynchronous sends report no error) and the delivery
+            # event simply never fires.
+            self.stats.dropped_messages += 1
+            if self.on_drop is not None:
+                self.on_drop(src, dst, item)
+            return delivered
+        extra = float(verdict) if isinstance(verdict, (int, float)) else 0.0
+        if extra > 0:
+            self.stats.delayed_messages += 1
+        self.env.process(self._carry(src, dst, nbytes, item, delivered, extra),
+                         name=f"net:{src}->{dst}")
+        return delivered
+
+    def _carry(self, src: int, dst: int, nbytes: int, item: Any,
+               delivered: Event, extra_delay: float = 0.0
+               ) -> Generator[Event, None, None]:
+        if extra_delay > 0:
+            yield self.env.timeout(extra_delay)
+        for u, v in self.topology.route(src, dst):
+            wire = self.link_params(u, v).wire_time(nbytes)
+            yield from self.link(u, v).use(wire)
+        yield from self.recv_nic[dst].use(self.params.recv_overhead)
+        self.stats.record(src, dst, nbytes, local=False)
+        self._deliver(dst, item, delivered)
+
+    def _deliver(self, dst: int, item: Any, delivered: Event) -> None:
+        if self.on_deliver is not None:
+            self.on_deliver(dst, item)
+        delivered.succeed(item)
+
+    # -- convenience: fire-and-forget send -------------------------------
+    def post(self, src: int, dst: int, nbytes: int, item: Any = None) -> Event:
+        """Spawn a detached process performing :meth:`transmit`.
+
+        Returns the delivery event.  Used when the sender should not be
+        charged in-line (e.g. test harnesses); protocol code should
+        prefer ``yield from transmit(...)`` so sender cost is modeled.
+        """
+        delivered = self.env.event()
+
+        def runner() -> Generator[Event, None, None]:
+            inner = yield from self.transmit(src, dst, nbytes, item)
+            value = yield inner
+            if not delivered.triggered:
+                delivered.succeed(value)
+
+        self.env.process(runner(), name=f"post:{src}->{dst}")
+        return delivered
+
+
+def build_network(env: Environment, spec: TopologySpec, n_hosts: int,
+                  params: Optional[NetworkParameters] = None) -> GraphNetwork:
+    """Build the transport for a topology spec (``None`` => shared bus)."""
+    return GraphNetwork(env, resolve_topology(spec, n_hosts), params)

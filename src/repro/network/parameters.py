@@ -14,12 +14,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["NetworkParameters", "PAPER_LATENCY_S", "PAPER_BANDWIDTH_BPS"]
+__all__ = ["NetworkParameters", "PAPER_LATENCY_S", "PAPER_BANDWIDTH_BPS",
+           "transfer_seconds"]
 
 #: Measured PVM latency from the paper (§6.1), seconds.
 PAPER_LATENCY_S = 2414.5e-6
 #: Measured PVM bandwidth from the paper (§6.1), bytes/second.
 PAPER_BANDWIDTH_BPS = 0.96e6
+
+
+def transfer_seconds(latency: float, bandwidth: float, nbytes: float,
+                     n_messages: int = 1) -> float:
+    """The one transfer-time formula: ``n_messages * L + nbytes / B``.
+
+    Every latency/bandwidth cost in the repo routes through here — the
+    DES wire time, the §4.2 data-movement term, the redistribution
+    planner's movement-cost estimate — so the model cannot drift apart
+    across layers.  Takes scalars (not a :class:`NetworkParameters`)
+    because the process/socket backends ship ``(L, B)`` pairs over the
+    wire to workers that never see a parameters object.
+    """
+    return n_messages * latency + nbytes / bandwidth
 
 
 @dataclass(frozen=True)
@@ -51,7 +66,12 @@ class NetworkParameters:
 
     def transfer_time(self, nbytes: int) -> float:
         """Uncontended one-way time for an ``nbytes`` message: L + n/B."""
-        return self.latency + nbytes / self.bandwidth
+        return transfer_seconds(self.latency, self.bandwidth, nbytes)
+
+    def wire_time(self, nbytes: int) -> float:
+        """Time a frame occupies one wire/link: wire_latency + n/B
+        (excludes both endpoints' NIC overheads)."""
+        return transfer_seconds(self.wire_latency, self.bandwidth, nbytes)
 
     @staticmethod
     def paper_defaults() -> "NetworkParameters":

@@ -3,9 +3,15 @@
 The paper characterizes three patterns off-line — one-to-all (OA),
 all-to-one (AO) and all-to-all (AA) — and fits polynomials to the
 measured times (Figure 4).  :func:`measure_pattern` reproduces the
-measurement side on the simulated shared bus: it builds a fresh network,
-runs the pattern with ``P`` hosts and a given message size, and reports
-the completion time (all messages delivered).
+measurement side on the simulated network: it builds a fresh transport
+for the requested topology (the shared bus by default), runs the
+pattern with ``P`` hosts and a given message size, and reports the
+completion time (all messages delivered).
+
+The topology generalization adds a fourth pattern, neighbor exchange
+(NX): every host sends to each of its topology neighbors concurrently.
+It is the synchronization pattern of diffusion-based balancing; on the
+bus (complete adjacency) it degenerates to all-to-all exactly.
 """
 
 from __future__ import annotations
@@ -13,16 +19,20 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..simulation import Environment, Event
-from .bus import SharedBusNetwork
+from .graph import GraphNetwork, build_network
 from .parameters import NetworkParameters
+from .topology import TopologySpec
 
-__all__ = ["PATTERNS", "measure_pattern", "one_to_all", "all_to_one",
-           "all_to_all"]
+__all__ = ["PATTERNS", "NEIGHBOR_PATTERN", "measure_pattern", "one_to_all",
+           "all_to_one", "all_to_all", "neighbor_exchange"]
 
 PATTERNS = ("OA", "AO", "AA")
+#: Neighbor exchange: measured only when a topology is given (on the bus
+#: it is identical to AA), so it is not part of the base PATTERNS sweep.
+NEIGHBOR_PATTERN = "NX"
 
 
-def one_to_all(net: SharedBusNetwork, root: int, nbytes: int
+def one_to_all(net: GraphNetwork, root: int, nbytes: int
                ) -> Generator[Event, None, None]:
     """Root sends one message to every other host; waits for deliveries."""
     deliveries = []
@@ -35,7 +45,7 @@ def one_to_all(net: SharedBusNetwork, root: int, nbytes: int
         yield net.env.all_of(deliveries)
 
 
-def all_to_one(net: SharedBusNetwork, root: int, nbytes: int
+def all_to_one(net: GraphNetwork, root: int, nbytes: int
                ) -> Generator[Event, None, None]:
     """Every other host sends to root concurrently; waits for deliveries."""
     env = net.env
@@ -51,7 +61,7 @@ def all_to_one(net: SharedBusNetwork, root: int, nbytes: int
         yield env.all_of(procs)
 
 
-def all_to_all(net: SharedBusNetwork, nbytes: int
+def all_to_all(net: GraphNetwork, nbytes: int
                ) -> Generator[Event, None, None]:
     """Every host sends to every other host; waits for all deliveries."""
     env = net.env
@@ -71,25 +81,55 @@ def all_to_all(net: SharedBusNetwork, nbytes: int
     yield env.all_of(procs)
 
 
+def neighbor_exchange(net: GraphNetwork, nbytes: int
+                      ) -> Generator[Event, None, None]:
+    """Every host sends to each topology neighbor; waits for deliveries.
+
+    The synchronization pattern of diffusion balancing: profile exchange
+    is restricted to graph edges, so the cost scales with degree rather
+    than P on sparse topologies.
+    """
+    env = net.env
+    topo = net.topology
+
+    def sender(src: int) -> Generator[Event, None, None]:
+        deliveries = []
+        for dst in topo.neighbors(src):
+            ev = yield from net.transmit(src, dst, nbytes)
+            deliveries.append(ev)
+        if deliveries:
+            yield env.all_of(deliveries)
+
+    procs = [env.process(sender(src), name=f"nx:{src}")
+             for src in range(net.n_hosts)]
+    yield env.all_of(procs)
+
+
 def measure_pattern(pattern: str, n_hosts: int, nbytes: int,
-                    params: Optional[NetworkParameters] = None) -> float:
-    """Completion time (seconds) of ``pattern`` on a fresh simulated bus.
+                    params: Optional[NetworkParameters] = None,
+                    topology: TopologySpec = None) -> float:
+    """Completion time (seconds) of ``pattern`` on a fresh simulated net.
 
     Parameters mirror the paper's off-line characterization: ``pattern``
-    is one of ``"OA"``, ``"AO"``, ``"AA"``; ``n_hosts`` is the processor
-    count; ``nbytes`` the per-message payload.
+    is one of ``"OA"``, ``"AO"``, ``"AA"`` (or ``"NX"`` — neighbor
+    exchange); ``n_hosts`` is the processor count; ``nbytes`` the
+    per-message payload; ``topology`` the graph to measure on (``None``
+    = the paper's shared bus).
     """
-    if pattern not in PATTERNS:
-        raise ValueError(f"unknown pattern {pattern!r}; expected {PATTERNS}")
+    if pattern not in PATTERNS and pattern != NEIGHBOR_PATTERN:
+        raise ValueError(f"unknown pattern {pattern!r}; expected "
+                         f"{PATTERNS + (NEIGHBOR_PATTERN,)}")
     if n_hosts < 2:
         raise ValueError("patterns need at least two hosts")
     env = Environment()
-    net = SharedBusNetwork(env, n_hosts, params)
+    net = build_network(env, topology, n_hosts, params)
     if pattern == "OA":
         proc = env.process(one_to_all(net, 0, nbytes), name="OA")
     elif pattern == "AO":
         proc = env.process(all_to_one(net, 0, nbytes), name="AO")
-    else:
+    elif pattern == "AA":
         proc = env.process(all_to_all(net, nbytes), name="AA")
+    else:
+        proc = env.process(neighbor_exchange(net, nbytes), name="NX")
     env.run(proc)
     return env.now

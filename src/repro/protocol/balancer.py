@@ -19,6 +19,7 @@ from typing import Iterable, Optional, Sequence
 from ..core.policy import DlbPolicy
 from ..core.redistribution import (
     MovementCostFn,
+    PlannerFn,
     RedistributionPlan,
     SyncProfile,
     plan_redistribution,
@@ -46,6 +47,7 @@ class BalancerProtocol:
                  policy: DlbPolicy,
                  mean_iteration_time: float,
                  movement_cost_fn: Optional[MovementCostFn] = None,
+                 planner: Optional[PlannerFn] = None,
                  ft: Optional[FaultToleranceConfig] = None) -> None:
         self.host = host
         self.groups = [list(members) for members in groups]
@@ -54,6 +56,9 @@ class BalancerProtocol:
         self.policy = policy
         self.mean_iteration_time = mean_iteration_time
         self.movement_cost_fn = movement_cost_fn
+        #: Pluggable redistribution calculation (``None`` = eq. 3); the
+        #: diffusion strategy installs its topology-restricted planner.
+        self.planner = planner
         self.ft = ft or FaultToleranceConfig()
 
         self.pending: dict[int, dict[int, SyncProfile]] = {}
@@ -137,9 +142,12 @@ class BalancerProtocol:
                       key=lambda p: p.node)
 
     def plan(self, profiles: Iterable[SyncProfile]) -> RedistributionPlan:
+        ordered = sorted(profiles, key=lambda p: p.node)
+        if self.planner is not None:
+            return self.planner(ordered)
         return plan_redistribution(
-            sorted(profiles, key=lambda p: p.node),
-            self.policy, self.mean_iteration_time, self.movement_cost_fn)
+            ordered, self.policy, self.mean_iteration_time,
+            self.movement_cost_fn)
 
     def build_instructions(self, gid: int, plan: RedistributionPlan, *,
                            granted: tuple[Range, ...] = (),

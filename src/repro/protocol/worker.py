@@ -42,6 +42,7 @@ from ..apps.workload import WorkTable
 from ..core.policy import DlbPolicy
 from ..core.redistribution import (
     MovementCostFn,
+    PlannerFn,
     RedistributionPlan,
     SyncProfile,
     plan_redistribution,
@@ -81,6 +82,7 @@ class WorkerProtocol:
                  mean_iteration_time: float,
                  dc_bytes: int = 0,
                  movement_cost_fn: Optional[MovementCostFn] = None,
+                 planner: Optional[PlannerFn] = None,
                  ft: Optional[FaultToleranceConfig] = None,
                  profile_window_reset: bool = True,
                  initial_rate: float = 1.0,
@@ -97,6 +99,12 @@ class WorkerProtocol:
         self.mean_iteration_time = mean_iteration_time
         self.dc_bytes = dc_bytes
         self.movement_cost_fn = movement_cost_fn
+        #: Pluggable redistribution calculation: ``None`` uses the
+        #: paper's eq.-3 proportional planner; the diffusion strategy
+        #: installs a topology-restricted planner here.  Must be a
+        #: deterministic pure function — the distributed schemes rely on
+        #: replicated planners agreeing without communication.
+        self.planner = planner
         self.ft = ft or FaultToleranceConfig()
         self.profile_window_reset = profile_window_reset
         self.is_dlb = is_dlb
@@ -266,9 +274,12 @@ class WorkerProtocol:
     def local_plan(self, profiles: Iterable[SyncProfile]
                    ) -> RedistributionPlan:
         """The replicated (deterministic) redistribution calculation."""
+        ordered = sorted(profiles, key=lambda p: p.node)
+        if self.planner is not None:
+            return self.planner(ordered)
         return plan_redistribution(
-            sorted(profiles, key=lambda p: p.node),
-            self.policy, self.mean_iteration_time, self.movement_cost_fn)
+            ordered, self.policy, self.mean_iteration_time,
+            self.movement_cost_fn)
 
     # ------------------------------------------------------------------
     # Event pump (used by real-time backends and scripted tests).

@@ -30,6 +30,7 @@ from ..machine.cluster import ClusterSpec
 from ..machine.workstation import Workstation
 from ..message.messages import DataMsg, Tag
 from ..message.pvm import VirtualMachine
+from ..network.graph import build_network
 from ..simulation import Environment, SimulationError
 from .assignment import (
     equal_block_partition,
@@ -228,6 +229,19 @@ def run_loop_stage(env: Environment, vm: VirtualMachine,
     return session.stats
 
 
+def _build_vm(env: Environment, n: int, options: RunOptions) -> VirtualMachine:
+    """A virtual machine on the run's network graph.
+
+    ``topology=None`` takes the original shared-bus construction path
+    untouched (bit-identity with the seed); any explicit topology —
+    including ``"bus"`` — goes through :func:`build_network`.
+    """
+    if options.topology is None:
+        return VirtualMachine(env, n, options.network)
+    network = build_network(env, options.topology, n, options.network)
+    return VirtualMachine(env, n, options.network, network=network)
+
+
 def _initial_partition(session: LoopSession):
     """The compiler's initial distribution (equal or speed-weighted)."""
     if session.options.initial_partition == "speed":
@@ -306,7 +320,7 @@ def run_loop(loop: LoopSpec, cluster: ClusterSpec, strategy: StrategyLike,
         selector = model_based_selector
     env = Environment()
     stations = cluster.build()
-    vm = VirtualMachine(env, cluster.n_processors, options.network)
+    vm = _build_vm(env, cluster.n_processors, options)
     return run_loop_stage(env, vm, stations, loop, spec, options, selector,
                           fault_plan=fault_plan)
 
@@ -329,7 +343,7 @@ def run_application(app: ApplicationSpec, cluster: ClusterSpec,
         selector = model_based_selector
     env = Environment()
     stations = cluster.build()
-    vm = VirtualMachine(env, cluster.n_processors, options.network)
+    vm = _build_vm(env, cluster.n_processors, options)
     stats = AppRunStats(app_name=app.name, strategy=spec.name,
                         n_processors=cluster.n_processors)
     pending_plan = fault_plan

@@ -86,6 +86,7 @@ class NodeRuntime:
             mean_iteration_time=session.mean_iteration_time,
             dc_bytes=session.loop.dc_bytes,
             movement_cost_fn=session.movement_cost_fn,
+            planner=session.planner,
             ft=session.ft,
             profile_window_reset=session.options.profile_window_reset,
             initial_rate=self.ws.speed,

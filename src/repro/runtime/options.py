@@ -7,6 +7,7 @@ from typing import Callable, Optional
 
 from ..core.policy import DlbPolicy
 from ..network.parameters import NetworkParameters
+from ..network.topology import Topology, parse_topology_spec
 
 __all__ = ["RunOptions", "FaultToleranceConfig"]
 
@@ -80,6 +81,12 @@ class RunOptions:
         The DLB thresholds and costs (§3.3–§3.4).
     network:
         Transport parameters; defaults to the paper's measured values.
+    topology:
+        The network graph: ``None`` (the paper's shared bus — the seed
+        behavior, bit-identical), a spec string (``"bus"``, ``"ring"``,
+        ``"mesh"``, ``"torus"``, ``"file:<adjacency.json>"``), or a
+        concrete :class:`~repro.network.topology.Topology`.  Resolved
+        against the processor count when the run starts.
     group_size:
         ``K`` for the local strategies.  ``0`` means the paper's
         two-group setting, ``K = ceil(P / 2)``.
@@ -124,6 +131,7 @@ class RunOptions:
 
     policy: DlbPolicy = field(default_factory=DlbPolicy)
     network: NetworkParameters = field(default_factory=NetworkParameters)
+    topology: "str | Topology | None" = None
     group_size: int = 0
     include_staging: bool = False
     profile_window_reset: bool = True
@@ -138,6 +146,8 @@ class RunOptions:
         default_factory=FaultToleranceConfig)
 
     def __post_init__(self) -> None:
+        if isinstance(self.topology, str):
+            parse_topology_spec(self.topology)  # fail fast on bad specs
         if self.group_formation not in ("block", "interleaved", "random"):
             raise ValueError(f"bad group_formation {self.group_formation!r}")
         if self.initial_partition not in ("equal", "speed"):

@@ -12,17 +12,21 @@ from __future__ import annotations
 from typing import Callable, Optional, TYPE_CHECKING
 
 from ..apps.workload import LoopSpec, WorkTable
+from ..core.diffusion import make_diffusion_planner
 from ..core.policy import DlbPolicy
 from ..core.redistribution import (
     MovementCostFn,
+    PlannerFn,
     RedistributionPlan,
     make_movement_cost_estimator,
+    make_topology_movement_cost_estimator,
 )
 from ..core.strategies.base import StrategySpec
 from ..core.strategies.registry import get_strategy
 from ..machine.cluster import build_groups
 from ..machine.workstation import Workstation
 from ..message.pvm import VirtualMachine
+from ..network.topology import Topology, resolve_topology
 from ..simulation import Environment
 from .options import RunOptions
 from .stats import LoopRunStats, SyncRecord
@@ -68,13 +72,30 @@ class LoopSession:
         self.group_of = {node: g for g, members in enumerate(self.groups)
                          for node in members}
 
+        #: The run's network graph, or ``None`` for the default shared
+        #: bus (the seed configuration — every code path below must stay
+        #: bit-identical in that case).
+        self.topology: Optional[Topology] = None
+        if options.topology is not None:
+            self.topology = resolve_topology(options.topology, self.n)
+
         self.movement_cost_fn: Optional[MovementCostFn] = None
         if self.policy.include_movement_cost:
-            self.movement_cost_fn = make_movement_cost_estimator(
-                latency=options.network.latency,
-                bandwidth=options.network.bandwidth,
-                dc_bytes=loop.dc_bytes,
-                mean_iteration_time=self.mean_iteration_time)
+            if self.topology is not None and not self.topology.shared_medium:
+                self.movement_cost_fn = make_topology_movement_cost_estimator(
+                    options.network, self.topology,
+                    dc_bytes=loop.dc_bytes,
+                    mean_iteration_time=self.mean_iteration_time)
+            else:
+                self.movement_cost_fn = make_movement_cost_estimator(
+                    latency=options.network.latency,
+                    bandwidth=options.network.bandwidth,
+                    dc_bytes=loop.dc_bytes,
+                    mean_iteration_time=self.mean_iteration_time)
+
+        #: Planner override for the protocol layer: diffusion binds the
+        #: topology here; ``None`` means the eq.-3 planner (seed path).
+        self.planner: Optional[PlannerFn] = self._planner_for(strategy)
 
         self.stats = LoopRunStats(
             loop_name=loop.name, strategy=strategy.name,
@@ -115,6 +136,16 @@ class LoopSession:
             return True  # until apply_selection replaces the strategy
         return self.strategy.centralized
 
+    def _planner_for(self, strategy: StrategySpec) -> Optional[PlannerFn]:
+        """The protocol planner a strategy needs (``None`` = eq. 3)."""
+        if strategy.code != "DIFF":
+            return None
+        topology = self.topology if self.topology is not None \
+            else Topology.bus(self.n)
+        return make_diffusion_planner(topology, self.policy,
+                                      self.mean_iteration_time,
+                                      self.movement_cost_fn)
+
     def apply_selection(self, scheme_code: str, group_size: int) -> None:
         """Commit to the selected scheme (idempotent, §4.3)."""
         if self._selected:
@@ -133,6 +164,12 @@ class LoopSession:
                                        seed=self.options.group_seed)
         self.group_of = {node: g for g, members in enumerate(self.groups)
                          for node in members}
+        # Selecting DIFF swaps the planner into the live node protocols
+        # (selecting anything else swaps it back out — a no-op today,
+        # since CUSTOM always starts on the eq.-3 planner).
+        self.planner = self._planner_for(chosen)
+        for runtime in self.nodes.values():
+            runtime.protocol.planner = self.planner
 
     # -- bookkeeping ----------------------------------------------------------
     def record_plan(self, group: int, epoch: int,

@@ -91,11 +91,13 @@ class LoopRunStats:
 
     @property
     def n_redistributions(self) -> int:
-        return sum(1 for s in self.syncs if s.reason == "moved")
+        # Any sync that shipped work counts, whatever the planner's
+        # reason string ("moved" for eq.-3 plans, "diffused" for DIFF).
+        return sum(1 for s in self.syncs if s.n_transfers > 0)
 
     @property
     def total_work_moved(self) -> float:
-        return sum(s.moved_work for s in self.syncs if s.reason == "moved")
+        return sum(s.moved_work for s in self.syncs if s.n_transfers > 0)
 
     def executed_count(self, node: int) -> int:
         return sum(e - s for s, e in self.executed_by_node.get(node, []))

@@ -1,0 +1,74 @@
+"""Property (b): exactly-once coverage on graph topologies under crashes.
+
+The fault-hardened protocol was built against the shared bus; these
+tests pin that its guarantees — every iteration executed exactly once,
+crash victims reclaimed, the loop terminating on the survivors — are
+topology-independent.  Diffusion rides the same WORK-parcel ledger as
+the eq.-3 strategies, so it is parametrized alongside them.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.runtime.executor import run_loop
+
+from .conftest import assert_exact_coverage
+
+pytestmark = pytest.mark.faults
+
+TOPOLOGIES = ("ring", "mesh", "torus")
+SCHEMES = ("GDDLB", "LDDLB", "DIFF")
+
+
+def _hardened(options):
+    return options.but(fault_tolerance=replace(
+        options.fault_tolerance, enabled=True))
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_crash_exactly_once_on_graph(scheme, topology, ft_loop, cluster4,
+                                     ft_options):
+    """Crash a worker mid-run on a switched graph: total work must still
+    be executed exactly once across the survivors."""
+    options = ft_options.but(topology=topology)
+    baseline = run_loop(ft_loop, cluster4, scheme,
+                        options=_hardened(options))
+    assert baseline.syncs, "loop too small to sync: test is vacuous"
+    crash_time = baseline.syncs[0].time + 1e-4
+    plan = FaultPlan.single_crash(node=2, time=crash_time)
+    stats = run_loop(ft_loop, cluster4, scheme, options=options,
+                     fault_plan=plan)
+    assert_exact_coverage(stats, ft_loop)
+    assert stats.crashed_nodes == (2,)
+    assert 2 in stats.declared_dead
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_diffusion_crash_before_first_sync(topology, ft_loop, cluster4,
+                                           ft_options):
+    """The victim dies while its whole initial block is outstanding;
+    diffusion's neighbor-only flows must not strand the reclaimed work."""
+    options = ft_options.but(topology=topology)
+    baseline = run_loop(ft_loop, cluster4, "DIFF",
+                        options=_hardened(options))
+    assert baseline.syncs
+    crash_time = 0.5 * baseline.syncs[0].time
+    plan = FaultPlan.single_crash(node=1, time=crash_time)
+    stats = run_loop(ft_loop, cluster4, "DIFF", options=options,
+                     fault_plan=plan)
+    assert_exact_coverage(stats, ft_loop)
+    assert stats.reclaimed_iterations > 0
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_fault_free_diffusion_covers_exactly_once(topology, ft_loop,
+                                                  cluster4, ft_options):
+    """Control: without faults, diffusion on a graph is also
+    exactly-once (redistribution itself neither loses nor duplicates)."""
+    stats = run_loop(ft_loop, cluster4, "DIFF",
+                     options=ft_options.but(topology=topology))
+    assert_exact_coverage(stats, ft_loop)
+    assert stats.n_syncs > 0

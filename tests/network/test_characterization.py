@@ -5,6 +5,7 @@ import pytest
 from repro.network.characterization import (
     CommCostModel,
     characterize_network,
+    probe_link_parameters,
 )
 from repro.network.parameters import NetworkParameters
 
@@ -72,3 +73,62 @@ def test_negative_fit_clipped():
     fit = characterize_network(proc_counts=range(2, 8)).fits["OA"]
     # Extrapolating far below the sample range must never go negative.
     assert fit(0.0) >= 0.0
+
+
+# -- seeded probe estimation (regression: was global-RNG-dependent) ------
+
+def test_probe_estimate_is_deterministic():
+    """Identical arguments => identical estimate, regardless of global
+    RNG state (the probe draws from its own default_rng(seed))."""
+    import random
+
+    import numpy as np
+
+    a = probe_link_parameters(topology="ring", n_hosts=6, seed=0)
+    random.seed(999)
+    np.random.seed(999)
+    b = probe_link_parameters(topology="ring", n_hosts=6, seed=0)
+    assert a == b
+
+
+def test_probe_estimate_pinned_ring():
+    """Pin the exact seeded output; any change to probing (pair
+    selection, fit, hop accounting) must be deliberate."""
+    est = probe_link_parameters(topology="ring", n_hosts=6, seed=0)
+    assert est.latency == 0.002548562500000001
+    assert est.bandwidth == 590769.2307692305
+    assert est.mean_hops == 1.625
+    assert len(est.samples) == 16
+    assert est.samples[0] == (5, 3, 64, 0.002762333333333333)
+
+
+def test_probe_estimate_pinned_bus():
+    est = probe_link_parameters(n_hosts=8, seed=3)
+    assert est.latency == 0.0024145000000000013
+    assert est.bandwidth == 959999.9999999994
+    assert est.mean_hops == 1.0  # every bus route is one hop
+
+
+def test_probe_seed_changes_pairs():
+    a = probe_link_parameters(topology="ring", n_hosts=6, seed=0)
+    b = probe_link_parameters(topology="ring", n_hosts=6, seed=1)
+    assert a.samples != b.samples
+
+
+def test_probe_recovers_bus_parameters():
+    """On the uncontended bus the fitted line is exact: intercept =
+    send + latency + recv overheads, slope = 1/bandwidth."""
+    p = NetworkParameters()
+    est = probe_link_parameters(params=p, n_hosts=4, seed=7)
+    expected = p.send_overhead + p.wire_latency + p.recv_overhead
+    assert est.latency == pytest.approx(expected)
+    assert est.bandwidth == pytest.approx(p.bandwidth)
+
+
+def test_probe_input_validation():
+    with pytest.raises(ValueError):
+        probe_link_parameters(n_hosts=1)
+    with pytest.raises(ValueError):
+        probe_link_parameters(n_probes=0)
+    with pytest.raises(ValueError):
+        probe_link_parameters(probe_sizes=(64, 64))

@@ -1,0 +1,196 @@
+"""Unit and property tests for the diffusion planner.
+
+Includes the Demirel-bound convergence property: on a seeded random
+graph, repeated diffusion sweeps must stop moving work within the
+sweep count :func:`repro.machine.analytics.diffusion_sweep_bound`
+derives from the diffusion matrix spectrum.
+"""
+
+import pytest
+
+from repro.core.diffusion import (
+    diffusion_alpha,
+    make_diffusion_planner,
+    plan_diffusion,
+)
+from repro.core.policy import DlbPolicy
+from repro.core.redistribution import SyncProfile
+from repro.machine.analytics import (
+    diffusion_convergence_rate,
+    diffusion_sweep_bound,
+)
+from repro.network.topology import Topology
+
+MEAN_ITER = 0.01
+POLICY = DlbPolicy()
+
+
+def _profiles(work):
+    return [SyncProfile(node=n, remaining_work=w,
+                        remaining_count=int(w / MEAN_ITER), rate=1.0)
+            for n, w in enumerate(work)]
+
+
+def _plan(work, topology, policy=POLICY):
+    return plan_diffusion(_profiles(work), topology, policy, MEAN_ITER)
+
+
+# -- basic planning ------------------------------------------------------
+
+def test_alpha_is_degree_bound():
+    assert diffusion_alpha(Topology.ring(6)) == pytest.approx(1 / 3)
+    assert diffusion_alpha(Topology.bus(5)) == pytest.approx(1 / 5)
+
+
+def test_flows_only_along_edges():
+    ring = Topology.ring(4)
+    plan = _plan([4.0, 0.0, 0.0, 0.0], ring)
+    assert plan.move
+    for t in plan.transfers:
+        assert t.dst in ring.neighbors(t.src)
+
+
+def test_flow_magnitude_is_alpha_share_floored():
+    # Ring of 4, alpha = 1/3: edge (0,1) carries alpha * 3.0 = 1.0,
+    # an exact multiple of the mean iteration time.
+    plan = _plan([3.0, 0.0, 0.0, 0.0], Topology.ring(4))
+    flows = {(t.src, t.dst): t.work for t in plan.transfers}
+    assert flows[(0, 1)] == pytest.approx(1.0)
+    assert flows[(0, 3)] == pytest.approx(1.0)
+
+
+def test_work_is_conserved():
+    plan = _plan([5.0, 1.0, 0.25, 2.5], Topology.mesh(4))
+    assert sum(plan.shares.values()) == pytest.approx(8.75)
+    outgoing = sum(t.work for t in plan.transfers)
+    assert plan.work_to_move == pytest.approx(outgoing)
+
+
+def test_deterministic_in_profile_order():
+    work = [5.0, 1.0, 0.25, 2.5]
+    a = plan_diffusion(_profiles(work), Topology.torus(4), POLICY, MEAN_ITER)
+    b = plan_diffusion(list(reversed(_profiles(work))), Topology.torus(4),
+                       POLICY, MEAN_ITER)
+    assert a.transfers == b.transfers
+    assert a.shares == b.shares
+
+
+def test_quantum_floors_small_flows():
+    # Difference below one transfer quantum: nothing ships.
+    policy = DlbPolicy(min_transfer_iterations=5)
+    plan = _plan([0.21, 0.20, 0.20, 0.19], Topology.ring(4), policy)
+    assert not plan.move
+    assert plan.reason == "diffusion-converged"
+
+
+def test_converged_plan_retires_idle_nodes():
+    plan = _plan([0.01, 0.0, 0.01, 0.0], Topology.ring(4))
+    assert not plan.move
+    assert set(plan.retire) == {1, 3}
+    assert set(plan.active) == {0, 2}
+
+
+def test_all_done_reports_done():
+    plan = _plan([0.0, 0.0, 0.0, 0.0], Topology.ring(4))
+    assert plan.done
+    assert set(plan.retire) == {0, 1, 2, 3}
+
+
+def test_absent_nodes_drop_out_of_sweep():
+    """Dead/retired nodes (missing profiles) carry no flow; survivors
+    diffuse on the induced subgraph."""
+    ring = Topology.ring(4)
+    profiles = [p for p in _profiles([4.0, 0.0, 0.0, 0.0]) if p.node != 1]
+    plan = plan_diffusion(profiles, ring, POLICY, MEAN_ITER)
+    assert all(t.src != 1 and t.dst != 1 for t in plan.transfers)
+    assert {(t.src, t.dst) for t in plan.transfers} == {(0, 3)}
+
+
+def test_sender_cannot_overdraw():
+    """A hub poorer than alpha * (sum of differences) ships only what it
+    holds: edges later in the deterministic order get less."""
+    star = Topology("star", 4, ((0, 1), (0, 2), (0, 3)))
+    plan = _plan([0.05, 0.0, 0.0, 0.0], star,
+                 DlbPolicy(min_transfer_iterations=1))
+    shipped = sum(t.work for t in plan.transfers)
+    assert shipped <= 0.05 + 1e-12
+    assert plan.shares[0] >= 0.0
+
+
+def test_movement_cost_fn_is_consulted():
+    calls = []
+
+    def cost(transfers):
+        calls.append(tuple(transfers))
+        return 42.0
+
+    planner = make_diffusion_planner(Topology.ring(4), POLICY, MEAN_ITER,
+                                     movement_cost_fn=cost)
+    plan = planner(_profiles([4.0, 0.0, 0.0, 0.0]))
+    assert plan.movement_cost == 42.0
+    assert calls
+
+
+def test_input_validation():
+    with pytest.raises(ValueError, match="at least one profile"):
+        plan_diffusion([], Topology.ring(4), POLICY, MEAN_ITER)
+    with pytest.raises(ValueError, match="positive"):
+        plan_diffusion(_profiles([1.0]), Topology.ring(1), POLICY, 0.0)
+    dup = _profiles([1.0, 1.0])
+    dup[1] = SyncProfile(node=0, remaining_work=1.0, remaining_count=1,
+                         rate=1.0)
+    with pytest.raises(ValueError, match="duplicate"):
+        plan_diffusion(dup, Topology.ring(2), POLICY, MEAN_ITER)
+
+
+# -- convergence property (Demirel bound) --------------------------------
+
+def _sweep_until_converged(work, topology, policy, max_sweeps):
+    """Apply diffusion plans repeatedly; return the sweep count at which
+    the planner stops moving work."""
+    work = list(work)
+    total = sum(work)
+    for sweep in range(max_sweeps + 1):
+        profiles = [SyncProfile(node=n, remaining_work=w,
+                                remaining_count=max(int(w / MEAN_ITER), 1),
+                                rate=1.0)
+                    for n, w in enumerate(work)]
+        plan = plan_diffusion(profiles, topology, policy, MEAN_ITER)
+        if not plan.move:
+            return sweep
+        for t in plan.transfers:
+            work[t.src] -= t.work
+            work[t.dst] += t.work
+        assert sum(work) == pytest.approx(total)
+    pytest.fail(f"no convergence within {max_sweeps} sweeps")
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_diffusion_converges_within_demirel_bound(seed):
+    """Property (c): on a seeded random graph, quantized FOS stops
+    moving within the spectral sweep bound."""
+    topology = Topology.random_graph(8, extra_edges=4, seed=seed)
+    policy = DlbPolicy(min_transfer_iterations=1)
+    import random
+    rng = random.Random(seed)
+    work = [rng.uniform(0.0, 4.0) for _ in range(8)]
+    mean = sum(work) / len(work)
+    imbalance = max(abs(w - mean) for w in work)
+    quantum = max(policy.min_transfer_iterations, 1) * MEAN_ITER
+    bound = diffusion_sweep_bound(topology, imbalance, quantum)
+    sweeps = _sweep_until_converged(work, topology, policy,
+                                    max_sweeps=bound)
+    assert sweeps <= bound
+
+
+def test_convergence_rate_in_unit_interval():
+    for topo in (Topology.ring(6), Topology.mesh(6), Topology.torus(8),
+                 Topology.random_graph(7, 3, seed=9)):
+        gamma = diffusion_convergence_rate(topo)
+        assert 0.0 < gamma < 1.0
+
+
+def test_sweep_bound_zero_when_already_balanced():
+    assert diffusion_sweep_bound(Topology.ring(4), 0.0, 0.01) == 0
+    with pytest.raises(ValueError):
+        diffusion_sweep_bound(Topology.ring(4), 1.0, 0.0)

@@ -23,11 +23,19 @@ def _backend_doc(wall: float) -> dict:
     return {"strategies": {"GCDLB": {"thread_wall_seconds": wall}}}
 
 
-def _write(directory, process=None, backend=None):
+def _topology_doc(seconds: float) -> dict:
+    return {"topologies": {"ring": {"GD": seconds}}}
+
+
+def _write(directory, process=None, backend=None, topology=None):
+    if process is not None and topology is None:
+        topology = _topology_doc(1.0)  # benign: every gated doc present
     if process is not None:
         (directory / "BENCH_process.json").write_text(json.dumps(process))
     if backend is not None:
         (directory / "BENCH_backend.json").write_text(json.dumps(backend))
+    if topology is not None:
+        (directory / "BENCH_topology.json").write_text(json.dumps(topology))
 
 
 def _run(base, fresh, threshold=0.25):
@@ -91,3 +99,14 @@ def test_custom_threshold(tmp_path):
     _write(base, _process_doc(1.0, 2.0), _backend_doc(1.0))
     _write(fresh, _process_doc(1.4, 2.0), _backend_doc(1.0))
     assert _run(base, fresh, threshold=0.5) == 0
+
+
+def test_topology_virtual_seconds_gated(tmp_path, capsys):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+    _write(base, _process_doc(1.0, 2.0), _backend_doc(1.0),
+           _topology_doc(0.25))
+    _write(fresh, _process_doc(1.0, 2.0), _backend_doc(1.0),
+           _topology_doc(0.40))
+    assert _run(base, fresh) == 1
+    assert "topologies.ring.GD regressed" in capsys.readouterr().err

@@ -113,3 +113,75 @@ def test_faults_demo(capsys):
 def test_faults_demo_bad_victim_exits_2(capsys):
     assert main(["faults-demo", "--victim", "0"]) == 2
     assert "reliable master" in capsys.readouterr().err
+
+
+# -- topology flag -------------------------------------------------------
+
+def test_run_topology_sim(capsys):
+    assert main(SMALL_RUN + ["--strategy", "GDDLB",
+                             "--topology", "ring"]) == 0
+    out = capsys.readouterr().out
+    assert "mxm [GDDLB]" in out
+    assert "topology=ring" in out
+
+
+def test_run_topology_diffusion_sim(capsys):
+    assert main(SMALL_RUN + ["--strategy", "DIFF",
+                             "--topology", "torus"]) == 0
+    out = capsys.readouterr().out
+    assert "mxm [Diffusion]" in out
+    assert "topology=torus" in out
+
+
+def test_run_topology_thread(capsys):
+    assert main(SMALL_RUN + ["--strategy", "DIFF", "--topology", "mesh",
+                             "--backend", "thread",
+                             "--time-scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "backend=thread" in out
+    assert "topology=mesh" in out
+
+
+def test_run_topology_custom_selection(capsys):
+    # CUSTOM on a graph considers DIFF as a candidate; the run must
+    # complete and report whichever scheme the model picked.
+    assert main(SMALL_RUN + ["--strategy", "CUSTOM",
+                             "--topology", "ring"]) == 0
+    assert "topology=ring" in capsys.readouterr().out
+
+
+def test_run_topology_file(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "net.json"
+    path.write_text(json.dumps({
+        "n_hosts": 4, "edges": [[0, 1], [1, 2], [2, 3], [0, 3]]}))
+    assert main(SMALL_RUN + ["--strategy", "GDDLB",
+                             "--topology", f"file:{path}"]) == 0
+    assert "topology=file:" in capsys.readouterr().out
+
+
+def test_run_bad_topology_exits_2(capsys):
+    assert main(SMALL_RUN + ["--topology", "hypercube"]) == 2
+    assert "bad --topology" in capsys.readouterr().err
+
+
+def test_run_topology_rejected_on_flat_transports(capsys):
+    # The process/socket transports are flat meshes: graph topologies
+    # (and DIFF) must refuse loudly, not silently fall back to the bus.
+    for backend in ("process", "socket"):
+        code = main(SMALL_RUN + ["--strategy", "GDDLB",
+                                 "--topology", "ring",
+                                 "--backend", backend,
+                                 "--time-scale", "0.1"])
+        assert code == 2
+        assert "backend error" in capsys.readouterr().err
+
+
+def test_characterize_topology_and_probe(capsys):
+    assert main(["characterize", "--max-procs", "6",
+                 "--topology", "ring", "--probe",
+                 "--probe-seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "NX" in out  # neighbor-exchange fit only exists on graphs
+    assert "probe" in out

@@ -35,6 +35,11 @@ GATES: dict[str, dict[str, str]] = {
         "strategies.*.process_wall_seconds": "lower",
         "best_speedup": "higher",
     },
+    # Simulated (virtual) durations: deterministic given the seeds, so
+    # the 25% threshold only trips on real model/protocol changes.
+    "BENCH_topology.json": {
+        "topologies.*.*": "lower",
+    },
 }
 
 
