@@ -9,6 +9,7 @@ gate trip is a genuine model/protocol change, not runner noise.
 """
 
 import json
+import os
 import pathlib
 import time
 
@@ -33,6 +34,7 @@ def _run(bench_config):
     doc = {
         "config": f"mxm {CONFIG.r}x{CONFIG.c}x{CONFIG.r2}",
         "n_processors": N_PROCESSORS,
+        "cpu_count": os.cpu_count(),
         "seeds": bench_config.n_seeds,
         "wall_seconds": wall,
         "topologies": {

@@ -1,6 +1,6 @@
 """Synthetic CPU-burn kernels shared by the real-time backends.
 
-Two kernels realize a "compute this iteration" request:
+Three kernels realize a "compute this iteration" request:
 
 * **wall** — spin until a wall-clock deadline.  Cheap and exact, but it
   measures *elapsed time*, not *CPU work*: N GIL-sharing threads each
@@ -12,8 +12,17 @@ Two kernels realize a "compute this iteration" request:
   is real work: N threads contending for the GIL serialize, N processes
   on N cores do not — which is exactly the thread-vs-process speedup
   story the paper's Figures 5–8 tell on physical workstations.
+* **numpy** — the same fixed op count executed as vectorized
+  multiply-adds (:func:`burn_vec`), calibrated separately
+  (:func:`calibrate_vec_rate`).  Two properties matter: numpy releases
+  the GIL inside a ufunc, so even *threads* overlap on real cores; and
+  the kernel can compute **in place on a caller-supplied float64 view**
+  — the process backend hands it a window of its
+  ``multiprocessing.shared_memory`` block (:func:`shm_row_view`), so
+  the arithmetic touches the iteration's actual data rows with zero
+  copies (not just zero-copy transport).
 
-Both kernels honor an optional ``should_abort`` probe between chunks so
+All kernels honor an optional ``should_abort`` probe between chunks so
 a failing run can tear its workers down instead of spinning until the
 watchdog (see the shutdown contract in ``thread.py``/``process.py``).
 """
@@ -23,7 +32,27 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional
 
-__all__ = ["burn_ops", "burn_wall", "calibrate_ops_rate"]
+try:  # numpy is optional: the 'numpy' kernel degrades to unavailable.
+    import numpy as _np
+except ImportError:  # pragma: no cover - image always ships numpy
+    _np = None  # type: ignore[assignment]
+
+__all__ = [
+    "HAVE_NUMPY",
+    "KERNELS",
+    "burn_ops",
+    "burn_vec",
+    "burn_wall",
+    "calibrate_ops_rate",
+    "calibrate_vec_rate",
+    "shm_row_view",
+]
+
+#: Whether the vectorized kernel can run at all on this host.
+HAVE_NUMPY = _np is not None
+
+#: Every kernel name a backend may accept.
+KERNELS = ("wall", "ops", "numpy")
 
 #: Operations between abort probes; small enough that aborts land within
 #: tens of microseconds, large enough that the probe cost is noise.
@@ -63,6 +92,69 @@ def burn_wall(seconds: float,
             x = x * 1.0000001 + 1e-9
 
 
+#: Float64 elements of the fallback scratch vector used when the caller
+#: supplies no data view (thread backend, tiny rows).  Big enough that
+#: numpy's per-ufunc dispatch overhead amortizes; small enough to stay
+#: resident in L1/L2.
+VEC_CHUNK = 4096
+
+#: Below this many float64 elements a view is not worth vectorizing
+#: over — per-pass dispatch overhead would dominate and the calibrated
+#: rate would misprice the iteration.  Callers fall back to scratch.
+MIN_VEC_ELEMS = 8
+
+#: Multiply-adds per element per pass of :func:`burn_vec` (one fused
+#: ``x = x * a + b`` counts 2, matching :func:`burn_ops` accounting).
+_VEC_OPS_PER_ELEM = 2
+
+
+def burn_vec(n_ops: float, out: Optional["_np.ndarray"] = None,
+             should_abort: Optional[Callable[[], bool]] = None) -> float:
+    """Execute ``n_ops`` multiply-adds as vectorized numpy passes.
+
+    Operates **in place** on ``out`` when given — typically a zero-copy
+    float64 view of a shared-memory iteration row
+    (:func:`shm_row_view`) — otherwise on a private scratch vector of
+    :data:`VEC_CHUNK` elements.  The contraction multiplier (< 1) keeps
+    values bounded however many passes run, so repeated in-place burns
+    over the same row never overflow.
+
+    Returns the first element as a sink.  Stops early when
+    ``should_abort`` fires between passes.
+    """
+    if _np is None:
+        raise RuntimeError("numpy is not available; use the 'ops' kernel")
+    x = out
+    if x is None or x.size < MIN_VEC_ELEMS:
+        x = _np.full(VEC_CHUNK, 0.5)
+    ops_per_pass = _VEC_OPS_PER_ELEM * x.size
+    remaining = int(n_ops)
+    while remaining > 0:
+        if should_abort is not None and should_abort():
+            break
+        _np.multiply(x, 0.999999, out=x)
+        _np.add(x, 1e-9, out=x)
+        remaining -= ops_per_pass
+    return float(x[0])
+
+
+def shm_row_view(buf, offset: int, nbytes: int) -> Optional["_np.ndarray"]:
+    """Zero-copy float64 view over ``nbytes`` bytes of ``buf`` at ``offset``.
+
+    ``buf`` is any writable buffer (``shared_memory.SharedMemory.buf``);
+    the view aliases it, so :func:`burn_vec` writing through the view
+    mutates the shared block directly.  Returns ``None`` when the
+    window is too small to vectorize over (:data:`MIN_VEC_ELEMS`).
+    """
+    if _np is None:
+        return None
+    elems = nbytes // 8
+    if elems < MIN_VEC_ELEMS:
+        return None
+    return _np.frombuffer(buf, dtype=_np.float64, count=elems,
+                          offset=offset)
+
+
 _cached_rate: Optional[float] = None
 
 
@@ -89,4 +181,44 @@ def calibrate_ops_rate(sample_ops: int = 200_000, repeats: int = 3,
     if best <= 0:  # pragma: no cover - perf_counter would have to stall
         best = 1e7
     _cached_rate = best
+    return best
+
+
+_cached_vec_rates: dict[int, float] = {}
+
+
+def calibrate_vec_rate(elems: Optional[int] = None,
+                       sample_ops: int = 50_000_000, repeats: int = 3,
+                       fresh: bool = False) -> float:
+    """Measured multiply-adds per second of :func:`burn_vec` on this host.
+
+    The rate depends on the working vector's size (per-pass dispatch
+    overhead amortizes over more elements), so it is calibrated — and
+    cached — **per element count**: pass the same ``elems`` the run
+    will actually burn over (``None`` means the :data:`VEC_CHUNK`
+    scratch fallback) and wall time per iteration stays faithful to
+    ``cost * time_scale`` whatever the row width.
+
+    The sample must run tens of milliseconds: vectorized rates are high
+    enough that a short sample measures the CPU's burst behavior, not
+    the sustained throughput the run will actually see.
+    """
+    if _np is None:
+        raise RuntimeError("numpy is not available; use the 'ops' kernel")
+    if elems is None or elems < MIN_VEC_ELEMS:
+        elems = VEC_CHUNK
+    rate = _cached_vec_rates.get(elems)
+    if rate is not None and not fresh:
+        return rate
+    x = _np.full(elems, 0.5)
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        burn_vec(sample_ops, out=x)
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0:
+            best = max(best, sample_ops / elapsed)
+    if best <= 0:  # pragma: no cover - perf_counter would have to stall
+        best = 1e8
+    _cached_vec_rates[elems] = best
     return best

@@ -104,7 +104,14 @@ from .base import (
     StrategyLike,
     join_or_terminate,
 )
-from .kernels import burn_ops, calibrate_ops_rate
+from .kernels import (
+    HAVE_NUMPY,
+    burn_ops,
+    burn_vec,
+    calibrate_ops_rate,
+    calibrate_vec_rate,
+    shm_row_view,
+)
 
 __all__ = ["ProcessBackend"]
 
@@ -159,7 +166,8 @@ class _WorkerConfig:
     ranges: tuple[Range, ...]
     is_dlb: bool
     time_scale: float
-    ops_rate: float
+    kernel: str  # "ops" (scalar burn) or "numpy" (vectorized, in-row)
+    ops_rate: float  # calibrated rate of the chosen kernel
     shm_name: Optional[str]
     row_bytes: int
     crash_at: Optional[float]  # wall seconds after t0; None = reliable
@@ -397,6 +405,7 @@ def _compute_slice(proto: WorkerProtocol, cfg: _WorkerConfig,
     probe = crash.due if crash.armed else None
     done_batch: list[Range] = []
     executed = 0
+    vectorized = cfg.kernel == "numpy"
     try:
         while not assignment.empty:
             crash.check()
@@ -407,8 +416,21 @@ def _compute_slice(proto: WorkerProtocol, cfg: _WorkerConfig,
             start, _end = taken[0]
             cost = table.range_work(start, start + 1)
             t0 = time.perf_counter()
-            burn_ops(cost * cfg.time_scale * cfg.ops_rate,
-                     should_abort=probe)
+            if vectorized:
+                # Compute *in* the iteration's own data row: a zero-copy
+                # float64 view of the shared block past the ownership
+                # stamp (None when the row payload is too small — the
+                # kernel then burns on private scratch instead).
+                view = None
+                if shm is not None:
+                    view = shm_row_view(
+                        shm.buf, start * cfg.row_bytes + STAMP_BYTES,
+                        cfg.row_bytes - STAMP_BYTES)
+                burn_vec(cost * cfg.time_scale * cfg.ops_rate,
+                         out=view, should_abort=probe)
+            else:
+                burn_ops(cost * cfg.time_scale * cfg.ops_rate,
+                         should_abort=probe)
             crash.check()  # fail-stop before the iteration is recorded
             proto.note_busy(time.perf_counter() - t0)
             proto.note_work(cost)
@@ -506,8 +528,12 @@ def _worker_main(cfg: _WorkerConfig, queues, balancer_q, stats_q,
     try:
         if cfg.shm_name is not None:
             shm = _attach_shm(cfg.shm_name)
-        row_pattern = (struct.pack("<Q", cfg.node + 1)
-                       + b"\x5a" * (cfg.row_bytes - STAMP_BYTES))
+        row_pattern = struct.pack("<Q", cfg.node + 1)
+        if cfg.kernel != "numpy":
+            # The scalar kernels never touch the row payload, so stamp
+            # the whole row; the numpy kernel computed *into* it, so
+            # write only the ownership stamp and keep the results.
+            row_pattern += b"\x5a" * (cfg.row_bytes - STAMP_BYTES)
         proto = WorkerProtocol(
             cfg.node, cfg.members, group=cfg.group,
             centralized=cfg.centralized, lb_host=cfg.lb_host,
@@ -582,11 +608,23 @@ class ProcessBackend(ExecutionBackend):
     name = "process"
 
     def __init__(self, *, time_scale: float = 1.0,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 kernel: str = "ops") -> None:
         if time_scale <= 0:
             raise BackendError("time_scale must be positive")
+        if kernel not in ("ops", "numpy"):
+            raise BackendError(
+                f"unknown kernel {kernel!r} (the process backend burns "
+                "real CPU work: 'ops' or 'numpy'; 'wall' is thread-only)")
+        if kernel == "numpy" and not HAVE_NUMPY:
+            raise BackendError(
+                "the 'numpy' kernel needs numpy installed; use 'ops'")
         self.time_scale = time_scale
         self.start_method = start_method
+        #: ``"ops"`` burns scalar multiply-adds; ``"numpy"`` burns the
+        #: same calibrated op counts as vectorized passes computing
+        #: in place on the shared-memory data rows (see kernels.py).
+        self.kernel = kernel
         #: Test hook: ``{node: n_iterations}`` after which the worker
         #: raises, exercising the shutdown/teardown path.
         self._fail_after: dict[int, int] = {}
@@ -670,13 +708,19 @@ class ProcessBackend(ExecutionBackend):
                              n_processors=n, group_size=k,
                              backend=self.name)
         parts = equal_block_partition(loop.n_iterations, n)
-        ops_rate = calibrate_ops_rate()
+        row_bytes = max(STAMP_BYTES, loop.dc_bytes)
+        if self.kernel == "numpy":
+            # Calibrate at the element count the workers actually burn
+            # over (the row payload), so per-iteration wall time stays
+            # cost * time_scale whatever the row width.
+            ops_rate = calibrate_vec_rate((row_bytes - STAMP_BYTES) // 8)
+        else:
+            ops_rate = calibrate_ops_rate()
         crash_at = {c.node: c.time * self.time_scale
                     for c in fault_plan.crashes} if fault_plan else {}
 
         ctx = self._context()
         from multiprocessing import shared_memory
-        row_bytes = max(STAMP_BYTES, loop.dc_bytes)
         shm = shared_memory.SharedMemory(
             create=True, size=max(1, loop.n_iterations * row_bytes))
         queues = [ctx.Queue() for _ in range(n)]
@@ -698,7 +742,8 @@ class ProcessBackend(ExecutionBackend):
                     dc_bytes=loop.dc_bytes, movement=movement, ft=ft,
                     profile_window_reset=options.profile_window_reset,
                     ranges=tuple(parts[node].ranges), is_dlb=spec.is_dlb,
-                    time_scale=self.time_scale, ops_rate=ops_rate,
+                    time_scale=self.time_scale, kernel=self.kernel,
+                    ops_rate=ops_rate,
                     shm_name=shm.name, row_bytes=row_bytes,
                     crash_at=crash_at.get(node),
                     stream_records=bool(fault_plan),
@@ -871,7 +916,15 @@ class ProcessBackend(ExecutionBackend):
         count = 0
         for start, end in orphans:
             work = table.range_work(start, end)
-            burn_ops(work * self.time_scale * ops_rate)
+            if self.kernel == "numpy":
+                # Burn over the first orphaned row's payload — the same
+                # element count the rate was calibrated at.
+                view = shm_row_view(shm.buf,
+                                    start * row_bytes + STAMP_BYTES,
+                                    row_bytes - STAMP_BYTES)
+                burn_vec(work * self.time_scale * ops_rate, out=view)
+            else:
+                burn_ops(work * self.time_scale * ops_rate)
             for i in range(start, end):
                 off = i * row_bytes
                 shm.buf[off:off + len(pattern)] = pattern

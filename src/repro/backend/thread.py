@@ -74,7 +74,15 @@ from .base import (
     StrategyLike,
     join_or_terminate,
 )
-from .kernels import burn_ops, burn_wall, calibrate_ops_rate
+from .kernels import (
+    HAVE_NUMPY,
+    KERNELS,
+    burn_ops,
+    burn_vec,
+    burn_wall,
+    calibrate_ops_rate,
+    calibrate_vec_rate,
+)
 
 __all__ = ["ThreadBackend"]
 
@@ -221,15 +229,22 @@ class ThreadBackend(ExecutionBackend):
         #: *ratios* the balancer sees.
         if time_scale <= 0:
             raise BackendError("time_scale must be positive")
-        if kernel not in ("wall", "ops"):
+        if kernel not in KERNELS:
             raise BackendError(
-                f"unknown kernel {kernel!r} (expected 'wall' or 'ops')")
+                f"unknown kernel {kernel!r} (expected one of "
+                f"{', '.join(repr(k) for k in KERNELS)})")
+        if kernel == "numpy" and not HAVE_NUMPY:
+            raise BackendError(
+                "the 'numpy' kernel needs numpy installed; "
+                "use 'wall' or 'ops'")
         self.time_scale = time_scale
         #: ``"wall"`` spins each iteration to a wall-clock deadline
         #: (exact timing, but GIL threads overlap "for free");
         #: ``"ops"`` executes a calibrated op count (real CPU work that
         #: GIL threads must serialize — the honest baseline for
-        #: thread-vs-process speedup comparisons; see kernels.py).
+        #: thread-vs-process speedup comparisons; see kernels.py);
+        #: ``"numpy"`` executes the same op count as vectorized passes
+        #: that release the GIL, so threads overlap on real cores.
         self.kernel = kernel
         self._ops_rate: Optional[float] = None
 
@@ -369,6 +384,8 @@ class ThreadBackend(ExecutionBackend):
                                  if balancer_thread is not None else [])
         if self.kernel == "ops":
             self._ops_rate = calibrate_ops_rate()
+        elif self.kernel == "numpy":
+            self._ops_rate = calibrate_vec_rate()
         stats.start_time = 0.0
         shared.t0 = time.perf_counter()
         try:
@@ -511,6 +528,9 @@ class ThreadBackend(ExecutionBackend):
             t0 = time.perf_counter()
             if self.kernel == "ops":
                 burn_ops(cost * self.time_scale * self._ops_rate,
+                         should_abort=abort.is_set)
+            elif self.kernel == "numpy":
+                burn_vec(cost * self.time_scale * self._ops_rate,
                          should_abort=abort.is_set)
             else:
                 burn_wall(cost * self.time_scale,

@@ -86,6 +86,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "multi-core parallelism) or 'socket' (the "
                           "protocol over real TCP on localhost; see "
                           "docs/WIRE_PROTOCOL.md)")
+    run.add_argument("--kernel", choices=["wall", "ops", "numpy"],
+                     default=None,
+                     help="thread/process backends only: CPU-burn "
+                          "kernel per iteration — 'wall' (spin to a "
+                          "deadline; thread default), 'ops' (calibrated "
+                          "scalar op count; process default) or 'numpy' "
+                          "(same op count as vectorized passes that "
+                          "release the GIL and, on the process backend, "
+                          "compute in place on the shared-memory data "
+                          "rows)")
     run.add_argument("--time-scale", type=float, default=1.0,
                      help="thread/process/socket backends only: scale "
                           "factor on every iteration's nominal cost "
@@ -301,18 +311,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"--backend {args.backend} supports single-loop apps "
                   "only (use --app mxm)", file=sys.stderr)
             return 2
-        if args.backend == "thread":
-            from .backend import ThreadBackend
-            backend = ThreadBackend(time_scale=args.time_scale)
-        elif args.backend == "process":
-            from .backend import ProcessBackend
-            backend = ProcessBackend(time_scale=args.time_scale,
-                                     start_method=args.start_method)
-        else:
-            from .backend import SocketBackend
-            backend = SocketBackend(time_scale=args.time_scale,
-                                    workers=args.workers,
-                                    start_method=args.start_method)
+        try:
+            if args.backend == "thread":
+                from .backend import ThreadBackend
+                backend = ThreadBackend(time_scale=args.time_scale,
+                                        kernel=args.kernel or "wall")
+            elif args.backend == "process":
+                from .backend import ProcessBackend
+                backend = ProcessBackend(time_scale=args.time_scale,
+                                         start_method=args.start_method,
+                                         kernel=args.kernel or "ops")
+            else:
+                if args.kernel is not None:
+                    print("--kernel applies to the thread and process "
+                          "backends only", file=sys.stderr)
+                    return 2
+                from .backend import SocketBackend
+                backend = SocketBackend(time_scale=args.time_scale,
+                                        workers=args.workers,
+                                        start_method=args.start_method)
+        except BackendError as exc:
+            print(f"backend error: {exc}", file=sys.stderr)
+            return 2
+    elif args.kernel is not None:
+        print("--kernel applies to the thread and process backends only",
+              file=sys.stderr)
+        return 2
     if args.app == "mxm":
         try:
             r, c, r2 = (int(x) for x in args.size.lower().split("x"))

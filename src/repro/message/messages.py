@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Optional
+from typing import Any, Callable, ClassVar, Optional
+
+from ..simulation.mailbox import EpochBoundFilter
 
 __all__ = [
     "Tag",
@@ -51,13 +53,13 @@ class Tag(Enum):
 class Message:
     """Base class: routing plus the modeled wire size."""
 
+    #: Wire tag, a per-class constant (hot-path: read millions of times
+    #: per run, so a plain class attribute rather than a property).
+    tag: ClassVar[Optional[Tag]] = None
+
     src: int
     dst: int
     epoch: int = 0
-
-    @property
-    def tag(self) -> Tag:  # pragma: no cover - overridden
-        raise NotImplementedError
 
     @property
     def nbytes(self) -> int:
@@ -70,9 +72,7 @@ class InterruptMsg(Message):
 
     group: int = 0
 
-    @property
-    def tag(self) -> Tag:
-        return Tag.INTERRUPT
+    tag: ClassVar[Tag] = Tag.INTERRUPT
 
 
 @dataclass(frozen=True)
@@ -89,9 +89,7 @@ class ProfileMsg(Message):
     remaining_count: int = 0
     rate: float = 0.0
 
-    @property
-    def tag(self) -> Tag:
-        return Tag.PROFILE
+    tag: ClassVar[Tag] = Tag.PROFILE
 
     @property
     def nbytes(self) -> int:
@@ -137,9 +135,7 @@ class InstructionMsg(Message):
     incoming_srcs: tuple[int, ...] = ()
     grant: tuple[tuple[int, int], ...] = ()
 
-    @property
-    def tag(self) -> Tag:
-        return Tag.INSTRUCTION
+    tag: ClassVar[Tag] = Tag.INSTRUCTION
 
     @property
     def nbytes(self) -> int:
@@ -156,9 +152,7 @@ class WorkMsg(Message):
     count: int = 0
     data_bytes: int = 0
 
-    @property
-    def tag(self) -> Tag:
-        return Tag.WORK
+    tag: ClassVar[Tag] = Tag.WORK
 
     @property
     def nbytes(self) -> int:
@@ -172,9 +166,7 @@ class ControlMsg(Message):
     kind: str = "done"
     payload: Any = None
 
-    @property
-    def tag(self) -> Tag:
-        return Tag.CONTROL
+    tag: ClassVar[Tag] = Tag.CONTROL
 
     @property
     def nbytes(self) -> int:
@@ -221,14 +213,14 @@ def is_stale(msg: "Message", epoch: int, *, inclusive: bool = False) -> bool:
 def stale_predicate(epoch: int, tags: Optional[tuple["Tag", ...]] = None,
                     *, inclusive: bool = False
                     ) -> Callable[["Message"], bool]:
-    """A mailbox predicate selecting stale messages of the given tags."""
+    """A mailbox predicate selecting stale messages of the given tags.
 
-    def pred(msg: "Message") -> bool:
-        if tags is not None and msg.tag not in tags:
-            return False
-        return is_stale(msg, epoch, inclusive=inclusive)
-
-    return pred
+    Returns an :class:`~repro.simulation.mailbox.EpochBoundFilter`, so a
+    slotted mailbox drain drops whole superseded-epoch buckets by key
+    instead of testing items one by one; it remains a plain callable for
+    every other mailbox implementation.
+    """
+    return EpochBoundFilter(epoch, tags, inclusive=inclusive)
 
 
 @dataclass(frozen=True)
@@ -238,9 +230,7 @@ class DataMsg(Message):
     label: str = "scatter"
     data_bytes: int = 0
 
-    @property
-    def tag(self) -> Tag:
-        return Tag.DATA
+    tag: ClassVar[Tag] = Tag.DATA
 
     @property
     def nbytes(self) -> int:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Callable, Generator, Iterable, Optional
 
 from ..network import NetworkParameters, SharedBusNetwork
-from ..simulation import Environment, Event, Mailbox
+from ..simulation import Environment, Event, Mailbox, SlotFilter
 from .messages import Message, Tag
 
 __all__ = ["VirtualMachine"]
@@ -76,17 +76,9 @@ class VirtualMachine:
                    ) -> Optional[Callable[[Message], bool]]:
         if tag is None and epoch is None and match is None:
             return None
-
-        def pred(msg: Message) -> bool:
-            if tag is not None and msg.tag is not tag:
-                return False
-            if epoch is not None and msg.epoch != epoch:
-                return False
-            if match is not None and not match(msg):
-                return False
-            return True
-
-        return pred
+        # A structured filter instead of a closure: the slotted mailbox
+        # resolves (tag, epoch) to one bucket in O(1).
+        return SlotFilter(tag, epoch, match)
 
     def recv(self, host: int, tag: Optional[Tag] = None,
              epoch: Optional[int] = None,

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional, Protocol
 
-from ..simulation import Environment, Event, Resource
+from ..simulation import PRIORITY_URGENT, Environment, Event, Resource
 from .parameters import NetworkParameters
 from .topology import Topology, TopologySpec, resolve_topology
 
@@ -84,6 +84,84 @@ class NetworkModel(Protocol):
              item: Any = None) -> Event: ...
 
 
+class _Carry:
+    """Callback-driven store-and-forward carry of one message.
+
+    Replays exactly the event sequence of the generator-based carry
+    process it replaced — a start event at URGENT priority standing in
+    for the Process ``Initialize``, then per stage: resource request →
+    hold timeout → release — without a generator frame, a Process
+    object, or the termination event nobody ever waited on.  That drops
+    roughly a third of the scheduled events behind every network message
+    on the DES hot path.  The replacement must stay *schedule-identical*
+    to the generator: the seed oracles
+    (tests/protocol/test_scale_seed_identity.py) pin it event-for-event.
+    """
+
+    __slots__ = ("net", "src", "dst", "nbytes", "item", "delivered",
+                 "extra_delay", "route", "stage", "res", "req", "hold")
+
+    def __init__(self, net: "GraphNetwork", src: int, dst: int, nbytes: int,
+                 item: Any, delivered: Event, extra_delay: float) -> None:
+        self.net = net
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.item = item
+        self.delivered = delivered
+        self.extra_delay = extra_delay
+        self.route: tuple[tuple[int, int], ...] = ()
+        self.stage = 0
+        self.res: Optional[Resource] = None
+        self.req: Optional[Event] = None
+        self.hold = 0.0
+        # Mirrors Process.Initialize: the carry starts at the current
+        # instant but *after* everything already scheduled at it.
+        start = Event(net.env)
+        start.callbacks.append(self._start)
+        net.env.schedule(start, PRIORITY_URGENT, 0.0)
+
+    def _start(self, event: Event) -> None:
+        if self.extra_delay > 0:
+            delay = self.net.env.timeout(self.extra_delay)
+            delay.callbacks.append(self._begin)
+        else:
+            self._begin(event)
+
+    def _begin(self, _event: Event) -> None:
+        self.route = self.net.topology.route(self.src, self.dst)
+        self._next_stage()
+
+    def _next_stage(self) -> None:
+        net = self.net
+        stage = self.stage
+        if stage < len(self.route):
+            u, v = self.route[stage]
+            res = net.link(u, v)
+            hold = net.link_params(u, v).wire_time(self.nbytes)
+        elif stage == len(self.route):
+            res = net.recv_nic[self.dst]
+            hold = net.params.recv_overhead
+        else:
+            net.stats.record(self.src, self.dst, self.nbytes, local=False)
+            net._deliver(self.dst, self.item, self.delivered)
+            return
+        self.stage = stage + 1
+        self.res = res
+        self.hold = hold
+        req = res.request()
+        self.req = req
+        req.callbacks.append(self._acquired)
+
+    def _acquired(self, _event: Event) -> None:
+        held = self.net.env.timeout(self.hold)
+        held.callbacks.append(self._release)
+
+    def _release(self, _event: Event) -> None:
+        self.res.release(self.req)
+        self._next_stage()
+
+
 class GraphNetwork:
     """Hosts connected by an arbitrary graph of point-to-point links."""
 
@@ -99,10 +177,11 @@ class GraphNetwork:
         # wire(s) first, then send NICs, then recv NICs — the exact order
         # the original SharedBusNetwork used.
         self._links: dict[tuple[int, int], Resource] = {}
+        self._shared = topology.shared_medium
         if topology.shared_medium:
+            # One wire for every edge; no per-edge dict (the bus edge set
+            # is O(P^2) — link() special-cases the shared medium).
             self.bus = Resource(env, capacity=1, name="ethernet-bus")
-            for edge in topology.edges:
-                self._links[edge] = self.bus
         else:
             for u, v in topology.edges:
                 self._links[(u, v)] = Resource(env, capacity=1,
@@ -131,6 +210,8 @@ class GraphNetwork:
 
     def link(self, u: int, v: int) -> Resource:
         """The wire resource for the (undirected) edge ``u - v``."""
+        if self._shared:
+            return self.bus
         return self._links[(u, v) if u < v else (v, u)]
 
     def link_params(self, u: int, v: int) -> NetworkParameters:
@@ -173,21 +254,8 @@ class GraphNetwork:
         extra = float(verdict) if isinstance(verdict, (int, float)) else 0.0
         if extra > 0:
             self.stats.delayed_messages += 1
-        self.env.process(self._carry(src, dst, nbytes, item, delivered, extra),
-                         name=f"net:{src}->{dst}")
+        _Carry(self, src, dst, nbytes, item, delivered, extra)
         return delivered
-
-    def _carry(self, src: int, dst: int, nbytes: int, item: Any,
-               delivered: Event, extra_delay: float = 0.0
-               ) -> Generator[Event, None, None]:
-        if extra_delay > 0:
-            yield self.env.timeout(extra_delay)
-        for u, v in self.topology.route(src, dst):
-            wire = self.link_params(u, v).wire_time(nbytes)
-            yield from self.link(u, v).use(wire)
-        yield from self.recv_nic[dst].use(self.params.recv_overhead)
-        self.stats.record(src, dst, nbytes, local=False)
-        self._deliver(dst, item, delivered)
 
     def _deliver(self, dst: int, item: Any, delivered: Event) -> None:
         if self.on_deliver is not None:

@@ -23,6 +23,7 @@ sequence (see :mod:`repro.network.graph`).
 from __future__ import annotations
 
 import json
+from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Iterable, Mapping, Optional, Sequence, Union
@@ -51,6 +52,71 @@ def _normalize_edge(u: int, v: int) -> tuple[int, int]:
     return (u, v) if u < v else (v, u)
 
 
+class _AllPairs(_SequenceABC):
+    """Lazy complete-graph edge sequence: every ``(u, v)`` with u < v.
+
+    ``Topology.bus(P)`` / ``complete(P)`` at P=4096 would otherwise
+    materialize ~8.4M edge tuples just for the network layer to map them
+    all onto one wire resource.  This mimics the sorted tuple of all
+    pairs — identical iteration order, length, membership, and indexing
+    — in O(1) memory, with O(1) hashing so topology-keyed caches stay
+    cheap.  Comparison against a real tuple of the same pairs is
+    supported (element-wise) for compatibility, though the O(1) hash
+    deliberately does not match ``hash`` of that tuple.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def __len__(self) -> int:
+        return self.n * (self.n - 1) // 2
+
+    def __iter__(self):
+        n = self.n
+        return ((u, v) for u in range(n) for v in range(u + 1, n))
+
+    def __contains__(self, edge: object) -> bool:
+        try:
+            u, v = edge  # type: ignore[misc]
+        except (TypeError, ValueError):
+            return False
+        return isinstance(u, int) and isinstance(v, int) and 0 <= u < v < self.n
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return tuple(self)[idx]
+        total = len(self)
+        if idx < 0:
+            idx += total
+        if not 0 <= idx < total:
+            raise IndexError("edge index out of range")
+        u, row = 0, self.n - 1
+        while idx >= row:
+            idx -= row
+            u += 1
+            row -= 1
+        return (u, u + 1 + idx)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _AllPairs):
+            return self.n == other.n
+        if isinstance(other, (tuple, list)):
+            return len(other) == len(self) and all(
+                a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("repro.network.topology._AllPairs", self.n))
+
+    def __reduce__(self):
+        return (_AllPairs, (self.n,))
+
+    def __repr__(self) -> str:
+        return f"_AllPairs(n={self.n})"
+
+
 def mesh_dims(n_hosts: int) -> tuple[int, int]:
     """Grid dimensions for an ``n_hosts`` mesh/torus: the most nearly
     square ``rows x cols`` factorization (rows <= cols)."""
@@ -76,7 +142,9 @@ class Topology:
 
     kind: str
     n_hosts: int
-    edges: tuple[tuple[int, int], ...]
+    #: Normalized (u < v) edge pairs — a real tuple, or an
+    #: :class:`_AllPairs` lazy view for complete graphs at scale.
+    edges: Sequence[tuple[int, int]]
     #: When true, every edge shares one wire resource (Ethernet bus
     #: semantics): frames serialize globally, not per link.
     shared_medium: bool = False
@@ -86,18 +154,25 @@ class Topology:
     def __post_init__(self) -> None:
         if self.n_hosts < 1:
             raise ValueError("need at least one host")
-        seen: set[tuple[int, int]] = set()
-        for u, v in self.edges:
-            if not (0 <= u < self.n_hosts and 0 <= v < self.n_hosts):
-                raise ValueError(f"edge ({u},{v}) out of range "
-                                 f"0..{self.n_hosts - 1}")
-            if u == v:
-                raise ValueError(f"self-edge ({u},{v}) not allowed")
-            if (u, v) != _normalize_edge(u, v):
-                raise ValueError(f"edge ({u},{v}) not normalized (u < v)")
-            if (u, v) in seen:
-                raise ValueError(f"duplicate edge ({u},{v})")
-            seen.add((u, v))
+        if isinstance(self.edges, _AllPairs):
+            # Complete graph by construction: valid by definition, and
+            # per-edge validation would be O(P^2).
+            if self.edges.n != self.n_hosts:
+                raise ValueError("complete edge set does not match host count")
+            seen: "set[tuple[int, int]] | _AllPairs" = self.edges
+        else:
+            seen = set()
+            for u, v in self.edges:
+                if not (0 <= u < self.n_hosts and 0 <= v < self.n_hosts):
+                    raise ValueError(f"edge ({u},{v}) out of range "
+                                     f"0..{self.n_hosts - 1}")
+                if u == v:
+                    raise ValueError(f"self-edge ({u},{v}) not allowed")
+                if (u, v) != _normalize_edge(u, v):
+                    raise ValueError(f"edge ({u},{v}) not normalized (u < v)")
+                if (u, v) in seen:
+                    raise ValueError(f"duplicate edge ({u},{v})")
+                seen.add((u, v))
         for (u, v), _params in self.link_params:
             if _normalize_edge(u, v) not in seen:
                 raise ValueError(f"link_params for non-edge ({u},{v})")
@@ -123,11 +198,13 @@ class Topology:
 
     @cached_property
     def max_degree(self) -> int:
+        if isinstance(self.edges, _AllPairs):
+            return self.n_hosts - 1 if self.n_hosts > 1 else 0
         return max((len(ns) for ns in self.adjacency), default=0)
 
     @cached_property
     def is_connected(self) -> bool:
-        if self.n_hosts <= 1:
+        if self.n_hosts <= 1 or isinstance(self.edges, _AllPairs):
             return True
         nbrs: list[list[int]] = [[] for _ in range(self.n_hosts)]
         for u, v in self.edges:
@@ -185,6 +262,10 @@ class Topology:
         """
         if src == dst:
             return ()
+        if isinstance(self.edges, _AllPairs):
+            # Complete graph: every pair is adjacent.  Skipping the BFS
+            # table matters at scale — it is O(P^2) time and memory.
+            return ((src, dst),)
         hops: list[tuple[int, int]] = []
         here = src
         while here != dst:
@@ -201,6 +282,8 @@ class Topology:
 
     @cached_property
     def diameter(self) -> int:
+        if isinstance(self.edges, _AllPairs):
+            return 1 if self.n_hosts > 1 else 0
         return max(self.hops(s, d)
                    for s in range(self.n_hosts)
                    for d in range(self.n_hosts))
@@ -226,16 +309,13 @@ class Topology:
     @staticmethod
     def bus(n_hosts: int) -> "Topology":
         """The paper's shared Ethernet segment: complete graph, one wire."""
-        edges = tuple((u, v) for u in range(n_hosts)
-                      for v in range(u + 1, n_hosts))
-        return Topology("bus", n_hosts, edges, shared_medium=True)
+        return Topology("bus", n_hosts, _AllPairs(n_hosts),
+                        shared_medium=True)
 
     @staticmethod
     def complete(n_hosts: int) -> "Topology":
         """Fully switched crossbar: complete graph, one wire per pair."""
-        edges = tuple((u, v) for u in range(n_hosts)
-                      for v in range(u + 1, n_hosts))
-        return Topology("complete", n_hosts, edges)
+        return Topology("complete", n_hosts, _AllPairs(n_hosts))
 
     @staticmethod
     def ring(n_hosts: int) -> "Topology":

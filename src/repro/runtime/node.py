@@ -58,7 +58,8 @@ from ..message.messages import (
     stale_predicate,
 )
 from ..protocol.worker import WorkerProtocol
-from ..simulation import Event, Interrupt, Process, RetryExhaustedError
+from ..simulation import (Event, Interrupt, Process,
+                          RetryExhaustedError, SlotFilter)
 from .assignment import Assignment
 from .session import LoopSession
 
@@ -210,8 +211,10 @@ class NodeRuntime:
         return False
 
     def _pending_interrupt(self) -> Optional[Message]:
+        # Structured filter: the slotted inbox answers this probe with a
+        # single (tag, epoch) bucket lookup; it runs between iterations.
         return self.session.vm.inbox[self.me].peek(
-            lambda m: m.tag is Tag.INTERRUPT and m.epoch == self.epoch)
+            SlotFilter(Tag.INTERRUPT, self.epoch))
 
     # -- fault-tolerant receive ----------------------------------------------
     def _recv_timed(self, tag: Optional[Tag], epoch: Optional[int] = None,

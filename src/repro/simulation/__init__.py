@@ -29,7 +29,7 @@ from .errors import (
     StopProcess,
     UnrecoverableFaultError,
 )
-from .mailbox import Mailbox
+from .mailbox import EpochBoundFilter, Mailbox, SlotFilter
 from .resources import Resource
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "AnyOf",
     "Condition",
     "Environment",
+    "EpochBoundFilter",
     "Event",
     "FaultError",
     "Interrupt",
@@ -48,6 +49,7 @@ __all__ = [
     "RetryExhaustedError",
     "ScheduleInPastError",
     "SimulationError",
+    "SlotFilter",
     "StopProcess",
     "Timeout",
     "UnrecoverableFaultError",

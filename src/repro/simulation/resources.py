@@ -56,12 +56,13 @@ class Resource:
         """Return an event that fires once the resource is acquired."""
         req = _Request(self.env)
         self.total_requests += 1
-        self._request_times[id(req)] = self.env.now
         if len(self._users) < self.capacity:
+            # Granted at once: zero wait, so skip the timestamp churn —
+            # this is the overwhelmingly common case on the hot path.
             self._users.add(req)
-            self._account_wait(req)
             req.succeed()
         else:
+            self._request_times[id(req)] = self.env.now
             self._waiting.append(req)
         return req
 

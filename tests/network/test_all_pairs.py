@@ -1,0 +1,101 @@
+"""The lazy complete-graph edge sequence behind bus/complete at scale.
+
+``_AllPairs`` must be observationally identical to the sorted tuple of
+all ``(u, v), u < v`` pairs — length, order, membership, indexing,
+equality — while staying O(1) memory, and the :class:`Topology` fast
+paths keyed off it (routing, diameter, connectivity) must agree with a
+materialized copy of the same graph.
+"""
+
+import pickle
+
+import pytest
+
+from repro.network.topology import Topology, _AllPairs
+
+
+def _materialized(n):
+    return tuple((u, v) for u in range(n) for v in range(u + 1, n))
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_matches_materialized_tuple(n):
+    lazy = _AllPairs(n)
+    real = _materialized(n)
+    assert len(lazy) == len(real)
+    assert tuple(lazy) == real
+    assert lazy == real          # element-wise tuple comparison
+    for idx, edge in enumerate(real):
+        assert lazy[idx] == edge
+        assert edge in lazy
+
+
+def test_negative_indexing_and_slices():
+    lazy = _AllPairs(5)
+    real = _materialized(5)
+    assert lazy[-1] == real[-1]
+    assert lazy[2:6] == real[2:6]
+    with pytest.raises(IndexError):
+        lazy[len(real)]
+    with pytest.raises(IndexError):
+        lazy[-len(real) - 1]
+
+
+def test_membership_rejects_junk():
+    lazy = _AllPairs(4)
+    assert (0, 3) in lazy
+    assert (3, 0) not in lazy    # not normalized
+    assert (1, 1) not in lazy
+    assert (0, 4) not in lazy    # out of range
+    assert "ab" not in lazy
+    assert 17 not in lazy
+    assert (0, 1, 2) not in lazy
+
+
+def test_len_is_o1_at_scale():
+    # The point of the class: P=4096 without 8.4M tuples in memory.
+    lazy = _AllPairs(4096)
+    assert len(lazy) == 4096 * 4095 // 2
+    assert lazy[0] == (0, 1)
+    assert lazy[-1] == (4094, 4095)
+    assert (1234, 4000) in lazy
+
+
+def test_equality_and_hash():
+    assert _AllPairs(6) == _AllPairs(6)
+    assert _AllPairs(6) != _AllPairs(7)
+    assert hash(_AllPairs(6)) == hash(_AllPairs(6))
+    assert _AllPairs(3) != ((0, 1), (0, 2), (2, 1))  # wrong elements
+
+
+def test_pickle_round_trip():
+    lazy = _AllPairs(9)
+    clone = pickle.loads(pickle.dumps(lazy))
+    assert isinstance(clone, _AllPairs)
+    assert clone == lazy and clone.n == 9
+
+
+def test_topology_fast_paths_agree_with_materialized_graph():
+    n = 7
+    via_lazy = Topology.complete(n)
+    via_real = Topology("complete", n, _materialized(n))
+    assert via_lazy.max_degree == via_real.max_degree == n - 1
+    assert via_lazy.diameter == via_real.diameter == 1
+    assert via_lazy.is_connected and via_real.is_connected
+    for src in range(n):
+        for dst in range(n):
+            assert via_lazy.route(src, dst) == via_real.route(src, dst)
+    # Hashable (frozen dataclass over the O(1)-hash edge view).
+    assert hash(via_lazy) == hash(Topology.complete(n))
+
+
+def test_bus_is_shared_medium_complete_graph():
+    bus = Topology.bus(4)
+    assert bus.shared_medium
+    assert isinstance(bus.edges, _AllPairs)
+    assert tuple(bus.edges) == _materialized(4)
+
+
+def test_host_count_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Topology("complete", 5, _AllPairs(4))

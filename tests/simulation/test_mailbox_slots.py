@@ -1,0 +1,145 @@
+"""Slot-level fast paths of the mailbox: SlotFilter and EpochBoundFilter.
+
+``tests/simulation/test_mailbox.py`` pins the generic predicate
+semantics; these tests target the slotted storage specifically — the
+O(1) ``(tag, epoch)`` lookup, cross-slot FIFO recovery, and whole-slot
+stale-epoch drains — plus the filters' plain-callable behavior, which
+the thread backend relies on.
+"""
+
+from dataclasses import dataclass
+
+from repro.simulation import Environment
+from repro.simulation.mailbox import EpochBoundFilter, Mailbox, SlotFilter
+
+
+@dataclass
+class Msg:
+    tag: str
+    epoch: int
+    payload: int = 0
+
+
+TAG_A = "alpha"
+TAG_B = "beta"
+
+
+def _box():
+    return Mailbox(Environment())
+
+
+# -- SlotFilter as a plain predicate ------------------------------------
+
+def test_slot_filter_is_a_plain_predicate():
+    f = SlotFilter(tag=TAG_A, epoch=3)
+    assert f(Msg(TAG_A, 3))
+    assert not f(Msg(TAG_A, 4))
+    assert not f(Msg(TAG_B, 3))
+    assert not f(object())  # no tag/epoch attributes at all
+
+
+def test_slot_filter_composes_with_match():
+    f = SlotFilter(tag=TAG_A, epoch=1, match=lambda m: m.payload > 10)
+    assert not f(Msg(TAG_A, 1, payload=5))
+    assert f(Msg(TAG_A, 1, payload=11))
+
+
+def test_slot_filter_tag_is_identity_matched():
+    # Tags are interned sentinels in the message layer; the filter
+    # matches by identity, so an equal-but-distinct string won't do.
+    tag = "".join(["al", "pha"])
+    assert tag == TAG_A and tag is not TAG_A
+    assert not SlotFilter(tag=TAG_A)(Msg(tag, 0))
+
+
+# -- slotted lookup ------------------------------------------------------
+
+def test_fully_keyed_get_hits_the_exact_slot():
+    box = _box()
+    box.put(Msg(TAG_B, 1, payload=1))
+    box.put(Msg(TAG_A, 2, payload=2))
+    box.put(Msg(TAG_A, 1, payload=3))
+    got = box.get(SlotFilter(tag=TAG_A, epoch=1))
+    assert got.triggered and got.value.payload == 3
+    assert len(box) == 2
+
+
+def test_fully_keyed_get_respects_match_within_slot():
+    box = _box()
+    box.put(Msg(TAG_A, 1, payload=1))
+    box.put(Msg(TAG_A, 1, payload=9))
+    got = box.get(SlotFilter(tag=TAG_A, epoch=1, match=lambda m: m.payload > 5))
+    assert got.value.payload == 9
+    # The skipped older item is still queued.
+    assert box.peek(SlotFilter(tag=TAG_A, epoch=1)).payload == 1
+
+
+def test_partial_filter_recovers_fifo_across_slots():
+    box = _box()
+    box.put(Msg(TAG_A, 2, payload=1))   # seq 1
+    box.put(Msg(TAG_A, 1, payload=2))   # seq 2
+    box.put(Msg(TAG_A, 2, payload=3))   # seq 3
+    # Tag-only filter spans two slots; arrival order must win.
+    order = [box.take(SlotFilter(tag=TAG_A)).payload for _ in range(3)]
+    assert order == [1, 2, 3]
+    assert box.take(SlotFilter(tag=TAG_A)) is None
+
+
+def test_missing_slot_queues_the_getter():
+    box = _box()
+    box.put(Msg(TAG_A, 1))
+    got = box.get(SlotFilter(tag=TAG_A, epoch=2))
+    assert not got.triggered
+    box.put(Msg(TAG_A, 2, payload=7))
+    assert got.triggered and got.value.payload == 7
+
+
+def test_items_property_is_seq_ordered_across_slots():
+    box = _box()
+    payloads = [4, 1, 3, 2]
+    for i, p in enumerate(payloads):
+        box.put(Msg(TAG_A if i % 2 else TAG_B, i % 3, payload=p))
+    assert [m.payload for m in box.items] == payloads
+
+
+# -- EpochBoundFilter ----------------------------------------------------
+
+def test_epoch_bound_filter_item_semantics():
+    f = EpochBoundFilter(3, tags=(TAG_A,))
+    assert f(Msg(TAG_A, 2))
+    assert not f(Msg(TAG_A, 3))          # exclusive by default
+    assert not f(Msg(TAG_B, 0))          # wrong tag
+    assert EpochBoundFilter(3, inclusive=True)(Msg(TAG_B, 3))
+
+
+def test_covers_slot_matches_item_semantics():
+    f = EpochBoundFilter(2, tags=(TAG_A,), inclusive=True)
+    assert f.covers_slot((TAG_A, 2))
+    assert not f.covers_slot((TAG_A, 3))
+    assert not f.covers_slot((TAG_B, 0))
+    assert not f.covers_slot((TAG_A, None))  # epoch-less slot never stale
+
+
+def test_drain_stale_epochs_removes_whole_slots():
+    box = _box()
+    for epoch in (0, 1, 2, 3):
+        box.put(Msg(TAG_A, epoch, payload=epoch))
+        box.put(Msg(TAG_B, epoch, payload=10 + epoch))
+    drained = box.drain(EpochBoundFilter(2, tags=(TAG_A,)))
+    assert [m.payload for m in drained] == [0, 1]     # arrival order
+    assert len(box) == 6
+    # Slots for the drained keys are gone; survivors untouched.
+    assert box.peek(SlotFilter(tag=TAG_A, epoch=2)).payload == 2
+    assert box.peek(SlotFilter(tag=TAG_B, epoch=0)).payload == 10
+
+
+def test_drain_counts_stay_consistent():
+    box = _box()
+    for epoch in range(4):
+        box.put(Msg(TAG_A, epoch))
+    box.drain(EpochBoundFilter(10))
+    assert len(box) == 0
+    assert box.put_count == 4 and box.got_count == 4
+    # A later put lands in a fresh slot and is retrievable.
+    box.put(Msg(TAG_A, 99, payload=42))
+    assert box.take(SlotFilter(tag=TAG_A, epoch=99)).payload == 42

@@ -14,34 +14,50 @@ bench_gate = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench_gate)
 
 
-def _process_doc(wall: float, speedup: float) -> dict:
-    return {"best_speedup": speedup,
+def _process_doc(wall: float, speedup: float, cpus: int = 4) -> dict:
+    return {"best_speedup": speedup, "cpu_count": cpus,
             "strategies": {"GCDLB": {"process_wall_seconds": wall}}}
 
 
-def _backend_doc(wall: float) -> dict:
-    return {"strategies": {"GCDLB": {"thread_wall_seconds": wall}}}
+def _backend_doc(wall: float, virtual: float = 0.1) -> dict:
+    return {"cpu_count": 4,
+            "strategies": {"GCDLB": {"thread_wall_seconds": wall,
+                                     "sim_virtual_duration": virtual}}}
 
 
 def _topology_doc(seconds: float) -> dict:
-    return {"topologies": {"ring": {"GD": seconds}}}
+    return {"cpu_count": 4, "topologies": {"ring": {"GD": seconds}}}
 
 
-def _write(directory, process=None, backend=None, topology=None):
-    if process is not None and topology is None:
-        topology = _topology_doc(1.0)  # benign: every gated doc present
+def _scale_doc(virtual: float = 1.0, wall: float = 2.0,
+               speedup: float = 2.0, cpus: int = 4) -> dict:
+    return {"cpu_count": cpus, "best_speedup_at_4": speedup,
+            "des": {"bus-P1024-LCDLB": {"virtual_duration": virtual,
+                                        "wall_seconds": wall}}}
+
+
+def _write(directory, process=None, backend=None, topology=None,
+           scale=None):
+    if process is not None:
+        if topology is None:
+            topology = _topology_doc(1.0)  # benign: every gated doc present
+        if scale is None:
+            scale = _scale_doc()
     if process is not None:
         (directory / "BENCH_process.json").write_text(json.dumps(process))
     if backend is not None:
         (directory / "BENCH_backend.json").write_text(json.dumps(backend))
     if topology is not None:
         (directory / "BENCH_topology.json").write_text(json.dumps(topology))
+    if scale is not None:
+        (directory / "BENCH_scale.json").write_text(json.dumps(scale))
 
 
-def _run(base, fresh, threshold=0.25):
+def _run(base, fresh, threshold=0.25, mode="all"):
     return bench_gate.main(["--baseline-dir", str(base),
                             "--fresh-dir", str(fresh),
-                            "--threshold", str(threshold)])
+                            "--threshold", str(threshold),
+                            "--mode", mode])
 
 
 def test_resolve_fans_out_wildcards():
@@ -110,3 +126,55 @@ def test_topology_virtual_seconds_gated(tmp_path, capsys):
            _topology_doc(0.40))
     assert _run(base, fresh) == 1
     assert "topologies.ring.GD regressed" in capsys.readouterr().err
+
+
+def test_deterministic_mode_ignores_wall_regressions(tmp_path):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+    # Wall time 4x worse and speedup collapsed — but every virtual
+    # duration identical: the deterministic (blocking) mode passes.
+    _write(base, _process_doc(1.0, 2.0), _backend_doc(1.0),
+           scale=_scale_doc(wall=2.0, speedup=2.0))
+    _write(fresh, _process_doc(4.0, 0.5), _backend_doc(4.0),
+           scale=_scale_doc(wall=8.0, speedup=0.5))
+    assert _run(base, fresh, mode="deterministic") == 0
+    assert _run(base, fresh, mode="wall") == 1
+
+
+def test_deterministic_mode_is_tight(tmp_path, capsys):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+    # A 2% drift in a virtual duration is a model change, not noise —
+    # far below the 25% wall threshold, but the blocking mode trips.
+    _write(base, _process_doc(1.0, 2.0), _backend_doc(1.0),
+           scale=_scale_doc(virtual=1.0))
+    _write(fresh, _process_doc(1.0, 2.0), _backend_doc(1.0),
+           scale=_scale_doc(virtual=1.02))
+    assert _run(base, fresh, mode="deterministic") == 1
+    assert "virtual_duration regressed" in capsys.readouterr().err
+
+
+def test_speedup_skipped_on_smaller_runner(tmp_path, capsys):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+    # Baseline recorded on 4 cores; fresh runner has 1.  The collapsed
+    # speedups must be skipped loudly, not failed (and not silently
+    # passed: the annotation is printed).
+    _write(base, _process_doc(1.0, 2.0, cpus=4), _backend_doc(1.0),
+           scale=_scale_doc(speedup=2.0, cpus=4))
+    _write(fresh, _process_doc(1.0, 0.6, cpus=1), _backend_doc(1.0),
+           scale=_scale_doc(speedup=0.6, cpus=1))
+    assert _run(base, fresh) == 0
+    out = capsys.readouterr().out
+    assert "::warning" in out
+    assert "speedup comparison skipped" in out
+
+
+def test_speedup_enforced_when_cores_match(tmp_path):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    base.mkdir(), fresh.mkdir()
+    _write(base, _process_doc(1.0, 2.0, cpus=4), _backend_doc(1.0),
+           scale=_scale_doc(speedup=2.0, cpus=4))
+    _write(fresh, _process_doc(1.0, 0.6, cpus=4), _backend_doc(1.0),
+           scale=_scale_doc(speedup=0.6, cpus=4))
+    assert _run(base, fresh) == 1

@@ -115,6 +115,52 @@ def test_faults_demo_bad_victim_exits_2(capsys):
     assert "reliable master" in capsys.readouterr().err
 
 
+# -- kernel flag ---------------------------------------------------------
+
+def test_run_kernel_numpy_thread(capsys):
+    pytest.importorskip("numpy")
+    assert main(SMALL_RUN + ["--strategy", "GCDLB", "--backend", "thread",
+                             "--time-scale", "0.1",
+                             "--kernel", "numpy"]) == 0
+    assert "backend=thread" in capsys.readouterr().out
+
+
+def test_run_kernel_numpy_process(capsys):
+    pytest.importorskip("numpy")
+    assert main(SMALL_RUN + ["--strategy", "GDDLB", "--backend", "process",
+                             "--time-scale", "0.1",
+                             "--kernel", "numpy"]) == 0
+    assert "backend=process" in capsys.readouterr().out
+
+
+def test_run_kernel_ops_thread(capsys):
+    assert main(SMALL_RUN + ["--strategy", "GCDLB", "--backend", "thread",
+                             "--time-scale", "0.1",
+                             "--kernel", "ops"]) == 0
+    assert "backend=thread" in capsys.readouterr().out
+
+
+def test_run_kernel_rejected_without_real_backend(capsys):
+    # Both the sim default and the socket backend refuse the flag: a
+    # CPU-burn kernel is meaningless there and must not silently no-op.
+    assert main(SMALL_RUN + ["--kernel", "numpy"]) == 2
+    assert "thread and process backends only" in capsys.readouterr().err
+    assert main(SMALL_RUN + ["--backend", "socket", "--time-scale", "0.1",
+                             "--kernel", "ops"]) == 2
+    assert "thread and process backends only" in capsys.readouterr().err
+
+
+def test_run_kernel_wall_rejected_on_process(capsys):
+    assert main(SMALL_RUN + ["--backend", "process", "--time-scale", "0.1",
+                             "--kernel", "wall"]) == 2
+    assert "backend error" in capsys.readouterr().err
+
+
+def test_unknown_kernel_choice_exits():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(SMALL_RUN + ["--kernel", "cuda"])
+
+
 # -- topology flag -------------------------------------------------------
 
 def test_run_topology_sim(capsys):
