@@ -1,0 +1,162 @@
+"""Observability overhead: the zero-cost gate for structured tracing.
+
+One document (``BENCH_obs.json``), three claims:
+
+* **Zero perturbation** — a seeded P=512 DES sweep records *identical*
+  virtual durations with tracing off and on.  Every simulation
+  instrumentation site is a pure function call inside an existing
+  callback (no new DES events, no clock reads of its own), so enabling
+  the recorder cannot move the event schedule; the equality is asserted
+  bit-for-bit here and gated deterministically in CI.
+* **Disabled means free** — every instrumentation point holds the
+  :data:`~repro.obs.trace.NULL_RECORDER` singleton by default, so a run
+  that never asked for tracing pays one no-op method call per
+  *potential* event.  The micro-benchmark times that call directly and
+  asserts it stays in nanoseconds; the off-mode wall times are gated
+  (advisory) so a creeping hot-path cost shows up as a regression.
+* **Enabled stays cheap** — the recorded overhead ratios (on/off wall
+  seconds for the DES and thread backends) are written into the
+  document and quoted in docs/OBSERVABILITY.md.  They are reported, not
+  asserted: shared CI runners are too noisy for a tight in-test bound.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro import ClusterSpec, run_loop
+from repro.apps.mxm import MxmConfig, mxm_loop
+from repro.apps.workload import LoopSpec
+from repro.backend import ThreadBackend
+from repro.obs import NULL_RECORDER, TraceRecorder
+from repro.runtime.options import RunOptions
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_obs.json"
+
+#: The DES case: large enough that per-event recording would show up in
+#: the schedule if it perturbed anything, bounded group size so the
+#: sweep stays CI-sized (same shape as BENCH_scale's bus cases).
+DES_P = 512
+DES_STRATEGY = "LCDLB"
+DES_GROUP = 32
+
+#: Thread-backend case: 4 workers, compute-dominated, wall-clock.
+THREAD_WORKERS = 4
+THREAD_ITERS_PER_WORKER = 16
+THREAD_ITERATION_SECONDS = 0.01
+
+#: Disabled-path budget: one NULL_RECORDER.event(...) call, nanoseconds.
+#: A no-op bound method runs in tens of ns on any modern interpreter;
+#: 2000 ns absorbs the slowest shared runner while still catching an
+#: accidental "just a little formatting" on the disabled path.
+NULL_CALL_BUDGET_NS = 2000.0
+NULL_CALL_ROUNDS = 200_000
+
+
+def _des_case(recorder):
+    loop = mxm_loop(MxmConfig(64, 32, 32), op_seconds=4e-7)
+    cluster = ClusterSpec.homogeneous(DES_P, max_load=3,
+                                      persistence=1.0, seed=7)
+    options = RunOptions(group_size=DES_GROUP, recorder=recorder)
+    t0 = time.perf_counter()
+    stats = run_loop(loop, cluster, DES_STRATEGY, options)
+    wall = time.perf_counter() - t0
+    return stats, wall
+
+
+def _thread_case(recorder):
+    loop = LoopSpec(name="obs-thread",
+                    n_iterations=THREAD_ITERS_PER_WORKER * THREAD_WORKERS,
+                    iteration_time=THREAD_ITERATION_SECONDS, dc_bytes=64)
+    cluster = ClusterSpec.homogeneous(THREAD_WORKERS, max_load=3,
+                                      persistence=1.0, seed=7)
+    options = RunOptions(recorder=recorder)
+    t0 = time.perf_counter()
+    stats = run_loop(loop, cluster, "GCDLB", options,
+                     backend=ThreadBackend(kernel="wall"))
+    wall = time.perf_counter() - t0
+    executed = sum(stats.executed_count(n) for n in stats.executed_by_node)
+    assert executed == loop.n_iterations
+    return stats, wall
+
+
+def _null_call_ns() -> float:
+    """Mean cost of one disabled-recorder call, in nanoseconds."""
+    event = NULL_RECORDER.event
+    t0 = time.perf_counter()
+    for _ in range(NULL_CALL_ROUNDS):
+        event("compute")
+    return (time.perf_counter() - t0) / NULL_CALL_ROUNDS * 1e9
+
+
+def test_bench_obs(benchmark):
+    def run():
+        stats_off, wall_off = _des_case(None)
+        recorder = TraceRecorder(capacity=1 << 20)
+        stats_on, wall_on = _des_case(recorder)
+        events = recorder.events()
+        des = {
+            "n_processors": DES_P,
+            "strategy": DES_STRATEGY,
+            "virtual_duration_off": stats_off.duration,
+            "virtual_duration_on": stats_on.duration,
+            "wall_seconds_off": wall_off,
+            "wall_seconds_on": wall_on,
+            "overhead_ratio": wall_on / wall_off,
+            "events_recorded": len(events),
+            "events_dropped": recorder.dropped,
+        }
+
+        _, t_wall_off = _thread_case(None)
+        t_recorder = TraceRecorder()
+        _, t_wall_on = _thread_case(t_recorder)
+        thread = {
+            "workers": THREAD_WORKERS,
+            "wall_seconds_off": t_wall_off,
+            "wall_seconds_on": t_wall_on,
+            "overhead_ratio": t_wall_on / t_wall_off,
+            "events_recorded": len(t_recorder.events()),
+        }
+
+        return {
+            "cpu_count": os.cpu_count(),
+            "workload": f"mxm 64x32x32 P={DES_P} {DES_STRATEGY} "
+                        f"k={DES_GROUP} (des) / "
+                        f"{THREAD_ITERS_PER_WORKER}x"
+                        f"{THREAD_ITERATION_SECONDS}s per worker (thread)",
+            "des": des,
+            "thread": thread,
+            "null_call_ns": _null_call_ns(),
+        }
+
+    doc = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    des = doc["des"]
+    print()
+    print(f"  des off {des['wall_seconds_off']:6.2f}s / "
+          f"on {des['wall_seconds_on']:6.2f}s "
+          f"({des['overhead_ratio']:.2f}x, "
+          f"{des['events_recorded']} events)")
+    print(f"  thread off {doc['thread']['wall_seconds_off']:6.2f}s / "
+          f"on {doc['thread']['wall_seconds_on']:6.2f}s "
+          f"({doc['thread']['overhead_ratio']:.2f}x)")
+    print(f"  null call {doc['null_call_ns']:.0f} ns")
+
+    # Zero perturbation: the virtual schedule must not move at all.
+    assert des["virtual_duration_on"] == des["virtual_duration_off"], (
+        "recording perturbed the simulation: "
+        f"{des['virtual_duration_off']} -> {des['virtual_duration_on']}")
+    assert des["events_recorded"] > 0
+    assert des["events_dropped"] == 0
+
+    # Disabled means free: a no-op call, in nanoseconds.
+    assert doc["null_call_ns"] < NULL_CALL_BUDGET_NS, (
+        f"disabled recorder costs {doc['null_call_ns']:.0f} ns per call "
+        f"(budget {NULL_CALL_BUDGET_NS:.0f} ns) — something crept onto "
+        "the NullRecorder path")
+
+    OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    benchmark.extra_info["des_overhead_ratio"] = des["overhead_ratio"]
+    benchmark.extra_info["null_call_ns"] = doc["null_call_ns"]

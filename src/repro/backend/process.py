@@ -91,13 +91,16 @@ from ..protocol import (
     TimerFired,
     WorkerProtocol,
 )
+from ..obs.metrics import CounterDict, MetricsRegistry
+from ..obs.trace import NULL_RECORDER, TraceRecorder
+from ..protocol.commands import Emit
 from ..runtime.assignment import (
     Assignment,
     equal_block_partition,
     merge_ranges,
 )
 from ..runtime.options import FaultToleranceConfig, RunOptions
-from ..runtime.stats import LoopRunStats, SyncRecord
+from ..runtime.stats import LoopRunStats, SyncRecord, environment_fingerprint
 from .base import (
     BackendError,
     ExecutionBackend,
@@ -173,6 +176,7 @@ class _WorkerConfig:
     crash_at: Optional[float]  # wall seconds after t0; None = reliable
     stream_records: bool  # per-iteration exec records (fault runs)
     fail_after: Optional[int]  # test hook: raise after N iterations
+    trace_events: bool  # build a child TraceRecorder; ship it at exit
 
 
 @dataclass(frozen=True)
@@ -185,6 +189,7 @@ class _BalancerConfig:
     mean_iteration_time: float
     movement: Optional[tuple[float, float]]
     ft: FaultToleranceConfig
+    trace_events: bool
 
 
 class _CrashClock:
@@ -337,7 +342,7 @@ class _ChildReporter:
         self.payload_bytes = 0
         self.shm_bytes = 0
         self.retries = 0
-        self.by_tag: dict[str, int] = {}
+        self.by_tag = CounterDict()
 
     def now(self) -> float:
         return time.perf_counter() - self._t0
@@ -345,7 +350,7 @@ class _ChildReporter:
     def send(self, msg: Message) -> None:
         self.messages += 1
         self.bytes += msg.nbytes
-        self.by_tag[msg.tag.value] = self.by_tag.get(msg.tag.value, 0) + 1
+        self.by_tag.inc(msg.tag.value)
         self.payload_bytes += len(pickle.dumps(msg, pickle.HIGHEST_PROTOCOL))
         if msg.tag is Tag.WORK:
             # The ranges ride the pipe; the data rows stay in shm.
@@ -372,6 +377,10 @@ class _ChildReporter:
     def declared(self, peer: int) -> None:
         self._stats_q.put(("declared", self.me, peer))
 
+    def trace(self, payload: dict) -> None:
+        """Ship this child's trace buffer to the parent (pre-finish)."""
+        self._stats_q.put(("trace", self.me, payload))
+
     def counters(self) -> dict:
         return {"messages": self.messages, "bytes": self.bytes,
                 "by_tag": dict(self.by_tag),
@@ -395,7 +404,8 @@ class _ChildReporter:
 # ---------------------------------------------------------------------------
 def _compute_slice(proto: WorkerProtocol, cfg: _WorkerConfig,
                    mailbox: _ChildMailbox, reporter: _ChildReporter,
-                   crash: _CrashClock, shm, row_pattern: bytes) -> str:
+                   crash: _CrashClock, shm, row_pattern: bytes,
+                   rec=NULL_RECORDER) -> str:
     """Burn real CPU through the assignment, iteration by iteration."""
     assignment = proto.assignment
     table = proto.table
@@ -432,7 +442,10 @@ def _compute_slice(proto: WorkerProtocol, cfg: _WorkerConfig,
                 burn_ops(cost * cfg.time_scale * cfg.ops_rate,
                          should_abort=probe)
             crash.check()  # fail-stop before the iteration is recorded
-            proto.note_busy(time.perf_counter() - t0)
+            t1 = time.perf_counter()
+            proto.note_busy(t1 - t0)
+            rec.complete("compute", t0 - crash.t0, t1 - t0,
+                         track=f"node{cfg.node}", iteration=start)
             proto.note_work(cost)
             if shm is not None:
                 off = start * cfg.row_bytes
@@ -454,7 +467,8 @@ def _compute_slice(proto: WorkerProtocol, cfg: _WorkerConfig,
 
 def _drive_worker(proto: WorkerProtocol, cfg: _WorkerConfig,
                   mailbox: _ChildMailbox, reporter: _ChildReporter,
-                  crash: _CrashClock, shm, row_pattern: bytes) -> None:
+                  crash: _CrashClock, shm, row_pattern: bytes,
+                  rec=NULL_RECORDER) -> None:
     last_await: Optional[AwaitMessage] = None
     commands = proto.on_event(Start())
     while True:
@@ -466,7 +480,7 @@ def _drive_worker(proto: WorkerProtocol, cfg: _WorkerConfig,
                 reporter.send(cmd.msg)
             elif isinstance(cmd, StartCompute):
                 status = _compute_slice(proto, cfg, mailbox, reporter,
-                                        crash, shm, row_pattern)
+                                        crash, shm, row_pattern, rec)
                 next_event = ComputeDone(status)
             elif isinstance(cmd, AwaitMessage):
                 await_spec = cmd
@@ -477,7 +491,13 @@ def _drive_worker(proto: WorkerProtocol, cfg: _WorkerConfig,
                 pass  # planning costs real time on a real backend
             elif isinstance(cmd, DeclareDead):
                 reporter.declared(cmd.peer)
+            elif isinstance(cmd, Emit):
+                rec.event(cmd.name, track=f"node{cfg.node}", **cmd.args())
             elif isinstance(cmd, Done):
+                if rec.enabled:
+                    # Ship the trace buffer before the finish record so
+                    # the parent merges it ahead of run teardown.
+                    reporter.trace(rec.to_payload())
                 reporter.finish()
                 return
             else:  # pragma: no cover - defensive
@@ -544,9 +564,12 @@ def _worker_main(cfg: _WorkerConfig, queues, balancer_q, stats_q,
                                           cfg.mean_iteration_time),
             ft=cfg.ft, profile_window_reset=cfg.profile_window_reset,
             assignment=Assignment(cfg.ranges), is_dlb=cfg.is_dlb)
+        proto.emit_trace = cfg.trace_events
+        rec = TraceRecorder(clock=reporter.now) if cfg.trace_events \
+            else NULL_RECORDER
         mailbox = _ChildMailbox(queues[cfg.node], crash)
         _drive_worker(proto, cfg, mailbox, reporter, crash, shm,
-                      row_pattern)
+                      row_pattern, rec)
     except BaseException:
         reporter.error(traceback.format_exc())
         reporter.flush()  # os._exit skips the feeder's atexit flush
@@ -568,6 +591,9 @@ def _balancer_main(cfg: _BalancerConfig, queues, balancer_q, stats_q,
             movement_cost_fn=_movement_fn(
                 cfg.movement, 0, cfg.mean_iteration_time),
             ft=cfg.ft)
+        proto.emit_trace = cfg.trace_events
+        rec = TraceRecorder(clock=reporter.now) if cfg.trace_events \
+            else NULL_RECORDER
         mailbox = _ChildMailbox(balancer_q, crash)
         commands = proto.on_event(Start())
         while True:
@@ -581,7 +607,11 @@ def _balancer_main(cfg: _BalancerConfig, queues, balancer_q, stats_q,
                     reporter.sync(cmd.group, cmd.epoch, cmd.plan)
                 elif isinstance(cmd, Charge):
                     pass
+                elif isinstance(cmd, Emit):
+                    rec.event(cmd.name, track="balancer", **cmd.args())
                 elif isinstance(cmd, Done):
+                    if rec.enabled:
+                        reporter.trace(rec.to_payload())
                     reporter.finish(kind="bfinish")
                     return
                 else:  # pragma: no cover - defensive
@@ -707,6 +737,11 @@ class ProcessBackend(ExecutionBackend):
         stats = LoopRunStats(loop_name=loop.name, strategy=spec.name,
                              n_processors=n, group_size=k,
                              backend=self.name)
+        registry = MetricsRegistry()
+        # A live view: _supervise merges each child's counters into the
+        # registry's storage, which *is* this stats field.
+        stats.messages_by_tag = registry.counter("messages_by_tag")
+        recorder = options.recorder or NULL_RECORDER
         parts = equal_block_partition(loop.n_iterations, n)
         row_bytes = max(STAMP_BYTES, loop.dc_bytes)
         if self.kernel == "numpy":
@@ -730,6 +765,14 @@ class ProcessBackend(ExecutionBackend):
 
         t0 = time.perf_counter()
         stats.start_time = 0.0
+        ctx_method = getattr(ctx, "_name", None) or self.start_method
+        stats.environment = environment_fingerprint(
+            start_method=ctx_method, kernel=self.kernel)
+        if recorder.enabled:
+            # Children timestamp against the same parent-stamped origin
+            # (perf_counter is CLOCK_MONOTONIC: comparable across
+            # processes), so merged buffers share one time domain.
+            recorder.set_clock(lambda: time.perf_counter() - t0)
         procs: dict[object, object] = {}
         try:
             for node in range(n):
@@ -747,7 +790,8 @@ class ProcessBackend(ExecutionBackend):
                     shm_name=shm.name, row_bytes=row_bytes,
                     crash_at=crash_at.get(node),
                     stream_records=bool(fault_plan),
-                    fail_after=self._fail_after.get(node))
+                    fail_after=self._fail_after.get(node),
+                    trace_events=recorder.enabled)
                 p = ctx.Process(target=_worker_main,
                                 args=(cfg, queues, balancer_q, stats_q, t0),
                                 name=f"dlb-node{node}", daemon=True)
@@ -758,7 +802,8 @@ class ProcessBackend(ExecutionBackend):
                     groups=tuple(tuple(g) for g in groups),
                     policy=options.policy,
                     mean_iteration_time=mean_iteration_time,
-                    movement=movement, ft=ft)
+                    movement=movement, ft=ft,
+                    trace_events=recorder.enabled)
                 procs["balancer"] = ctx.Process(
                     target=_balancer_main,
                     args=(bcfg, queues, balancer_q, stats_q, t0),
@@ -768,7 +813,14 @@ class ProcessBackend(ExecutionBackend):
 
             crashed, declared = self._supervise(
                 stats, procs, queues, balancer_q, stats_q,
-                expected_crashes=set(crash_at), options=options)
+                expected_crashes=set(crash_at), options=options,
+                recorder=recorder)
+            for node in sorted(crashed):
+                # A crashed child's buffer died with it (os._exit ships
+                # nothing): mark the truncation explicitly rather than
+                # dropping the node silently.
+                recorder.event("trace_truncated", track=f"node{node}",
+                               reason="crashed")
 
             for p in procs.values():
                 p.join(timeout=5.0)
@@ -794,7 +846,8 @@ class ProcessBackend(ExecutionBackend):
     # -- supervision -----------------------------------------------------
     def _supervise(self, stats: LoopRunStats, procs, queues, balancer_q,
                    stats_q, *, expected_crashes: set[int],
-                   options: RunOptions) -> tuple[set[int], set[int]]:
+                   options: RunOptions,
+                   recorder=NULL_RECORDER) -> tuple[set[int], set[int]]:
         """Drain the stats stream and police child liveness.
 
         Returns ``(crashed, declared_dead)``.  Raises
@@ -827,6 +880,8 @@ class ProcessBackend(ExecutionBackend):
                         predicted_balanced=row["predicted_balanced"]))
             elif kind == "declared":
                 declared.add(rec[2])
+            elif kind == "trace":
+                recorder.merge_payload(rec[2])
             elif kind in ("finish", "bfinish"):
                 _, node, now, counters = rec
                 key = "balancer" if kind == "bfinish" else node
@@ -839,9 +894,7 @@ class ProcessBackend(ExecutionBackend):
                 stats.transport_payload_bytes += counters["payload_bytes"]
                 stats.shm_data_bytes += counters["shm_bytes"]
                 stats.fault_retries += counters["retries"]
-                for tag, count in counters["by_tag"].items():
-                    stats.messages_by_tag[tag] = \
-                        stats.messages_by_tag.get(tag, 0) + count
+                stats.messages_by_tag.merge(counters["by_tag"])
             elif kind == "error":
                 raise BackendError(
                     f"worker {rec[1]} failed:\n{rec[2]}")

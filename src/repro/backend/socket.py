@@ -87,6 +87,8 @@ from ..message.frames import (
     policy_to_wire,
 )
 from ..message.messages import ControlMsg, Message, Tag
+from ..obs.metrics import CounterDict, MetricsRegistry
+from ..obs.trace import NULL_RECORDER, TraceRecorder
 from ..protocol import (
     AwaitMessage,
     BalancerProtocol,
@@ -94,6 +96,7 @@ from ..protocol import (
     ComputeDone,
     DeclareDead,
     Done,
+    Emit,
     LeaveRequested,
     MessageReceived,
     PeerDead,
@@ -108,7 +111,7 @@ from ..protocol import (
 )
 from ..runtime.assignment import Assignment, equal_block_partition, merge_ranges
 from ..runtime.options import FaultToleranceConfig, RunOptions
-from ..runtime.stats import LoopRunStats, SyncRecord
+from ..runtime.stats import LoopRunStats, SyncRecord, environment_fingerprint
 from .base import (
     BackendError,
     ExecutionBackend,
@@ -219,6 +222,7 @@ class _ClientConfig:
     time_scale: float
     crash_at: Optional[float]
     leave_after: Optional[int]
+    trace_events: bool
 
 
 def _config_from_welcome(body: dict,
@@ -246,7 +250,9 @@ def _config_from_welcome(body: dict,
         epoch=int(run["epoch"]),
         time_scale=float(run["time_scale"]),
         crash_at=run.get("crash_at"),
-        leave_after=leave_after)
+        leave_after=leave_after,
+        # Absent from a pre-tracing hub's WELCOME: default off.
+        trace_events=bool(run.get("trace_events", False)))
 
 
 class _ClientReporter:
@@ -263,32 +269,32 @@ class _ClientReporter:
         self.me = me
         self.messages = 0
         self.bytes = 0
-        self.by_tag: dict[str, int] = {}
+        self.by_tag = CounterDict()
         self.retries = 0
-        self.frames: dict[str, int] = {}
+        self.frames = CounterDict()
         self.executed_total = 0
-        self._t0 = time.perf_counter()
+        self.t0 = time.perf_counter()
 
     def now(self) -> float:
-        return time.perf_counter() - self._t0
+        return time.perf_counter() - self.t0
 
     def write(self, ftype: FrameType, body: Optional[dict] = None) -> None:
         data = encode_frame(ftype, body)
-        self.frames[ftype.name] = self.frames.get(ftype.name, 0) + len(data)
+        self.frames.inc(ftype.name, len(data))
         if not self.writer.is_closing():
             self.writer.write(data)
 
     def send(self, msg: Message) -> None:
         self.messages += 1
         self.bytes += msg.nbytes
-        self.by_tag[msg.tag.value] = self.by_tag.get(msg.tag.value, 0) + 1
+        self.by_tag.inc(msg.tag.value)
         self.write(FrameType.MSG, message_to_wire(msg))
 
     def send_leave(self, msg: ControlMsg) -> None:
         """The protocol's ``leave`` control rides a LEAVE frame."""
         self.messages += 1
         self.bytes += msg.nbytes
-        self.by_tag[msg.tag.value] = self.by_tag.get(msg.tag.value, 0) + 1
+        self.by_tag.inc(msg.tag.value)
         self.write(FrameType.LEAVE, {
             "node": self.me,
             "ranges": [[s, e] for s, e in (msg.payload or ())]})
@@ -493,8 +499,8 @@ async def _client_burn(seconds: float, mbox: _ClientMailbox) -> None:
 
 
 async def _client_compute(proto: WorkerProtocol, cfg: _ClientConfig,
-                          mbox: _ClientMailbox,
-                          reporter: _ClientReporter) -> str:
+                          mbox: _ClientMailbox, reporter: _ClientReporter,
+                          rec=NULL_RECORDER) -> str:
     """Run the assignment an iteration at a time; all the elastic hooks
     (admits, grants, leave, fail-stop) apply at iteration boundaries."""
     mbox.drain_interrupts(proto.epoch - 1)
@@ -522,7 +528,10 @@ async def _client_compute(proto: WorkerProtocol, cfg: _ClientConfig,
         t0 = time.perf_counter()
         await _client_burn(cost * cfg.time_scale, mbox)
         mbox.check_stop()  # fail-stop before the iteration is recorded
-        proto.note_busy(time.perf_counter() - t0)
+        t1 = time.perf_counter()
+        proto.note_busy(t1 - t0)
+        rec.complete("compute", t0 - reporter.t0, t1 - t0,
+                     track=f"node{cfg.node}", iteration=start)
         proto.note_work(cost)
         reporter.executed(taken)
         await reporter.drain()
@@ -547,8 +556,8 @@ def _answer_resend(proto: WorkerProtocol, reporter: _ClientReporter,
 
 
 async def _client_drive(proto: WorkerProtocol, cfg: _ClientConfig,
-                        mbox: _ClientMailbox,
-                        reporter: _ClientReporter) -> str:
+                        mbox: _ClientMailbox, reporter: _ClientReporter,
+                        rec=NULL_RECORDER) -> str:
     """The worker event pump; mirrors the process backend's driver."""
     last_await: Optional[AwaitMessage] = None
     commands = proto.on_event(Start())
@@ -562,7 +571,8 @@ async def _client_drive(proto: WorkerProtocol, cfg: _ClientConfig,
                 else:
                     reporter.send(cmd.msg)
             elif isinstance(cmd, StartCompute):
-                status = await _client_compute(proto, cfg, mbox, reporter)
+                status = await _client_compute(proto, cfg, mbox, reporter,
+                                               rec)
                 if status == "leave":
                     next_event = LeaveRequested()
                 else:
@@ -576,7 +586,14 @@ async def _client_drive(proto: WorkerProtocol, cfg: _ClientConfig,
                 pass  # planning costs real time on a real backend
             elif isinstance(cmd, DeclareDead):
                 reporter.declared(cmd.peer)
+            elif isinstance(cmd, Emit):
+                rec.event(cmd.name, track=f"node{proto.me}", **cmd.args())
             elif isinstance(cmd, Done):
+                if rec.enabled:
+                    # Ship the trace buffer ahead of the finish record so
+                    # the hub merges it before the peer turns terminal.
+                    reporter.write(FrameType.TRACE,
+                                   {"node": proto.me, **rec.to_payload()})
                 reporter.finish(cmd.reason)
                 await reporter.drain()
                 try:
@@ -673,6 +690,9 @@ async def _run_client(host: str, port: int, *,
             assignment=Assignment(cfg.ranges), is_dlb=cfg.is_dlb,
             initial_epoch=cfg.epoch)
         mbox.answer = lambda req: _answer_resend(proto, reporter, req)
+        proto.emit_trace = cfg.trace_events
+        rec = (TraceRecorder(clock=reporter.now) if cfg.trace_events
+               else NULL_RECORDER)
         if cfg.crash_at is not None:
             t0 = time.perf_counter()
             mbox.crash_due = \
@@ -680,7 +700,7 @@ async def _run_client(host: str, port: int, *,
         reader_task = asyncio.create_task(
             _client_reader(mbox, reporter, reader, dec, pending))
         try:
-            return await _client_drive(proto, cfg, mbox, reporter)
+            return await _client_drive(proto, cfg, mbox, reporter, rec)
         except _AbruptStop:
             writer.transport.abort()
             return "crashed"
@@ -742,7 +762,7 @@ class _Hub:
                  parts: Sequence[Assignment], time_scale: float,
                  crash_at: dict[int, float],
                  script: Sequence[object], stats: LoopRunStats,
-                 strict: bool) -> None:
+                 strict: bool, recorder=NULL_RECORDER) -> None:
         self.loop_spec = loop_spec
         self.table = table
         self.spec = spec
@@ -753,6 +773,7 @@ class _Hub:
         self.script = list(script)
         self.stats = stats
         self.strict = strict
+        self.recorder = recorder
 
         self.n = sum(len(g) for g in groups)
         self.group_members = {g: list(m) for g, m in enumerate(groups)}
@@ -772,10 +793,11 @@ class _Hub:
                 movement_cost_fn=_movement_fn(
                     movement, 0, table.total_work / table.n),
                 ft=ft)
+            self.balancer.emit_trace = recorder.enabled
         self.bal_done = not self.centralized
 
         self.peers: dict[int, _Peer] = {}
-        self.frames: dict[str, int] = {}
+        self.frames = CounterDict()
         self.expected_crashes: set[int] = set(self.crash_at)
         self.declared: set[int] = set()
         self.crashed: list[int] = []
@@ -798,9 +820,13 @@ class _Hub:
     async def start(self, host: str, port: int) -> int:
         self._server = await asyncio.start_server(self._serve_conn,
                                                   host, port)
+        self._t0 = time.perf_counter()
+        if self.recorder.enabled:
+            # Clock rebinds before the first balancer event so every
+            # hub-side trace timestamp is hub-relative seconds.
+            self.recorder.set_clock(self.now)
         if self.balancer is not None:
             self._run_balancer_cmds(self.balancer.on_event(Start()))
-        self._t0 = time.perf_counter()
         return self._server.sockets[0].getsockname()[1]
 
     async def close(self) -> None:
@@ -817,7 +843,7 @@ class _Hub:
         if peer.writer.is_closing():
             return
         data = encode_frame(ftype, body)
-        self.frames[ftype.name] = self.frames.get(ftype.name, 0) + len(data)
+        self.frames.inc(ftype.name, len(data))
         try:
             peer.writer.write(data)
         except (ConnectionError, RuntimeError, OSError):
@@ -850,7 +876,8 @@ class _Hub:
             "is_dlb": bool(self.spec.is_dlb),
             "epoch": epoch,
             "time_scale": self.time_scale,
-            "crash_at": self.crash_at.get(node)}}
+            "crash_at": self.crash_at.get(node),
+            "trace_events": self.recorder.enabled}}
 
     def _active_members(self, gid: int) -> list[int]:
         out = []
@@ -978,6 +1005,10 @@ class _Hub:
             self._on_leave(peer, body)
         elif ftype is FrameType.STAT:
             self._on_stat(peer, body)
+        elif ftype is FrameType.TRACE:
+            # Only sent when our WELCOME asked for it; merge the worker's
+            # ring buffer into the hub's run-wide recorder.
+            self.recorder.merge_payload(body)
         elif ftype is FrameType.ERR:
             self.errors.append(
                 f"worker {peer.node} reported: {body.get('text')}")
@@ -1019,8 +1050,7 @@ class _Hub:
                 msg = cmd.msg
                 self.stats.network_messages += 1
                 self.stats.network_bytes += msg.nbytes
-                self.stats.messages_by_tag[msg.tag.value] = \
-                    self.stats.messages_by_tag.get(msg.tag.value, 0) + 1
+                self.stats.messages_by_tag.inc(msg.tag.value)
                 target = self.peers.get(msg.dst)
                 if target is not None and target.status == "active":
                     self._write(target, FrameType.MSG,
@@ -1034,6 +1064,9 @@ class _Hub:
                     "retired": list(cmd.plan.retire),
                     "predicted_current": cmd.plan.predicted_current,
                     "predicted_balanced": cmd.plan.predicted_balanced})
+            elif isinstance(cmd, Emit):
+                self.recorder.event(cmd.name, track="balancer",
+                                    **cmd.args())
             elif isinstance(cmd, (AwaitMessage, Charge)):
                 pass  # the hub is event-driven; planning costs real time
             elif isinstance(cmd, Done):
@@ -1075,11 +1108,8 @@ class _Hub:
             self.stats.network_messages += counters.get("messages", 0)
             self.stats.network_bytes += counters.get("bytes", 0)
             self.stats.fault_retries += counters.get("retries", 0)
-            for tag, count in counters.get("by_tag", {}).items():
-                self.stats.messages_by_tag[tag] = \
-                    self.stats.messages_by_tag.get(tag, 0) + count
-            for name, nbytes in counters.get("frames", {}).items():
-                self.frames[name] = self.frames.get(name, 0) + nbytes
+            self.stats.messages_by_tag.merge(counters.get("by_tag", {}))
+            self.frames.merge(counters.get("frames", {}))
             if was_active:
                 if self.monitor is not None:
                     self.monitor.forget(peer.node)
@@ -1139,6 +1169,10 @@ class _Hub:
             return
         peer.status = "crashed"
         self.crashed.append(peer.node)
+        # A crashed worker never ships its TRACE frame: mark the loss
+        # explicitly instead of letting the gap pass silently.
+        self.recorder.event("trace_truncated", track=f"node{peer.node}",
+                            reason="crashed")
         if self.monitor is not None:
             self.monitor.forget(peer.node)
         if not expected and self.strict:
@@ -1229,6 +1263,10 @@ class _Hub:
                         # never reached) is no longer needed.
                         for peer in active:
                             peer.status = "dismissed"
+                            self.recorder.event(
+                                "trace_truncated",
+                                track=f"node{peer.node}",
+                                reason="dismissed")
                             self._write(peer, FrameType.BYE)
                         break
                 else:
@@ -1447,13 +1485,20 @@ class SocketBackend(ExecutionBackend):
         stats = LoopRunStats(loop_name=loop.name, strategy=spec.name,
                              n_processors=n, group_size=k,
                              backend=self.name)
+        registry = MetricsRegistry()
+        # The stats field holds the registry's own storage: every bump
+        # through the registry is immediately visible in the stats.
+        stats.messages_by_tag = registry.counter("messages_by_tag")
+        stats.environment = environment_fingerprint(workers=self.workers)
+        recorder = options.recorder or NULL_RECORDER
         parts = equal_block_partition(loop.n_iterations, n)
         crash_at = {c.node: c.time * self.time_scale
                     for c in fault_plan.crashes} if fault_plan else {}
         hub = _Hub(loop_spec=loop, table=table, spec=spec,
                    options=options, ft=ft, groups=groups, parts=parts,
                    time_scale=self.time_scale, crash_at=crash_at,
-                   script=self.script, stats=stats, strict=strict)
+                   script=self.script, stats=stats, strict=strict,
+                   recorder=recorder)
         return hub, stats
 
     async def _run_async(self, hub: _Hub, procs: list) -> None:

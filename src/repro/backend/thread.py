@@ -65,9 +65,12 @@ from ..protocol import (
     WorkerProtocol,
 )
 from ..network.topology import Topology, resolve_topology
+from ..obs.metrics import CounterDict, MetricsRegistry
+from ..obs.trace import NULL_RECORDER
+from ..protocol.commands import Emit
 from ..runtime.assignment import equal_block_partition, merge_ranges
 from ..runtime.options import RunOptions
-from ..runtime.stats import LoopRunStats, SyncRecord
+from ..runtime.stats import LoopRunStats, SyncRecord, environment_fingerprint
 from .base import (
     BackendError,
     ExecutionBackend,
@@ -165,28 +168,34 @@ class _Mailbox:
 class _Transport:
     """Routes messages between mailboxes; counts traffic."""
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int,
+                 by_tag: Optional[CounterDict] = None) -> None:
         self.abort = threading.Event()
         self.mailboxes = [_Mailbox(self.abort) for _ in range(n)]
         self._lock = threading.Lock()
         self.messages = 0
         self.bytes = 0
-        self.by_tag: dict[str, int] = {}
+        # A registry-owned counter when the caller wires one in, so the
+        # final stats field is a live view over the same storage.
+        self.by_tag: CounterDict = by_tag if by_tag is not None \
+            else CounterDict()
 
     def post(self, msg: Message) -> None:
         with self._lock:
             self.messages += 1
             self.bytes += msg.nbytes
-            self.by_tag[msg.tag.value] = self.by_tag.get(msg.tag.value, 0) + 1
+            self.by_tag.inc(msg.tag.value)
         self.mailboxes[msg.dst].post(msg)
 
 
 class _SharedStats:
     """Thread-safe sink for executed ranges and sync records."""
 
-    def __init__(self, stats: LoopRunStats, trace: bool) -> None:
+    def __init__(self, stats: LoopRunStats, trace: bool,
+                 recorder=NULL_RECORDER) -> None:
         self.stats = stats
         self.trace = trace
+        self.recorder = recorder
         self._lock = threading.Lock()
         self._recorded: set[tuple[int, int]] = set()
         self.t0 = time.perf_counter()
@@ -325,8 +334,11 @@ class ThreadBackend(ExecutionBackend):
         stats = LoopRunStats(loop_name=loop.name, strategy=spec.name,
                              n_processors=n, group_size=k,
                              backend=self.name)
-        shared = _SharedStats(stats, options.trace)
-        transport = _Transport(n)
+        stats.environment = environment_fingerprint(kernel=self.kernel)
+        recorder = options.recorder or NULL_RECORDER
+        registry = MetricsRegistry()
+        shared = _SharedStats(stats, options.trace, recorder)
+        transport = _Transport(n, registry.counter("messages_by_tag"))
         parts = equal_block_partition(loop.n_iterations, n)
 
         workers = []
@@ -345,6 +357,7 @@ class ThreadBackend(ExecutionBackend):
                 profile_window_reset=options.profile_window_reset,
                 assignment=parts[node],
                 is_dlb=spec.is_dlb))
+            workers[-1].emit_trace = recorder.enabled
 
         errors: list[BaseException] = []
         err_lock = threading.Lock()
@@ -375,6 +388,7 @@ class ThreadBackend(ExecutionBackend):
                 mean_iteration_time=mean_iteration_time,
                 movement_cost_fn=movement_cost_fn,
                 planner=planner)
+            balancer.emit_trace = recorder.enabled
             balancer_thread = threading.Thread(
                 target=guarded(self._drive_balancer, balancer,
                                transport, shared, errors),
@@ -387,7 +401,11 @@ class ThreadBackend(ExecutionBackend):
         elif self.kernel == "numpy":
             self._ops_rate = calibrate_vec_rate()
         stats.start_time = 0.0
+        # All trace timestamps on this backend share one zero-based
+        # perf_counter domain anchored just before the threads start.
         shared.t0 = time.perf_counter()
+        if recorder.enabled:
+            recorder.set_clock(shared.now)
         try:
             if balancer_thread is not None:
                 balancer_thread.start()
@@ -415,7 +433,8 @@ class ThreadBackend(ExecutionBackend):
             join_or_terminate(all_threads, timeout=5.0)
             raise
 
-        stats.messages_by_tag = dict(transport.by_tag)
+        # The registry's counter *is* the stats field (a live view).
+        stats.messages_by_tag = transport.by_tag
         stats.network_messages = transport.messages
         stats.network_bytes = transport.bytes
         self._verify_coverage(stats, loop)
@@ -453,6 +472,10 @@ class ThreadBackend(ExecutionBackend):
                     shared.record_sync(cmd.group, cmd.epoch, cmd.plan)
                 elif isinstance(cmd, Charge):
                     pass  # wall-clock time is charged by reality
+                elif isinstance(cmd, Emit):
+                    shared.recorder.event(cmd.name,
+                                          track=f"node{proto.me}",
+                                          **cmd.args())
                 elif isinstance(cmd, Done):
                     shared.record_finish(proto.me)
                     return
@@ -488,6 +511,9 @@ class ThreadBackend(ExecutionBackend):
                     shared.record_sync(cmd.group, cmd.epoch, cmd.plan)
                 elif isinstance(cmd, Charge):
                     pass
+                elif isinstance(cmd, Emit):
+                    shared.recorder.event(cmd.name, track="balancer",
+                                          **cmd.args())
                 elif isinstance(cmd, Done):
                     return
                 else:  # pragma: no cover - defensive
@@ -535,7 +561,11 @@ class ThreadBackend(ExecutionBackend):
             else:
                 burn_wall(cost * self.time_scale,
                           should_abort=abort.is_set)
-            proto.note_busy(time.perf_counter() - t0)
+            t1 = time.perf_counter()
+            proto.note_busy(t1 - t0)
+            shared.recorder.complete("compute", t0 - shared.t0, t1 - t0,
+                                     track=f"node{proto.me}",
+                                     iteration=start)
             proto.note_work(cost)
             shared.record_executed(proto.me, taken)
         return "finished"

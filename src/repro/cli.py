@@ -17,6 +17,10 @@ Commands
     Seeded fault-injection demo: crash one of four nodes mid-loop under
     each strategy and report recovery; optionally the full robustness
     sweep (see docs/FAULT_MODEL.md).
+``trace``
+    Summarize a trace file written by ``run --trace`` (per-track event
+    counts plus an ASCII Gantt; load the same file in Perfetto for the
+    interactive view — see docs/OBSERVABILITY.md).
 ``balancer`` / ``worker``
     The socket backend's two halves as long-running commands: a hub
     that listens on a TCP port and waits for workers to register, and a
@@ -34,6 +38,8 @@ Examples
     python -m repro run --app trfd --n 30 -P 16 --strategy LDDLB
     python -m repro run --app mxm -P 4 --strategy GDDLB --crash 2:1.5
     python -m repro run --app mxm -P 4 --strategy GCDLB --backend socket
+    python -m repro run --app mxm -P 4 --strategy GDDLB --trace out.trace.json
+    python -m repro trace out.trace.json
     python -m repro characterize --max-procs 16
     python -m repro compile examples_src/mxm.dlb
     python -m repro faults-demo --sweep
@@ -52,14 +58,34 @@ from .apps.trfd import TrfdConfig, trfd_application
 from .experiments.config import ExperimentConfig
 from .machine.cluster import ClusterSpec
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "package_version"]
+
+
+def package_version() -> str:
+    """The installed package version, or the source-tree default.
+
+    Read from importlib.metadata so ``repro --version`` always matches
+    what pip actually installed; a source checkout that was never
+    installed falls back to the pyproject default.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        try:
+            return version("repro")
+        except PackageNotFoundError:
+            return "1.0.0"
+    except Exception:  # pragma: no cover - stdlib always has it on 3.8+
+        return "1.0.0"
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Customized dynamic load balancing for a network of "
-                    "workstations (HPDC'96 reproduction)")
+                    "workstations (HPDC'96 reproduction)",
+        epilog=f"repro {package_version()}")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -122,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="network graph: bus (default), complete, ring, "
                           "mesh, torus, or file:<adjacency.json> (see "
                           "docs/TOPOLOGY.md); sim and thread backends")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="record a structured event trace and write it "
+                          "to PATH on completion: '.ndjson' streams one "
+                          "event per line, any other extension gets "
+                          "Chrome trace-event JSON loadable in Perfetto "
+                          "(see docs/OBSERVABILITY.md)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--max-load", type=int, default=5)
     run.add_argument("--persistence", type=float, default=5.0)
@@ -227,6 +259,16 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="depart cleanly after N iterations, handing "
                           "unfinished work back to the hub")
+
+    trc = sub.add_parser(
+        "trace",
+        help="summarize a trace file written by 'run --trace'")
+    trc.add_argument("path", help=".json (Chrome/Perfetto) or .ndjson "
+                                  "trace file")
+    trc.add_argument("--limit", type=int, default=12,
+                     help="event names listed in the summary")
+    trc.add_argument("--width", type=int, default=64,
+                     help="columns in the ASCII gantt")
     return parser
 
 
@@ -296,12 +338,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     ft = FaultToleranceConfig(request_timeout=args.ft_timeout,
                               max_retries=args.ft_retries)
+    recorder = None
+    if args.trace:
+        from .obs import TraceRecorder
+        recorder = TraceRecorder()
     try:
         options = RunOptions(group_size=args.group_size,
                              topology=args.topology,
                              sync_mode=args.sync_mode,
                              sync_period=args.sync_period,
-                             fault_tolerance=ft)
+                             fault_tolerance=ft,
+                             recorder=recorder)
     except ValueError as exc:
         print(f"bad --topology: {exc}", file=sys.stderr)
         return 2
@@ -367,6 +414,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if ls.selected_scheme:
                 print(f"{ls.loop_name} selection: "
                       f"{ls.selection_report.summary()}")
+    if recorder is not None:
+        from .obs.export import write_trace
+        events = recorder.events()
+        try:
+            write_trace(args.trace, events, dropped=recorder.dropped,
+                        meta={"backend": args.backend,
+                              "strategy": args.strategy,
+                              "app": args.app})
+        except OSError as exc:
+            print(f"cannot write trace {args.trace}: {exc}",
+                  file=sys.stderr)
+            return 2
+        dropped = f" ({recorder.dropped} dropped)" if recorder.dropped \
+            else ""
+        print(f"trace: {len(events)} events{dropped} -> {args.trace}")
     return 0
 
 
@@ -528,6 +590,22 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.export import (read_trace, render_trace_gantt,
+                             render_trace_summary)
+    try:
+        events = read_trace(args.path)
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:  # JSONDecodeError included
+        print(f"not a trace file {args.path}: {exc}", file=sys.stderr)
+        return 2
+    print(render_trace_summary(events, limit=args.limit))
+    print(render_trace_gantt(events, width=args.width))
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .experiments.validation import render_validation, validate
     results = validate(ExperimentConfig(n_seeds=args.seeds))
@@ -543,7 +621,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                "validate": _cmd_validate,
                "faults-demo": _cmd_faults_demo,
                "balancer": _cmd_balancer,
-               "worker": _cmd_worker}[args.command]
+               "worker": _cmd_worker,
+               "trace": _cmd_trace}[args.command]
     return handler(args)
 
 

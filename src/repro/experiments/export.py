@@ -53,22 +53,28 @@ _RUN_FIELDS = ("loop_name", "strategy", "backend", "n_processors",
                "total_work_moved", "network_messages", "network_bytes",
                "transport_payload_bytes", "payload_by_frame",
                "shm_data_bytes", "selected_scheme", "fault_retries",
-               "reclaimed_iterations", "salvaged_iterations")
+               "reclaimed_iterations", "salvaged_iterations",
+               "environment")
 
 
-def _frame_column(payload_by_frame: dict) -> str:
-    """Flatten the socket backend's per-frame-type byte counts into one
-    CSV cell (``MSG=2724;PING=40;...``); empty on in-process backends."""
-    return ";".join(f"{name}={count}"
-                    for name, count in sorted(payload_by_frame.items()))
+def _kv_column(mapping: dict) -> str:
+    """Flatten a small mapping into one CSV cell (``K=V;K=V``): used for
+    the socket backend's per-frame-type byte ledger and the run's
+    environment fingerprint; empty when the mapping is."""
+    return ";".join(f"{name}={value}"
+                    for name, value in sorted(mapping.items()))
+
+
+#: Backwards-compatible alias (the frame ledger predates the helper).
+_frame_column = _kv_column
 
 
 def _run_row(stats: LoopRunStats) -> dict:
     row = {}
     for name in _RUN_FIELDS:
         value = getattr(stats, name)
-        if name == "payload_by_frame":
-            value = _frame_column(value)
+        if name in ("payload_by_frame", "environment"):
+            value = _kv_column(value)
         row[name] = value.item() if hasattr(value, "item") else value
     return row
 
@@ -92,9 +98,10 @@ def run_to_json(stats: LoopRunStats) -> str:
     doc["node_finish_times"] = {
         str(k): _jsonable(v) for k, v in stats.node_finish_times.items()}
     doc["messages_by_tag"] = dict(stats.messages_by_tag)
-    # JSON keeps the per-frame-type transport split structured (the CSV
-    # cell flattens it); empty dict on the in-process backends.
+    # JSON keeps the per-frame-type transport split and the environment
+    # fingerprint structured (the CSV cells flatten them).
     doc["payload_by_frame"] = dict(stats.payload_by_frame)
+    doc["environment"] = dict(stats.environment)
     doc["joined_nodes"] = list(stats.joined_nodes)
     doc["left_nodes"] = list(stats.left_nodes)
     doc["syncs"] = [

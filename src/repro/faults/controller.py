@@ -78,6 +78,7 @@ class FaultController:
         plan.validate_for(session.n)
         self.session = session
         self.plan = plan
+        self.rec = session.recorder
         self._rng = plan.rng()
         # -- ground truth vs detected state --------------------------------
         self.crashed: set[int] = set()
@@ -168,6 +169,7 @@ class FaultController:
         env = self.session.env
         self.crashed.add(node)
         self.crash_times[node] = env.now
+        self.rec.event("crash", track=f"node{node}")
         runtime = self.session.nodes.get(node)
         if runtime is not None:
             runtime.more_work = False
@@ -220,6 +222,8 @@ class FaultController:
 
     def _on_drop(self, src: int, dst: int, item: Any) -> None:
         self.dropped_messages += 1
+        self.rec.event("message_drop", track="network", src=src, dst=dst,
+                       tag=self._tag_value(item) or "")
         if isinstance(item, WorkMsg) and item.ranges:
             parcel = self.parcels.get((src, dst, item.epoch))
             if parcel is not None:
@@ -245,8 +249,12 @@ class FaultController:
         if node in self.declared:
             return
         self.declared.add(node)
-        if node not in self.crashed:
+        fenced = node not in self.crashed
+        self.rec.event("declare_dead", track=f"node{node}", by=by,
+                       fenced=fenced)
+        if fenced:
             self.fenced.add(node)
+            self.rec.event("fence", track=f"node{node}")
             self.crash(node)
         self._reclaim_node(node)
         self.session.stats.declared_dead = tuple(sorted(self.declared))

@@ -89,6 +89,10 @@ class FrameType(IntEnum):
     CTRL = 0x0B       # hub -> worker: orchestration (leave-now, die)
     BYE = 0x0C        # hub -> worker: run over, disconnect cleanly
     ERR = 0x0D        # either way: protocol violation, then close
+    # Strictly opt-in (see docs/WIRE_PROTOCOL.md): a worker sends TRACE
+    # only when the hub's WELCOME carried ``run.trace_events`` — a peer
+    # that predates it never receives one, so no version bump.
+    TRACE = 0x0E      # worker -> hub: trace-buffer handoff at teardown
 
 
 class FrameError(ValueError):

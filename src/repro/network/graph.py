@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional, Protocol
 
+from ..obs.trace import NULL_RECORDER
 from ..simulation import PRIORITY_URGENT, Environment, Event, Resource
 from .parameters import NetworkParameters
 from .topology import Topology, TopologySpec, resolve_topology
@@ -99,7 +100,8 @@ class _Carry:
     """
 
     __slots__ = ("net", "src", "dst", "nbytes", "item", "delivered",
-                 "extra_delay", "route", "stage", "res", "req", "hold")
+                 "extra_delay", "route", "stage", "res", "req", "hold",
+                 "link_track", "t_req")
 
     def __init__(self, net: "GraphNetwork", src: int, dst: int, nbytes: int,
                  item: Any, delivered: Event, extra_delay: float) -> None:
@@ -115,6 +117,8 @@ class _Carry:
         self.res: Optional[Resource] = None
         self.req: Optional[Event] = None
         self.hold = 0.0
+        self.link_track: Optional[str] = None
+        self.t_req = 0.0
         # Mirrors Process.Initialize: the carry starts at the current
         # instant but *after* everything already scheduled at it.
         start = Event(net.env)
@@ -139,9 +143,12 @@ class _Carry:
             u, v = self.route[stage]
             res = net.link(u, v)
             hold = net.link_params(u, v).wire_time(self.nbytes)
+            self.link_track = "link:bus" if net._shared \
+                else f"link:{min(u, v)}-{max(u, v)}"
         elif stage == len(self.route):
             res = net.recv_nic[self.dst]
             hold = net.params.recv_overhead
+            self.link_track = None
         else:
             net.stats.record(self.src, self.dst, self.nbytes, local=False)
             net._deliver(self.dst, self.item, self.delivered)
@@ -149,6 +156,7 @@ class _Carry:
         self.stage = stage + 1
         self.res = res
         self.hold = hold
+        self.t_req = net.env.now
         req = res.request()
         self.req = req
         req.callbacks.append(self._acquired)
@@ -159,6 +167,16 @@ class _Carry:
 
     def _release(self, _event: Event) -> None:
         self.res.release(self.req)
+        if self.link_track is not None:
+            # Wire occupancy (plus queueing behind earlier frames, as an
+            # arg): recorded inside the existing release callback, so no
+            # extra DES events — the seed oracles stay bit-identical.
+            now = self.net.env.now
+            self.net.recorder.complete(
+                "transfer", now - self.hold, self.hold,
+                track=self.link_track, src=self.src, dst=self.dst,
+                nbytes=self.nbytes,
+                queued=max(now - self.hold - self.t_req, 0.0))
         self._next_stage()
 
 
@@ -203,6 +221,9 @@ class GraphNetwork:
                                            "None | str | float"]] = None
         #: Optional observer for dropped messages: ``on_drop(src, dst, item)``.
         self.on_drop: Optional[Callable[[int, int, Any], None]] = None
+        #: Trace sink for per-link transfer spans; the executor swaps in
+        #: the run's recorder when tracing is enabled.
+        self.recorder = NULL_RECORDER
 
     def _check_host(self, host: int) -> None:
         if not 0 <= host < self.n_hosts:

@@ -1,0 +1,36 @@
+"""Observability: structured tracing and metrics for every backend.
+
+The run-time statistics of :mod:`repro.runtime.stats` summarize a run
+after the fact; this package records what happened *while* it happened:
+
+* :class:`~repro.obs.trace.TraceRecorder` — a ring-buffered span /
+  instant-event recorder.  Timestamps come from a pluggable clock, so
+  the simulation backend records in virtual seconds (``env.now``) and
+  the thread/process/socket backends in ``perf_counter`` wall seconds.
+  The disabled default, :data:`~repro.obs.trace.NULL_RECORDER`, costs
+  one attribute load and a no-op call — benchmarked in
+  ``benchmarks/test_bench_obs.py`` and gated in CI.
+* :class:`~repro.obs.metrics.MetricsRegistry` — labelled counters,
+  gauges and histograms.  Its :class:`~repro.obs.metrics.CounterDict`
+  is a plain ``dict`` subclass, so ``LoopRunStats.messages_by_tag`` and
+  friends become live views over the registry without breaking any
+  exporter or test.
+* :mod:`~repro.obs.export` — NDJSON and Chrome trace-event JSON
+  writers (the latter loads in Perfetto / ``chrome://tracing``), plus
+  the text summary and ASCII Gantt behind ``repro trace``.
+
+See docs/OBSERVABILITY.md for the event taxonomy and per-backend clock
+domains.
+"""
+
+from .metrics import CounterDict, Histogram, MetricsRegistry
+from .trace import NULL_RECORDER, NullRecorder, TraceRecorder
+
+__all__ = [
+    "CounterDict",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TraceRecorder",
+]

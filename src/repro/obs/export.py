@@ -1,0 +1,201 @@
+"""Trace exporters and renderers.
+
+Two on-disk formats, chosen by file extension in :func:`write_trace`:
+
+* ``.ndjson`` — one internal event dict per line, the streaming format
+  ROADMAP's job server will emit per job.
+* anything else (``.json`` by convention) — the Chrome trace-event
+  JSON object format, loadable in Perfetto (https://ui.perfetto.dev)
+  and ``chrome://tracing``.  One *thread* per track: the balancer
+  first, then one per workstation, then one per network link.
+  Timestamps are exported in microseconds as the format requires; for
+  simulation traces that means 1 virtual second = 1 exported second
+  (shown as 10⁶ µs) — relative layout is what matters.
+
+:func:`read_trace` loads either format back into the internal event
+shape (see :mod:`repro.obs.trace`), so ``repro trace`` renders a
+summary or ASCII Gantt from any file this module wrote.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Iterable, Optional
+
+__all__ = ["events_to_ndjson", "events_to_chrome", "write_trace",
+           "read_trace", "render_trace_summary", "render_trace_gantt"]
+
+_US = 1e6  # seconds -> Chrome trace-event microseconds
+
+
+def _track_sort_key(track: str) -> tuple:
+    """Balancer first, then nodes in numeric order, then links, then
+    everything else alphabetically."""
+    if track == "balancer":
+        return (0, 0, track)
+    match = re.fullmatch(r"node(\d+)", track)
+    if match:
+        return (1, int(match.group(1)), track)
+    if track.startswith("link:"):
+        return (2, 0, track)
+    return (3, 0, track)
+
+
+def sorted_tracks(events: Iterable[dict]) -> list[str]:
+    return sorted({e.get("track", "run") for e in events},
+                  key=_track_sort_key)
+
+
+# ---------------------------------------------------------------------------
+# Writers.
+# ---------------------------------------------------------------------------
+def events_to_ndjson(events: Iterable[dict]) -> str:
+    """One canonical-JSON event per line, in timestamp order."""
+    lines = [json.dumps(e, sort_keys=True, separators=(",", ":"))
+             for e in sorted(events, key=lambda e: e.get("ts", 0.0))]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def events_to_chrome(events: Iterable[dict], *, dropped: int = 0,
+                     meta: Optional[dict] = None) -> dict:
+    """The Chrome trace-event JSON object format (Perfetto-loadable)."""
+    events = list(events)
+    tids = {track: tid
+            for tid, track in enumerate(sorted_tracks(events))}
+    trace_events: list[dict] = []
+    for track, tid in tids.items():
+        trace_events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                             "tid": tid, "args": {"name": track}})
+        trace_events.append({"name": "thread_sort_index", "ph": "M",
+                             "pid": 0, "tid": tid,
+                             "args": {"sort_index": tid}})
+    for e in sorted(events, key=lambda e: e.get("ts", 0.0)):
+        out = {"name": e.get("name", "?"), "ph": e.get("ph", "i"),
+               "ts": e.get("ts", 0.0) * _US, "pid": 0,
+               "tid": tids[e.get("track", "run")],
+               "args": e.get("args", {})}
+        if e.get("ph") == "X":
+            out["dur"] = e.get("dur", 0.0) * _US
+        else:
+            out["s"] = "t"  # instant scope: one thread/track
+        trace_events.append(out)
+    doc = {"traceEvents": trace_events, "displayTimeUnit": "ms",
+           "otherData": {"dropped_events": dropped, **(meta or {})}}
+    return doc
+
+
+def write_trace(path: str, events: Iterable[dict], *, dropped: int = 0,
+                meta: Optional[dict] = None) -> None:
+    """Write a trace file; ``.ndjson`` streams events, anything else
+    gets the Chrome/Perfetto JSON object."""
+    if path.endswith(".ndjson"):
+        text = events_to_ndjson(events)
+    else:
+        text = json.dumps(events_to_chrome(events, dropped=dropped,
+                                           meta=meta))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+# ---------------------------------------------------------------------------
+# Reader.
+# ---------------------------------------------------------------------------
+def read_trace(path: str) -> list[dict]:
+    """Load either trace format back into internal events (seconds)."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    # Both formats start with "{": a Chrome trace is one JSON object,
+    # ndjson is many — only the whole-text parse tells them apart.
+    doc = None
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        pass
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        names = {}
+        for e in doc.get("traceEvents", ()):
+            if e.get("ph") == "M" and e.get("name") == "thread_name":
+                names[e.get("tid")] = e.get("args", {}).get("name", "run")
+        events = []
+        for e in doc.get("traceEvents", ()):
+            if e.get("ph") == "M":
+                continue
+            event = {"name": e.get("name", "?"), "ph": e.get("ph", "i"),
+                     "ts": e.get("ts", 0.0) / _US,
+                     "track": names.get(e.get("tid"), "run"),
+                     "args": e.get("args", {})}
+            if e.get("ph") == "X":
+                event["dur"] = e.get("dur", 0.0) / _US
+            events.append(event)
+        return events
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+# ---------------------------------------------------------------------------
+# Text renderers (the ``repro trace`` subcommand).
+# ---------------------------------------------------------------------------
+def _extent(events: list[dict]) -> tuple[float, float]:
+    t0 = min((e.get("ts", 0.0) for e in events), default=0.0)
+    t1 = max((e.get("ts", 0.0) + e.get("dur", 0.0) for e in events),
+             default=0.0)
+    return t0, max(t1, t0)
+
+
+def render_trace_summary(events: list[dict], *, limit: int = 12) -> str:
+    """Per-track event counts, busy time, and the busiest event names."""
+    if not events:
+        return "(empty trace)"
+    t0, t1 = _extent(events)
+    lines = [f"== trace: {len(events)} events over "
+             f"{t1 - t0:.3f}s, {len(sorted_tracks(events))} tracks =="]
+    by_name: dict[str, int] = {}
+    for track in sorted_tracks(events):
+        rows = [e for e in events if e.get("track", "run") == track]
+        busy = sum(e.get("dur", 0.0) for e in rows if e.get("ph") == "X")
+        spans = sum(1 for e in rows if e.get("ph") == "X")
+        lines.append(f"  {track:<12s} {len(rows):6d} events "
+                     f"({spans} spans, busy {busy:8.3f}s)")
+        for e in rows:
+            by_name[e.get("name", "?")] = by_name.get(e.get("name", "?"),
+                                                      0) + 1
+    top = sorted(by_name.items(), key=lambda kv: (-kv[1], kv[0]))[:limit]
+    lines.append("  by name: " + ", ".join(f"{n}={c}" for n, c in top))
+    return "\n".join(lines)
+
+
+def render_trace_gantt(events: list[dict], width: int = 64) -> str:
+    """ASCII Gantt straight from trace events: one row per track, ``#``
+    for span coverage, ``|`` sync instants, ``!`` fault instants."""
+    if not events:
+        return "(empty trace)"
+    t0, t1 = _extent(events)
+    span = max(t1 - t0, 1e-12)
+    scale = span / width
+
+    def col(ts: float) -> int:
+        return min(int((ts - t0) / scale), width - 1)
+
+    lines = [f"== trace gantt: {span:.3f}s ({len(events)} events) =="]
+    for track in sorted_tracks(events):
+        row = [" "] * width
+        for e in events:
+            if e.get("track", "run") != track:
+                continue
+            if e.get("ph") == "X":
+                lo = col(e.get("ts", 0.0))
+                hi = col(e.get("ts", 0.0) + e.get("dur", 0.0))
+                for c in range(lo, hi + 1):
+                    if row[c] == " ":
+                        row[c] = "#"
+        for e in events:  # instants overwrite spans so they stay visible
+            if e.get("track", "run") != track or e.get("ph") == "X":
+                continue
+            name = e.get("name", "")
+            mark = ("!" if name in ("crash", "declare_dead", "fence",
+                                    "trace_truncated") else
+                    "|" if name in ("sync", "decision") else "*")
+            row[col(e.get("ts", 0.0))] = mark
+        lines.append(f"{track:<12s}|{''.join(row)}|")
+    lines.append(f"{'':<12s} {t0:<.2f}{'':{max(width - 14, 0)}}{t1:8.2f}s")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Metrics registry: labelled counters, gauges and histograms.
+
+The backends used to bump ad-hoc dicts (``d[k] = d.get(k, 0) + n``) in
+half a dozen places; the registry centralizes that pattern:
+
+* :class:`CounterDict` — a ``dict`` subclass whose keys are the labels
+  (a message tag, a frame-type name) and whose values are the counts,
+  with :meth:`~CounterDict.inc` and :meth:`~CounterDict.merge`
+  replacing the hand-rolled bumps.  Because it *is* a dict, a stats
+  field like ``LoopRunStats.messages_by_tag`` can simply hold the
+  registry's counter — the field becomes a live view and every existing
+  exporter and test keeps working unchanged.
+* :class:`Histogram` — fixed-bound bucket counts plus sum/count, for
+  distributions (message sizes, per-sync planning times).
+* :class:`MetricsRegistry` — the named collection of all three, with a
+  JSON-clean :meth:`~MetricsRegistry.snapshot`.
+
+Everything is plain-stdlib and GIL-atomic enough for the thread
+backend's use (single ``dict.__setitem__`` per bump under its existing
+transport lock).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Mapping, Optional, Sequence
+
+__all__ = ["CounterDict", "Histogram", "MetricsRegistry"]
+
+
+class CounterDict(dict):
+    """A labelled counter that is also an ordinary ``dict``."""
+
+    __slots__ = ()
+
+    def inc(self, key, n: int = 1) -> None:
+        """Add ``n`` to the count under ``key`` (creating it at 0)."""
+        self[key] = self.get(key, 0) + n
+
+    def merge(self, other: Mapping) -> "CounterDict":
+        """Fold another mapping of counts into this one."""
+        for key, n in other.items():
+            self[key] = self.get(key, 0) + n
+        return self
+
+
+#: Power-of-two-ish default bounds (seconds or bytes both read fine).
+_DEFAULT_BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+
+
+class Histogram:
+    """Fixed-bound bucket counts with a running sum."""
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: Sequence[float] = _DEFAULT_BOUNDS) -> None:
+        self.bounds = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bound")
+        # One bucket per bound (value <= bound) plus the +inf overflow.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        buckets = {f"le_{bound:g}": n
+                   for bound, n in zip(self.bounds, self.counts)}
+        buckets["inf"] = self.counts[-1]
+        return {"count": self.count, "sum": self.total,
+                "buckets": buckets}
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one run."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, CounterDict] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- counters --------------------------------------------------------
+    def counter(self, name: str) -> CounterDict:
+        """The labelled counter called ``name``, created on first use.
+
+        The returned object is the registry's own storage: hand it to a
+        stats field and the field stays a live view of the registry.
+        """
+        try:
+            return self._counters[name]
+        except KeyError:
+            counter = self._counters[name] = CounterDict()
+            return counter
+
+    # -- gauges ----------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    # -- histograms ------------------------------------------------------
+    def histogram(self, name: str,
+                  bounds: Optional[Iterable[float]] = None) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            histogram = self._histograms[name] = Histogram(
+                tuple(bounds) if bounds is not None else _DEFAULT_BOUNDS)
+            return histogram
+
+    # -- export ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-clean dump of everything recorded so far."""
+        return {
+            "counters": {name: dict(counter)
+                         for name, counter in sorted(self._counters.items())},
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {name: h.snapshot()
+                           for name, h in sorted(self._histograms.items())},
+        }

@@ -28,6 +28,7 @@ from .commands import (
     Command,
     DeclareDead,
     Done,
+    Emit,
     RecordSync,
     Send,
     StartCompute,
@@ -54,6 +55,7 @@ __all__ = [
     "ComputeDone",
     "DeclareDead",
     "Done",
+    "Emit",
     "LeaveRequested",
     "MessageReceived",
     "PeerDead",

@@ -60,6 +60,9 @@ class BalancerProtocol:
         #: diffusion strategy installs its topology-restricted planner.
         self.planner = planner
         self.ft = ft or FaultToleranceConfig()
+        #: Same contract as ``WorkerProtocol.emit_trace``: when set, the
+        #: pump interleaves :class:`C.Emit` commands into its outputs.
+        self.emit_trace = False
 
         self.pending: dict[int, dict[int, SyncProfile]] = {}
         self.ready: deque[int] = deque()
@@ -290,6 +293,12 @@ class BalancerProtocol:
                                  + 2.0 * self.policy.context_switch_seconds))
             plan = self.plan(profiles)
             cmds.append(C.RecordSync(gid, epoch, plan))
+            if self.emit_trace:
+                cmds.append(C.emit(
+                    "decision", node=self.host, group=gid, epoch=epoch,
+                    reason=plan.reason,
+                    moved=plan.work_to_move if plan.move else 0.0,
+                    n_transfers=len(plan.transfers)))
             cmds += [C.Send(instr)
                      for instr in self.build_instructions(gid, plan)]
             self.complete_group(gid, plan)

@@ -24,6 +24,7 @@ __all__ = [
     "Charge",
     "DeclareDead",
     "RecordSync",
+    "Emit",
     "Done",
 ]
 
@@ -94,6 +95,34 @@ class RecordSync(Command):
     group: int
     epoch: int
     plan: RedistributionPlan
+
+
+@dataclass(frozen=True)
+class Emit(Command):
+    """A structured trace event as a pure protocol output.
+
+    The state machines never read a clock; an ``Emit`` carries only
+    logical fields (epoch, reason, transfer counts) and the backend
+    timestamps it against its own time domain when — and only when —
+    tracing is enabled.  Protocols produce ``Emit`` commands solely
+    when their ``emit_trace`` flag is set (default off), so scripted
+    tests asserting exact command tuples, and runs without a recorder,
+    see byte-identical command streams.
+
+    ``fields`` is a sorted tuple of ``(key, value)`` pairs so the
+    command stays hashable/frozen; build it with :func:`emit`.
+    """
+
+    name: str
+    fields: tuple[tuple[str, object], ...] = ()
+
+    def args(self) -> dict:
+        return dict(self.fields)
+
+
+def emit(name: str, **fields) -> Emit:
+    """Build an :class:`Emit` from keyword fields."""
+    return Emit(name, tuple(sorted(fields.items())))
 
 
 @dataclass(frozen=True)

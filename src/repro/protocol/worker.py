@@ -108,6 +108,12 @@ class WorkerProtocol:
         self.ft = ft or FaultToleranceConfig()
         self.profile_window_reset = profile_window_reset
         self.is_dlb = is_dlb
+        #: When set (post-construction, by a backend that holds an
+        #: enabled trace recorder), the pump interleaves :class:`C.Emit`
+        #: commands — pure data, no clock access — into its outputs.
+        #: Default off, so scripted tests and untraced runs see the
+        #: exact historical command tuples.
+        self.emit_trace = False
 
         # -- protocol state (shared by both API tiers) ---------------------
         # ``initial_epoch`` is non-zero only for an elastic joiner, which
@@ -281,6 +287,12 @@ class WorkerProtocol:
             ordered, self.policy, self.mean_iteration_time,
             self.movement_cost_fn)
 
+    def _trace(self, name: str, **fields) -> list[C.Command]:
+        """One gated :class:`C.Emit` (empty list when tracing is off)."""
+        if not self.emit_trace:
+            return []
+        return [C.emit(name, node=self.me, **fields)]
+
     # ------------------------------------------------------------------
     # Event pump (used by real-time backends and scripted tests).
     # ------------------------------------------------------------------
@@ -341,19 +353,22 @@ class WorkerProtocol:
         return tuple(cmds)
 
     def _enter_sync(self) -> list[C.Command]:
+        cmds0 = self._trace(
+            "sync", epoch=self.epoch, group=self.group,
+            mode="centralized" if self.centralized else "distributed")
         profile = self.build_profile()
         self.cache_profile(profile)
         if self.centralized:
             self._phase = "await_instruction"
             self._attempt = 0
             self._sent_profile = replace(profile, dst=self.lb_host)
-            return [C.Send(self._sent_profile), self._await_instruction()]
+            return cmds0 + [C.Send(self._sent_profile),
+                            self._await_instruction()]
         others = sorted(self.active - {self.me})
         self._profiles = {self.me: self.sync_profile(profile)}
         self._missing = set(others)
         self._rounds = {p: 0 for p in others}
-        cmds: list[C.Command] = [C.Send(replace(profile, dst=o))
-                                 for o in others]
+        cmds = cmds0 + [C.Send(replace(profile, dst=o)) for o in others]
         if not self._missing:
             return cmds + self._do_plan()
         self._phase = "gather"
@@ -418,14 +433,18 @@ class WorkerProtocol:
             raise ProtocolError(
                 "customized selection needs the session-aware adapter "
                 "(strategy CUSTOM is simulation-only)")
+        cmds: list[C.Command] = []
         if msg.grant:
             self.assignment.add(msg.grant)
+            cmds += self._trace(
+                "grant", epoch=self.epoch,
+                iterations=sum(e - s for s, e in msg.grant))
         if msg.done:
             self.more_work = False
             self._phase = "done"
-            return (C.Done("done"),)
+            return tuple(cmds + [C.Done("done")])
         srcs = msg.incoming_srcs if self.ft_enabled else None
-        return tuple(self._apply_outcome(
+        return tuple(cmds + self._apply_outcome(
             msg.outgoing, srcs, msg.incoming, msg.active, msg.retire))
 
     def _on_gather_profile(self, msg: Message) -> tuple[C.Command, ...]:
@@ -564,15 +583,23 @@ class WorkerProtocol:
         ranges = tuple(self.assignment.take_all())
         self.more_work = False
         self._phase = "done"
-        return (C.Send(self.stamp(ControlMsg, dst=self.lb_host,
-                                  kind="leave", payload=ranges)),
-                C.Done("left"))
+        return tuple(
+            self._trace("leave", epoch=self.epoch,
+                        iterations=sum(e - s for s, e in ranges))
+            + [C.Send(self.stamp(ControlMsg, dst=self.lb_host,
+                                 kind="leave", payload=ranges)),
+               C.Done("left")])
 
     # -- plan application --------------------------------------------------
     def _do_plan(self) -> list[C.Command]:
         plan = self.local_plan(self._profiles.values())
         cmds: list[C.Command] = [C.Charge(self.policy.delta_seconds),
                                  C.RecordSync(self.group, self.epoch, plan)]
+        cmds += self._trace(
+            "decision", epoch=self.epoch, group=self.group,
+            reason=plan.reason,
+            moved=plan.work_to_move if plan.move else 0.0,
+            n_transfers=len(plan.transfers))
         if plan.done:
             self.more_work = False
             self._phase = "done"
@@ -592,6 +619,9 @@ class WorkerProtocol:
         for order, ranges, count in self.plan_outgoing(outgoing, retire):
             msg = self.make_work_msg(order.dst, self.epoch, ranges, count)
             self.cache_work(msg)
+            cmds += self._trace("redistribute", epoch=self.epoch,
+                                dst=order.dst, iterations=count,
+                                work=order.work)
             cmds.append(C.Send(msg))
         # Elastic membership: a plan's active set may name nodes that
         # joined after this worker's construction — admit them before

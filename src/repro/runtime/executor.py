@@ -31,6 +31,7 @@ from ..machine.workstation import Workstation
 from ..message.messages import DataMsg, Tag
 from ..message.pvm import VirtualMachine
 from ..network.graph import build_network
+from ..obs.trace import NULL_RECORDER
 from ..simulation import Environment, SimulationError
 from .assignment import (
     equal_block_partition,
@@ -41,7 +42,12 @@ from .balancer import CentralBalancer
 from .node import NodeRuntime
 from .options import RunOptions
 from .session import LoopSession
-from .stats import AppRunStats, LoopRunStats, StageRunStats
+from .stats import (
+    AppRunStats,
+    LoopRunStats,
+    StageRunStats,
+    environment_fingerprint,
+)
 
 __all__ = ["run_loop", "run_application", "CoverageError"]
 
@@ -102,6 +108,8 @@ def _salvage(session: LoopSession, controller: FaultController) -> None:
 
     env.run(env.process(runner(), name=f"salvage{node}"))
     controller.salvaged_iterations += count
+    session.recorder.event("salvage", track=f"node{node}",
+                           iterations=count, work=work)
 
 
 def _copy_fault_stats(session: LoopSession,
@@ -171,6 +179,15 @@ def run_loop_stage(env: Environment, vm: VirtualMachine,
         if not options.fault_tolerance.enabled:
             options = options.but(fault_tolerance=replace(
                 options.fault_tolerance, enabled=True))
+    recorder = options.recorder or NULL_RECORDER
+    if recorder.enabled:
+        # The simulator's time domain is virtual seconds.  Binding the
+        # clock (and hooking the network) is the *only* run-path change
+        # tracing makes on this backend: every recording site is a pure
+        # function call inside an existing callback, so traced runs stay
+        # bit-identical to untraced ones (the seed oracles check this).
+        recorder.set_clock(lambda: env.now)
+        vm.network.recorder = recorder
     session = LoopSession(env, vm, stations, loop, spec, options,
                           selector=selector)
     controller: Optional[FaultController] = None
@@ -221,6 +238,7 @@ def run_loop_stage(env: Environment, vm: VirtualMachine,
         t.value: vm.sent_by_tag.get(t, 0) - msg_before.get(t, 0) for t in Tag}
     session.stats.network_messages = vm.network.stats.messages - net_before[0]
     session.stats.network_bytes = vm.network.stats.bytes - net_before[1]
+    session.stats.environment = environment_fingerprint()
 
     # Detach mailbox hooks so a later stage can re-register.
     for i in range(session.n):

@@ -96,6 +96,12 @@ class NodeRuntime:
         self.computing = False
         self.finish_time: Optional[float] = None
         self.proc: Optional[Process] = None
+        # Trace sink (the shared no-op unless a recorder was supplied).
+        # All recording below is pure observation inside existing
+        # callbacks — it never schedules a DES event, so the seed
+        # oracles hold with recording enabled.
+        self.rec = session.recorder
+        self.track = f"node{node_id}"
         # Periodic synchronization (Dome/Siegell model, §2.2 ablation):
         # the lowest-numbered active group member is the clock.
         self.periodic = session.options.sync_mode == "periodic"
@@ -206,6 +212,7 @@ class NodeRuntime:
         """
         if self.computing and self.proc is not None and self.proc.is_alive:
             self.computing = False
+            self.rec.event("steal", track=self.track, duration=duration)
             self.proc.interrupt(("steal", duration))
             return True
         return False
@@ -424,6 +431,8 @@ class NodeRuntime:
             except Interrupt as it:
                 # ``computing`` was cleared by whoever interrupted us.
                 protocol.note_busy(env.now - sub_start)
+                self.rec.complete("compute", sub_start, env.now - sub_start,
+                                  track=self.track)
                 consumed += self.ws.capacity(sub_start, env.now)
                 cause = it.cause
                 if isinstance(cause, tuple) and cause[0] == "steal":
@@ -432,6 +441,8 @@ class NodeRuntime:
                 return (yield from self._stop_at_boundary(consumed))
             self.computing = False
             protocol.note_busy(env.now - sub_start)
+            self.rec.complete("compute", sub_start, env.now - sub_start,
+                              track=self.track)
             if deadline_first:
                 consumed += self.ws.capacity(sub_start, env.now)
                 result = yield from self._stop_at_boundary(consumed)
@@ -453,6 +464,8 @@ class NodeRuntime:
         if extra > _EPS:
             t_end = self.ws.time_to_complete(env.now, extra)
             self.protocol.note_busy(t_end - env.now)
+            self.rec.complete("compute", env.now, t_end - env.now,
+                              track=self.track)
             yield env.timeout(t_end - env.now)
         if k > 0:
             self.protocol.note_work(boundary_work)
@@ -468,6 +481,9 @@ class NodeRuntime:
         env = session.env
         protocol = self.protocol
         epoch = self.epoch
+        self.rec.event("sync", track=self.track, epoch=epoch,
+                       mode="centralized" if session.centralized
+                       else "distributed")
         # Consume this epoch's interrupt(s), stale control traffic, and
         # any late work parcels from previous epochs.
         self._drain_stale()
@@ -487,6 +503,9 @@ class NodeRuntime:
                 self.gid = session.group_of[self.me]
             if instr.grant:
                 self.assignment.add(instr.grant)
+                self.rec.event("grant", track=self.track, epoch=epoch,
+                               iterations=sum(e - s
+                                              for s, e in instr.grant))
             if instr.done:
                 self.more_work = False
                 return "done"
@@ -644,6 +663,8 @@ class NodeRuntime:
                 controller.register_parcel(self.me, order.dst, epoch,
                                            msg.ranges)
             protocol.cache_work(msg)
+            self.rec.event("redistribute", track=self.track, epoch=epoch,
+                           dst=order.dst, iterations=count, work=order.work)
             yield from vm.send(msg)
         if retire and self.ft_enabled and not self.assignment.empty:
             # Late-arriving reclaimed work on a retiring node: ship it to

@@ -105,6 +105,15 @@ class RunOptions:
         run kernels and check exactly-once execution.
     trace:
         Collect per-sync records in the stats (cheap; on by default).
+    recorder:
+        An :class:`~repro.obs.trace.TraceRecorder` to stream structured
+        span/instant events into (``None``, the default, records
+        nothing — instrumentation sites hold the shared
+        :data:`~repro.obs.trace.NULL_RECORDER`, whose cost is gated in
+        ``benchmarks/test_bench_obs.py``).  The backend binds the
+        recorder's clock to its own time domain: virtual seconds on the
+        simulator, zero-based ``perf_counter`` elsewhere.  See
+        docs/OBSERVABILITY.md.
     group_formation:
         How the local strategies form their fixed groups (§3.5):
         ``"block"`` (the paper's choice), ``"interleaved"``, or
@@ -137,6 +146,7 @@ class RunOptions:
     profile_window_reset: bool = True
     on_execute: Optional[Callable[[int, list[tuple[int, int]]], None]] = None
     trace: bool = True
+    recorder: Optional[object] = None
     group_formation: str = "block"
     group_seed: int = 0
     initial_partition: str = "equal"

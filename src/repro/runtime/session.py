@@ -27,6 +27,7 @@ from ..machine.cluster import build_groups
 from ..machine.workstation import Workstation
 from ..message.pvm import VirtualMachine
 from ..network.topology import Topology, resolve_topology
+from ..obs.trace import NULL_RECORDER
 from ..simulation import Environment
 from .options import RunOptions
 from .stats import LoopRunStats, SyncRecord
@@ -101,6 +102,9 @@ class LoopSession:
             loop_name=loop.name, strategy=strategy.name,
             n_processors=self.n, group_size=self.group_size)
         self.nodes: dict[int, "NodeRuntime"] = {}
+        #: Structured trace sink; the shared no-op singleton unless the
+        #: caller supplied a recorder (see docs/OBSERVABILITY.md).
+        self.recorder = options.recorder or NULL_RECORDER
         self._recorded_plans: set[tuple[int, int]] = set()
         self._selected = False
         #: Fault injection / recovery state; None on a fault-free run
@@ -176,9 +180,16 @@ class LoopSession:
                     plan: RedistributionPlan) -> None:
         """Record a sync outcome once (replicated balancers call this P times)."""
         key = (group, epoch)
-        if key in self._recorded_plans or not self.options.trace:
+        if key in self._recorded_plans:
             return
         self._recorded_plans.add(key)
+        self.recorder.event(
+            "decision", track="balancer", group=group, epoch=epoch,
+            reason=plan.reason,
+            moved=plan.work_to_move if plan.move else 0.0,
+            n_transfers=len(plan.transfers))
+        if not self.options.trace:
+            return
         self.stats.record_sync(SyncRecord(
             time=self.env.now, group=group, epoch=epoch, reason=plan.reason,
             moved_work=plan.work_to_move if plan.move else 0.0,

@@ -8,10 +8,32 @@ records and message counts for the analysis in the experiments package.
 
 from __future__ import annotations
 
+import os
+import platform
+import sys
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["SyncRecord", "LoopRunStats", "StageRunStats", "AppRunStats"]
+__all__ = ["SyncRecord", "LoopRunStats", "StageRunStats", "AppRunStats",
+           "environment_fingerprint"]
+
+
+def environment_fingerprint(**extra) -> dict:
+    """Where this run executed: stamped into ``LoopRunStats.environment``.
+
+    Records the facts needed to interpret wall-clock numbers post-hoc
+    (interpreter, platform, core count); backends add their own keys
+    (e.g. the process backend's multiprocessing ``start_method``).
+    """
+    fp = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    fp.update({k: v for k, v in extra.items() if v is not None})
+    return fp
 
 
 @dataclass
@@ -74,6 +96,10 @@ class LoopRunStats:
     fault_retries: int = 0
     reclaimed_iterations: int = 0
     salvaged_iterations: int = 0
+    #: Where the run executed (:func:`environment_fingerprint`): python
+    #: version, platform, cpu count, and backend-specific keys such as
+    #: the multiprocessing start method.  Exported to CSV/JSON.
+    environment: dict = field(default_factory=dict)
 
     @property
     def duration(self) -> float:

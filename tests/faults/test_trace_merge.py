@@ -1,0 +1,134 @@
+"""Trace and metric merging under faults.
+
+A crashed worker can never hand its ring buffer back — the contract is
+that its absence is *marked* (a ``trace_truncated`` instant on the dead
+node's track), never silently dropped, while every survivor's buffer
+still merges into the run-wide recorder.  The simulation additionally
+records the fault events themselves (crash, declare_dead, fence,
+message_drop), so a faulted trace tells the whole recovery story.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.workload import LoopSpec
+from repro.backend import ProcessBackend, SocketBackend
+from repro.backend.socket import KillEvent
+from repro.faults import FaultPlan, MessageDropFault
+from repro.machine.cluster import ClusterSpec
+from repro.obs import TraceRecorder
+from repro.runtime.executor import run_loop
+from repro.runtime.options import RunOptions
+
+from .conftest import DLB_SCHEMES, assert_exact_coverage
+
+pytestmark = pytest.mark.faults
+
+
+def _cluster(n=4):
+    return ClusterSpec.homogeneous(n, max_load=3, persistence=1.0, seed=7)
+
+
+def _names(recorder):
+    return {e["name"] for e in recorder.events()}
+
+
+def _truncations(recorder):
+    return [e for e in recorder.events()
+            if e["name"] == "trace_truncated"]
+
+
+# -- simulation: fault events land in the trace --------------------------
+@pytest.mark.parametrize("scheme", DLB_SCHEMES)
+def test_sim_crash_events_recorded(scheme, ft_loop, cluster4, ft_options):
+    recorder = TraceRecorder()
+    plan = FaultPlan.single_crash(node=2, time=0.05)
+    stats = run_loop(ft_loop, cluster4, scheme,
+                     options=ft_options.but(recorder=recorder),
+                     fault_plan=plan)
+    assert_exact_coverage(stats, ft_loop)
+    events = recorder.events()
+    crashes = [e for e in events if e["name"] == "crash"]
+    assert [e["track"] for e in crashes] == ["node2"]
+    # Detection follows: someone declared the victim dead on its track.
+    declares = [e for e in events if e["name"] == "declare_dead"]
+    assert declares and all(e["track"] == "node2" for e in declares)
+    # Survivors' compute spans sit beside the fault markers.
+    assert any(e["name"] == "compute" and e["track"] != "node2"
+               for e in events)
+
+
+def test_sim_recording_does_not_change_faulted_run(ft_loop, cluster4,
+                                                   ft_options):
+    plan = FaultPlan.single_crash(node=1, time=0.08)
+    baseline = run_loop(ft_loop, cluster4, "GDDLB", options=ft_options,
+                        fault_plan=plan)
+    traced = run_loop(ft_loop, cluster4, "GDDLB",
+                      options=ft_options.but(recorder=TraceRecorder()),
+                      fault_plan=plan)
+    assert traced.duration == baseline.duration
+    assert traced.reclaimed_iterations == baseline.reclaimed_iterations
+    assert traced.executed_by_node == baseline.executed_by_node
+
+
+def test_sim_message_drops_recorded(ft_loop, cluster4, ft_options):
+    recorder = TraceRecorder()
+    plan = FaultPlan(drops=(MessageDropFault(probability=1.0,
+                                             max_drops=2),), seed=3)
+    stats = run_loop(ft_loop, cluster4, "GCDLB",
+                     options=ft_options.but(recorder=recorder),
+                     fault_plan=plan)
+    assert_exact_coverage(stats, ft_loop)
+    drops = [e for e in recorder.events()
+             if e["name"] == "message_drop"]
+    assert len(drops) == stats.dropped_messages > 0
+    assert all(e["track"] == "network" for e in drops)
+    assert all({"src", "dst", "tag"} <= set(e["args"]) for e in drops)
+
+
+# -- process backend: partial buffers merge, losses are marked -----------
+def test_process_crash_marks_truncation_and_merges_survivors():
+    loop = LoopSpec(name="steady", n_iterations=64, iteration_time=0.01,
+                    dc_bytes=64)
+    recorder = TraceRecorder()
+    plan = FaultPlan.single_crash(node=1, time=0.05)
+    stats = ProcessBackend(time_scale=1.0).run_loop(
+        loop, _cluster(), "GCDLB", RunOptions(recorder=recorder),
+        fault_plan=plan)
+    assert stats.crashed_nodes == (1,)
+    truncated = _truncations(recorder)
+    assert [e["track"] for e in truncated] == ["node1"]
+    assert truncated[0]["args"]["reason"] == "crashed"
+    # Every survivor's buffer arrived over the stats channel.
+    tracks = {e["track"] for e in recorder.events()
+              if e["name"] == "compute"}
+    assert {"node0", "node2", "node3"} <= tracks
+
+
+def test_process_clean_run_has_no_truncation():
+    loop = LoopSpec(name="steady", n_iterations=48, iteration_time=0.005,
+                    dc_bytes=64)
+    recorder = TraceRecorder()
+    ProcessBackend(time_scale=0.5).run_loop(
+        loop, _cluster(), "GDDLB", RunOptions(recorder=recorder))
+    assert _truncations(recorder) == []
+    assert "compute" in _names(recorder)
+
+
+# -- socket backend: a killed connection is marked, survivors merge ------
+def test_socket_kill_marks_truncation_and_merges_survivors():
+    loop = LoopSpec(name="steady", n_iterations=200, iteration_time=0.002,
+                    dc_bytes=8)
+    recorder = TraceRecorder()
+    backend = SocketBackend(script=(KillEvent(node=2,
+                                              after_iterations=30),))
+    stats = backend.run_loop(loop, _cluster(), "GCDLB",
+                             RunOptions(recorder=recorder))
+    assert stats.crashed_nodes == (2,)
+    truncated = _truncations(recorder)
+    assert any(e["track"] == "node2"
+               and e["args"]["reason"] == "crashed" for e in truncated)
+    tracks = {e["track"] for e in recorder.events()
+              if e["name"] == "compute"}
+    assert {"node0", "node1", "node3"} <= tracks

@@ -1,0 +1,101 @@
+"""Trace exporters: Chrome/Perfetto format details and round-trips."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    events_to_chrome,
+    events_to_ndjson,
+    read_trace,
+    render_trace_gantt,
+    render_trace_summary,
+    sorted_tracks,
+    write_trace,
+)
+
+EVENTS = [
+    {"name": "compute", "ph": "X", "ts": 0.5, "dur": 0.25,
+     "track": "node1", "args": {"iteration": 3}},
+    {"name": "sync", "ph": "i", "ts": 0.75, "track": "node1",
+     "args": {"epoch": 1}},
+    {"name": "decision", "ph": "i", "ts": 0.8, "track": "balancer",
+     "args": {}},
+    {"name": "transfer", "ph": "X", "ts": 0.81, "dur": 0.02,
+     "track": "link:0-1", "args": {"nbytes": 800}},
+]
+
+
+def test_sorted_tracks_order():
+    events = [{"track": t} for t in
+              ("node10", "link:0-1", "node2", "balancer", "faults")]
+    assert sorted_tracks(events) == \
+        ["balancer", "node2", "node10", "link:0-1", "faults"]
+
+
+def test_chrome_format_details():
+    doc = events_to_chrome(EVENTS, dropped=2, meta={"backend": "sim"})
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"] == {"dropped_events": 2, "backend": "sim"}
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta
+             if e["name"] == "thread_name"}
+    assert names == {"balancer", "node1", "link:0-1"}
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    # Seconds scale to microseconds, the format's required unit.
+    assert spans[0]["ts"] == 0.5 * 1e6
+    assert spans[0]["dur"] == 0.25 * 1e6
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert all(e["s"] == "t" for e in instants)
+    assert json.loads(json.dumps(doc)) == doc
+
+
+def test_ndjson_is_one_sorted_event_per_line():
+    text = events_to_ndjson(EVENTS)
+    lines = text.strip().splitlines()
+    assert len(lines) == len(EVENTS)
+    parsed = [json.loads(line) for line in lines]
+    assert [e["ts"] for e in parsed] == sorted(e["ts"] for e in EVENTS)
+    assert events_to_ndjson([]) == ""
+
+
+def test_chrome_round_trip(tmp_path):
+    path = str(tmp_path / "out.trace.json")
+    write_trace(path, EVENTS, dropped=1)
+    back = read_trace(path)
+    assert len(back) == len(EVENTS)
+    by_name = {e["name"]: e for e in back}
+    assert by_name["compute"]["track"] == "node1"
+    assert by_name["compute"]["ts"] == 0.5
+    assert by_name["compute"]["dur"] == 0.25
+    assert by_name["transfer"]["track"] == "link:0-1"
+    assert by_name["sync"]["args"] == {"epoch": 1}
+
+
+def test_ndjson_round_trip(tmp_path):
+    path = str(tmp_path / "out.ndjson")
+    write_trace(path, EVENTS)
+    back = read_trace(path)
+    assert sorted(back, key=lambda e: e["ts"]) == \
+        sorted(EVENTS, key=lambda e: e["ts"])
+
+
+def test_ndjson_single_event_still_detected(tmp_path):
+    # A one-line ndjson file parses as a bare JSON object; detection
+    # must not mistake it for a Chrome document.
+    path = str(tmp_path / "one.ndjson")
+    write_trace(path, EVENTS[:1])
+    assert read_trace(path) == EVENTS[:1]
+
+
+def test_renderers():
+    summary = render_trace_summary(EVENTS)
+    assert "4 events" in summary
+    assert "balancer" in summary and "link:0-1" in summary
+    assert "compute=1" in summary
+    gantt = render_trace_gantt(EVENTS, width=32)
+    assert "node1" in gantt
+    assert "#" in gantt  # span coverage
+    assert "|" in gantt  # sync/decision instants
+    assert render_trace_summary([]) == "(empty trace)"
+    assert render_trace_gantt([]) == "(empty trace)"

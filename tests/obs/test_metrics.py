@@ -1,0 +1,70 @@
+"""MetricsRegistry unit tests: counters as live dict views, histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import CounterDict, Histogram, MetricsRegistry
+
+
+def test_counter_dict_is_a_dict():
+    c = CounterDict()
+    c.inc("profile")
+    c.inc("profile", 2)
+    c.inc("work")
+    assert c == {"profile": 3, "work": 1}
+    assert dict(c) == {"profile": 3, "work": 1}
+    assert c.get("missing", 0) == 0
+
+
+def test_counter_dict_merge():
+    c = CounterDict({"a": 1})
+    out = c.merge({"a": 2, "b": 5})
+    assert out is c
+    assert c == {"a": 3, "b": 5}
+
+
+def test_registry_counter_is_live_storage():
+    reg = MetricsRegistry()
+    view = reg.counter("messages_by_tag")
+    reg.counter("messages_by_tag").inc("profile")
+    # The same object every time: a stats field holding it sees bumps.
+    assert view == {"profile": 1}
+    assert reg.counter("messages_by_tag") is view
+
+
+def test_registry_gauges():
+    reg = MetricsRegistry()
+    assert reg.gauge("depth") == 0.0
+    reg.set_gauge("depth", 3.5)
+    assert reg.gauge("depth") == 3.5
+
+
+def test_histogram_buckets_mean_and_snapshot():
+    h = Histogram(bounds=(1.0, 10.0))
+    for v in (0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.mean == pytest.approx(55.5 / 3)
+    snap = h.snapshot()
+    assert snap["count"] == 3
+    assert snap["buckets"] == {"le_1": 1, "le_10": 1, "inf": 1}
+
+
+def test_histogram_requires_bounds():
+    with pytest.raises(ValueError):
+        Histogram(bounds=())
+
+
+def test_registry_snapshot_is_json_clean():
+    import json
+
+    reg = MetricsRegistry()
+    reg.counter("by_tag").inc("profile")
+    reg.set_gauge("depth", 2.0)
+    reg.histogram("sizes", bounds=(10.0,)).observe(4.0)
+    snap = reg.snapshot()
+    assert json.loads(json.dumps(snap)) == snap
+    assert snap["counters"] == {"by_tag": {"profile": 1}}
+    assert snap["gauges"] == {"depth": 2.0}
+    assert snap["histograms"]["sizes"]["count"] == 1

@@ -1,0 +1,116 @@
+"""TraceRecorder / NullRecorder unit tests: ring buffer, clocks, merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import NULL_RECORDER, NullRecorder, TraceRecorder
+from repro.obs.trace import DEFAULT_CAPACITY
+
+
+def _clock_at(times):
+    """A fake clock that pops successive readings."""
+    readings = list(times)
+    return lambda: readings.pop(0)
+
+
+def test_null_recorder_is_inert():
+    rec = NULL_RECORDER
+    assert rec.enabled is False
+    assert rec.dropped == 0
+    rec.event("anything", track="node0", x=1)
+    rec.complete("span", 0.0, 1.0)
+    with rec.span("block"):
+        pass
+    rec.set_clock(lambda: 1.0)
+    rec.merge_payload({"events": [{"name": "x"}], "dropped": 3})
+    assert rec.events() == []
+    assert rec.to_payload() == {"events": [], "dropped": 0}
+
+
+def test_trace_recorder_is_a_null_recorder():
+    # Instrumentation sites hold "a recorder"; the subtype relationship
+    # is what lets them not care which.
+    assert isinstance(TraceRecorder(), NullRecorder)
+    assert TraceRecorder().enabled is True
+
+
+def test_event_and_complete_shapes():
+    rec = TraceRecorder(clock=_clock_at([1.5]))
+    rec.event("sync", track="node2", epoch=3)
+    rec.complete("compute", 2.0, 0.5, track="node1", iteration=7)
+    events = rec.events()
+    assert events[0] == {"name": "sync", "ph": "i", "ts": 1.5,
+                         "track": "node2", "args": {"epoch": 3}}
+    assert events[1] == {"name": "compute", "ph": "X", "ts": 2.0,
+                         "dur": 0.5, "track": "node1",
+                         "args": {"iteration": 7}}
+
+
+def test_events_sorted_by_timestamp():
+    rec = TraceRecorder(clock=lambda: 0.0)
+    rec.complete("b", 2.0, 0.1)
+    rec.complete("a", 1.0, 0.1)
+    assert [e["name"] for e in rec.events()] == ["a", "b"]
+
+
+def test_span_measures_with_injected_clock():
+    rec = TraceRecorder(clock=_clock_at([10.0, 12.5]))
+    with rec.span("plan", track="balancer", group=1):
+        pass
+    (event,) = rec.events()
+    assert event["ts"] == 10.0
+    assert event["dur"] == 2.5
+    assert event["args"] == {"group": 1}
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    rec = TraceRecorder(clock=lambda: 0.0, capacity=3)
+    for i in range(5):
+        rec.event(f"e{i}")
+    assert rec.dropped == 2
+    assert [e["name"] for e in rec.events()] == ["e2", "e3", "e4"]
+    assert rec.to_payload()["dropped"] == 2
+
+
+def test_default_capacity_and_validation():
+    assert TraceRecorder().capacity == DEFAULT_CAPACITY
+    with pytest.raises(ValueError):
+        TraceRecorder(capacity=0)
+
+
+def test_default_clock_is_zero_based_and_monotonic():
+    rec = TraceRecorder()
+    rec.event("first")
+    rec.event("second")
+    first, second = rec.events()
+    assert 0.0 <= first["ts"] <= second["ts"] < 60.0
+
+
+def test_payload_round_trip_and_merge():
+    worker = TraceRecorder(clock=_clock_at([2.0, 1.0]))
+    worker.event("late", track="node1")
+    worker.event("early", track="node1")
+    hub = TraceRecorder(clock=lambda: 0.0)
+    hub.event("own", track="balancer")
+    hub.merge_payload(worker.to_payload())
+    # Merged buffers interleave; events() restores timestamp order.
+    assert [e["name"] for e in hub.events()] == ["own", "early", "late"]
+    assert hub.dropped == 0
+
+
+def test_merge_payload_accumulates_dropped():
+    hub = TraceRecorder(clock=lambda: 0.0)
+    hub.merge_payload({"events": [], "dropped": 4})
+    hub.merge_payload({"events": [{"name": "x", "ph": "i", "ts": 0.0,
+                                   "track": "node0", "args": {}}],
+                       "dropped": 1})
+    assert hub.dropped == 5
+    assert len(hub.events()) == 1
+
+
+def test_set_clock_rebinds():
+    rec = TraceRecorder(clock=lambda: 1.0)
+    rec.set_clock(lambda: 42.0)
+    rec.event("after")
+    assert rec.events()[0]["ts"] == 42.0

@@ -36,13 +36,23 @@ def _scale_doc(virtual: float = 1.0, wall: float = 2.0,
                                         "wall_seconds": wall}}}
 
 
+def _obs_doc(virtual: float = 1.0, wall: float = 2.0) -> dict:
+    return {"cpu_count": 4,
+            "des": {"virtual_duration_off": virtual,
+                    "virtual_duration_on": virtual,
+                    "wall_seconds_off": wall, "wall_seconds_on": wall},
+            "thread": {"wall_seconds_off": wall}}
+
+
 def _write(directory, process=None, backend=None, topology=None,
-           scale=None):
+           scale=None, obs=None):
     if process is not None:
         if topology is None:
             topology = _topology_doc(1.0)  # benign: every gated doc present
         if scale is None:
             scale = _scale_doc()
+        if obs is None:
+            obs = _obs_doc()
     if process is not None:
         (directory / "BENCH_process.json").write_text(json.dumps(process))
     if backend is not None:
@@ -51,6 +61,8 @@ def _write(directory, process=None, backend=None, topology=None,
         (directory / "BENCH_topology.json").write_text(json.dumps(topology))
     if scale is not None:
         (directory / "BENCH_scale.json").write_text(json.dumps(scale))
+    if obs is not None:
+        (directory / "BENCH_obs.json").write_text(json.dumps(obs))
 
 
 def _run(base, fresh, threshold=0.25, mode="all"):

@@ -231,3 +231,54 @@ def test_characterize_topology_and_probe(capsys):
     out = capsys.readouterr().out
     assert "NX" in out  # neighbor-exchange fit only exists on graphs
     assert "probe" in out
+
+
+# -- version flag --------------------------------------------------------
+
+def test_version_flag_exits_0(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert capsys.readouterr().out.startswith("repro ")
+
+
+# -- tracing -------------------------------------------------------------
+
+def test_run_trace_writes_perfetto_loadable_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "out.trace.json"
+    assert main(SMALL_RUN + ["--strategy", "GDDLB",
+                             "--trace", str(path)]) == 0
+    assert f"-> {path}" in capsys.readouterr().out
+    doc = json.loads(path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert {"compute", "sync"} <= names
+
+
+def test_run_trace_ndjson_extension_streams_lines(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "out.ndjson"
+    assert main(SMALL_RUN + ["--strategy", "GCDLB", "--backend", "thread",
+                             "--time-scale", "0.1",
+                             "--trace", str(path)]) == 0
+    assert "trace:" in capsys.readouterr().out
+    lines = path.read_text().strip().splitlines()
+    assert lines and all(json.loads(line)["name"] for line in lines)
+
+
+def test_trace_subcommand_renders_summary(tmp_path, capsys):
+    path = tmp_path / "out.trace.json"
+    assert main(SMALL_RUN + ["--trace", str(path)]) == 0
+    capsys.readouterr()
+    assert main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "events" in out
+    assert "node0" in out
+
+
+def test_trace_subcommand_missing_file_exits_2(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "absent.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err
